@@ -1,0 +1,91 @@
+//! Walking a query's state-key stream through the automaton.
+
+use serde::{Deserialize, Serialize};
+
+use preqr_sql::normalize::StateKey;
+
+use crate::{Automaton, UNKNOWN_STATE};
+
+/// Result of matching a token stream against the automaton.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchResult {
+    /// Per-token state ids — the SQL state embedding (Table 2). Same
+    /// length as the input key stream.
+    pub states: Vec<usize>,
+    /// True when every consecutive transition exists and the walk ends in
+    /// a final state.
+    pub accepted: bool,
+    /// Number of tokens whose state key was never seen in any template.
+    pub unknown_tokens: usize,
+    /// Number of consecutive state pairs with no registered transition.
+    pub missing_transitions: usize,
+}
+
+impl MatchResult {
+    /// Fraction of tokens with known states, in `[0, 1]` (a soft
+    /// structural-coverage score used by downstream featurization).
+    pub fn coverage(&self) -> f64 {
+        if self.states.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.unknown_tokens as f64 / self.states.len() as f64
+    }
+}
+
+pub(crate) fn match_keys(fa: &Automaton, keys: &[StateKey]) -> MatchResult {
+    let states: Vec<usize> = keys.iter().map(|k| fa.state_of(k)).collect();
+    let unknown_tokens = states.iter().filter(|&&s| s == UNKNOWN_STATE).count();
+    let missing_transitions = states
+        .windows(2)
+        .filter(|w| {
+            w[0] != UNKNOWN_STATE && w[1] != UNKNOWN_STATE && !fa.has_transition(w[0], w[1])
+        })
+        .count();
+    let accepted = unknown_tokens == 0
+        && missing_transitions == 0
+        && states.last().is_some_and(|&s| fa.is_final(s));
+    MatchResult { states, accepted, unknown_tokens, missing_transitions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preqr_sql::normalize::state_keys;
+    use preqr_sql::parser::parse;
+    use preqr_sql::template::TemplateSet;
+
+    #[test]
+    fn coverage_reflects_unknowns() {
+        let corpus = vec![parse("SELECT * FROM t").unwrap()];
+        let fa = Automaton::from_templates(&TemplateSet::extract(&corpus, 0.0));
+        let full = fa.match_keys(&state_keys(&corpus[0]));
+        assert!((full.coverage() - 1.0).abs() < 1e-12);
+        let other =
+            fa.match_keys(&state_keys(&parse("SELECT * FROM t WHERE a = 1").unwrap()));
+        assert!(other.coverage() < 1.0);
+        assert!(other.coverage() > 0.0);
+    }
+
+    #[test]
+    fn empty_stream_is_not_accepted() {
+        let fa = Automaton::new();
+        let m = fa.match_keys(&[]);
+        assert!(!m.accepted);
+        assert_eq!(m.coverage(), 0.0);
+    }
+
+    #[test]
+    fn missing_transition_detected_between_known_states() {
+        // Train two templates, then present a key order neither template
+        // produced: states exist but a transition may be missing.
+        let a = parse("SELECT * FROM t ORDER BY x").unwrap();
+        let b = parse("SELECT * FROM t GROUP BY y").unwrap();
+        let fa = Automaton::from_templates(&TemplateSet::extract(&[a, b], 0.0));
+        // GROUP BY followed by ORDER BY was never observed together.
+        let c = parse("SELECT * FROM t GROUP BY y ORDER BY x").unwrap();
+        let m = fa.match_keys(&state_keys(&c));
+        assert_eq!(m.unknown_tokens, 0, "all individual states are known");
+        assert!(m.missing_transitions > 0);
+        assert!(!m.accepted);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests over SQL2Automaton.
+
+use proptest::prelude::*;
+
+use preqr_automaton::Automaton;
+use preqr_sql::normalize::state_keys;
+use preqr_sql::parser::parse;
+use preqr_sql::template::TemplateSet;
+use preqr_sql::Query;
+
+fn query_strings() -> impl Strategy<Value = String> {
+    let table = prop_oneof![Just("title"), Just("movie_companies"), Just("cast_info")];
+    let col = prop_oneof![Just("id"), Just("year"), Just("kind")];
+    (table, col, -100i64..100, any::<bool>()).prop_map(|(t, c, v, agg)| {
+        if agg {
+            format!("SELECT COUNT(*) FROM {t} WHERE {t}.{c} > {v}")
+        } else {
+            format!("SELECT {c} FROM {t} WHERE {t}.{c} = {v}")
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every query used to build the automaton is accepted by it.
+    #[test]
+    fn training_queries_are_accepted(sqls in proptest::collection::vec(query_strings(), 1..10)) {
+        let queries: Vec<Query> = sqls.iter().map(|s| parse(s).unwrap()).collect();
+        let templates = TemplateSet::extract(&queries, 0.0);
+        let fa = Automaton::from_templates(&templates);
+        for q in &queries {
+            let m = fa.match_keys(&state_keys(q));
+            prop_assert!(m.accepted, "training query rejected: {q}");
+            prop_assert_eq!(m.unknown_tokens, 0);
+        }
+    }
+
+    /// Matching is deterministic and state ids are stable across repeated
+    /// matches.
+    #[test]
+    fn matching_is_deterministic(sql in query_strings()) {
+        let q = parse(&sql).unwrap();
+        let fa = Automaton::from_templates(&TemplateSet::extract(&[q.clone()], 0.0));
+        let a = fa.match_keys(&state_keys(&q));
+        let b = fa.match_keys(&state_keys(&q));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Adding templates never invalidates previously accepted queries
+    /// (monotonicity of the merge).
+    #[test]
+    fn template_addition_is_monotone(
+        base in query_strings(),
+        extra in proptest::collection::vec(query_strings(), 1..6),
+    ) {
+        let q = parse(&base).unwrap();
+        let mut fa = Automaton::from_templates(&TemplateSet::extract(&[q.clone()], 0.0));
+        prop_assert!(fa.match_keys(&state_keys(&q)).accepted);
+        for e in &extra {
+            fa.add_template(&state_keys(&parse(e).unwrap()));
+            prop_assert!(
+                fa.match_keys(&state_keys(&q)).accepted,
+                "adding template {e} broke acceptance of {base}"
+            );
+        }
+    }
+
+    /// One-hot encodings are valid unit vectors for known states.
+    #[test]
+    fn one_hot_is_unit(sql in query_strings()) {
+        let q = parse(&sql).unwrap();
+        let fa = Automaton::from_templates(&TemplateSet::extract(&[q.clone()], 0.0));
+        for &s in &fa.match_keys(&state_keys(&q)).states {
+            let v = fa.one_hot(s);
+            prop_assert_eq!(v.iter().filter(|&&x| x == 1.0).count(), 1);
+            prop_assert_eq!(v.iter().filter(|&&x| x != 0.0).count(), 1);
+        }
+    }
+}

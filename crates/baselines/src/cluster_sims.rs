@@ -1,0 +1,208 @@
+//! Classic query-similarity metrics (§4.3.1): Aouiche et al. (binary
+//! clause vectors, Hamming), Aligon et al. (clause sets, Jaccard),
+//! Makiyama et al. (term frequency, cosine), plus the generic cosine
+//! helpers used by One-hotDis, Seq2SeqDis, and PreQRDis.
+
+use std::collections::HashSet;
+
+use preqr_sql::ast::{Query, SelectItem};
+use preqr_sql::distance::{jaccard, tf_cosine};
+
+/// Aouiche et al.: binary presence vector over (selection columns, join
+/// columns, group-by columns); similarity = 1 − normalized Hamming
+/// distance.
+pub fn aouiche_similarity(a: &Query, b: &Query, universe: &[String]) -> f64 {
+    let va = aouiche_vector(a, universe);
+    let vb = aouiche_vector(b, universe);
+    if universe.is_empty() {
+        return 1.0;
+    }
+    let hamming = va.iter().zip(&vb).filter(|(x, y)| x != y).count();
+    1.0 - hamming as f64 / universe.len() as f64
+}
+
+/// The binary feature vector of Aouiche et al. over a fixed column
+/// universe.
+pub fn aouiche_vector(q: &Query, universe: &[String]) -> Vec<bool> {
+    let mut present: HashSet<String> = HashSet::new();
+    for s in q.selects() {
+        if let Some(w) = &s.where_clause {
+            for c in w.columns() {
+                present.insert(c.column.clone());
+            }
+        }
+        for g in &s.group_by {
+            present.insert(g.column.clone());
+        }
+        for item in &s.projections {
+            if let SelectItem::Column(c) = item {
+                present.insert(c.column.clone());
+            }
+        }
+    }
+    universe.iter().map(|c| present.contains(c)).collect()
+}
+
+/// The column universe for a workload (sorted, deduplicated).
+pub fn column_universe(queries: &[Query]) -> Vec<String> {
+    let mut set: HashSet<String> = HashSet::new();
+    for q in queries {
+        for s in q.selects() {
+            if let Some(w) = &s.where_clause {
+                for c in w.columns() {
+                    set.insert(c.column.clone());
+                }
+            }
+            for g in &s.group_by {
+                set.insert(g.column.clone());
+            }
+            for item in &s.projections {
+                if let SelectItem::Column(c) = item {
+                    set.insert(c.column.clone());
+                }
+            }
+        }
+    }
+    let mut v: Vec<String> = set.into_iter().collect();
+    v.sort();
+    v
+}
+
+/// Aligon et al.: Jaccard over the union of selection/join/group-by item
+/// sets (selection and joins weighted highest per their finding).
+pub fn aligon_similarity(a: &Query, b: &Query) -> f64 {
+    let fa = clause_items(a);
+    let fb = clause_items(b);
+    0.5 * jaccard(&fa.0, &fb.0) + 0.35 * jaccard(&fa.1, &fb.1) + 0.15 * jaccard(&fa.2, &fb.2)
+}
+
+/// `(selection+join tokens, projection tokens, group/order tokens)`.
+fn clause_items(q: &Query) -> (Vec<String>, Vec<String>, Vec<String>) {
+    let mut sel = Vec::new();
+    let mut proj = Vec::new();
+    let mut group = Vec::new();
+    for s in q.selects() {
+        for t in s.tables() {
+            sel.push(t.table.clone());
+        }
+        if let Some(w) = &s.where_clause {
+            for c in w.columns() {
+                sel.push(c.column.clone());
+            }
+        }
+        for item in &s.projections {
+            proj.push(item.to_string());
+        }
+        for g in &s.group_by {
+            group.push(g.column.clone());
+        }
+        for (o, _) in &s.order_by {
+            group.push(o.column.clone());
+        }
+    }
+    (sel, proj, group)
+}
+
+/// Makiyama et al.: term-frequency cosine over clause-tagged tokens
+/// (`sel:col`, `from:table`, `where:col`, `group:col`, `order:col`).
+pub fn makiyama_similarity(a: &Query, b: &Query) -> f64 {
+    tf_cosine(&makiyama_terms(a), &makiyama_terms(b))
+}
+
+fn makiyama_terms(q: &Query) -> Vec<String> {
+    let mut out = Vec::new();
+    for s in q.selects() {
+        for item in &s.projections {
+            out.push(format!("sel:{item}"));
+        }
+        for t in s.tables() {
+            out.push(format!("from:{}", t.table));
+        }
+        if let Some(w) = &s.where_clause {
+            for c in w.columns() {
+                out.push(format!("where:{}", c.column));
+            }
+        }
+        for g in &s.group_by {
+            out.push(format!("group:{}", g.column));
+        }
+        for (o, _) in &s.order_by {
+            out.push(format!("order:{}", o.column));
+        }
+    }
+    out
+}
+
+/// Cosine similarity of two dense vectors (used by One-hotDis,
+/// Seq2SeqDis and PreQRDis).
+pub fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "cosine dimension mismatch");
+    let dot: f64 = a.iter().zip(b).map(|(&x, &y)| f64::from(x) * f64::from(y)).sum();
+    let na: f64 = a.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preqr_sql::parser::parse;
+
+    fn q(sql: &str) -> Query {
+        parse(sql).unwrap()
+    }
+
+    #[test]
+    fn aouiche_identical_queries_are_similar() {
+        let a = q("SELECT name FROM user WHERE rank = 'adm'");
+        let u = column_universe(std::slice::from_ref(&a));
+        assert_eq!(aouiche_similarity(&a, &a, &u), 1.0);
+    }
+
+    #[test]
+    fn aouiche_is_blind_to_constants_and_tables() {
+        // The known weakness: column sets alone conflate queries over the
+        // same columns.
+        let a = q("SELECT name FROM user WHERE rank = 'adm'");
+        let b = q("SELECT name FROM customer WHERE rank = 'xyz'");
+        let u = column_universe(&[a.clone(), b.clone()]);
+        assert_eq!(aouiche_similarity(&a, &b, &u), 1.0);
+    }
+
+    #[test]
+    fn aligon_uses_tables_too() {
+        let a = q("SELECT name FROM user WHERE rank = 'adm'");
+        let b = q("SELECT name FROM customer WHERE rank = 'adm'");
+        assert!(aligon_similarity(&a, &b) < aligon_similarity(&a, &a));
+        assert!((aligon_similarity(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makiyama_tracks_term_frequencies() {
+        let a = q("SELECT COUNT(*) FROM orders WHERE carrier_id = 1");
+        let b = q("SELECT COUNT(*) FROM orders WHERE carrier_id = 9");
+        let c = q("SELECT name FROM item WHERE category = 'food'");
+        assert!(makiyama_similarity(&a, &b) > makiyama_similarity(&a, &c));
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-9);
+        assert_eq!(cosine(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+        assert!(cosine(&[1.0, 1.0], &[-1.0, -1.0]) < -0.99);
+    }
+
+    #[test]
+    fn column_universe_is_sorted_dedup() {
+        let qs = vec![
+            q("SELECT a FROM t WHERE b = 1"),
+            q("SELECT a FROM t WHERE c = 2 AND b = 3"),
+        ];
+        assert_eq!(column_universe(&qs), vec!["a", "b", "c"]);
+    }
+}

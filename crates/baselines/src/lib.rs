@@ -1,0 +1,20 @@
+//! `preqr-baselines` — faithful re-implementations of every baseline the
+//! PreQR paper compares against (§4.3):
+//!
+//! * [`mscn`] — MSCN one-hot set-convolutional estimator (also the
+//!   `One-hotDis` feature source);
+//! * [`lstm_est`] — the LSTM sequence-encoder estimator of Sun & Li;
+//! * [`neurocard`] — a NeuroCard-style data-driven progressive-sampling
+//!   join estimator;
+//! * [`seq2seq`] — Seq2Seq (+copy, +latent), Tree2Seq and Graph2Seq
+//!   SQL-to-Text models sharing one attentional RNN decoder;
+//! * [`cluster_sims`] — Aouiche / Aligon / Makiyama query-similarity
+//!   metrics and cosine helpers.
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index-heavy numeric kernels read clearer with explicit indices
+pub mod cluster_sims;
+pub mod lstm_est;
+pub mod mscn;
+pub mod neurocard;
+pub mod seq2seq;

@@ -1,0 +1,433 @@
+//! MSCN (Kipf et al., CIDR'19) — the one-hot set-convolutional
+//! cardinality estimator the paper uses as its main query-driven baseline
+//! (`MSCNCard`/`MSCNCost`, `One-hotDis`).
+//!
+//! Featurization follows the original: a query is three sets —
+//! table one-hots (+ optional sample bitmaps), join one-hots, and
+//! predicate vectors `(column one-hot ⧺ op one-hot ⧺ normalized value)`.
+//! Each set runs through a small per-element MLP, is average-pooled, and
+//! the pooled vectors feed a final MLP.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+
+use preqr_engine::{BitmapSampler, Database};
+use preqr_nn::layers::{join, Linear, Module};
+use preqr_nn::{ops, Matrix, Tensor};
+use preqr_sql::ast::{CmpOp, Expr, Query, Scalar};
+
+/// One-hot + bitmap featurization of a query.
+#[derive(Clone, Debug)]
+pub struct MscnFeatures {
+    /// Per referenced table: table one-hot (⧺ sample bitmap when enabled).
+    pub tables: Vec<Vec<f32>>,
+    /// Per join predicate: join-edge one-hot.
+    pub joins: Vec<Vec<f32>>,
+    /// Per value predicate: column one-hot ⧺ op one-hot ⧺ normalized value.
+    pub predicates: Vec<Vec<f32>>,
+}
+
+/// Builds MSCN feature vectors for a database.
+pub struct MscnFeaturizer {
+    tables: Vec<String>,
+    columns: Vec<(String, String)>,
+    col_range: HashMap<(String, String), (f64, f64)>,
+    join_edges: Vec<((String, String), (String, String))>,
+    sample_bits: usize,
+}
+
+const OPS: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+
+impl MscnFeaturizer {
+    /// Builds the featurizer from the schema and data (for value
+    /// normalization); `sample_bits > 0` appends bitmap samples to table
+    /// features (the optimization of §4.3.2).
+    pub fn new(db: &Database, sample_bits: usize) -> Self {
+        let mut tables = Vec::new();
+        let mut columns = Vec::new();
+        let mut col_range = HashMap::new();
+        for t in db.schema().tables() {
+            tables.push(t.name.clone());
+            for c in &t.columns {
+                columns.push((t.name.clone(), c.name.clone()));
+                if let Some(col) = db.column(&t.name, &c.name) {
+                    let mut min = f64::INFINITY;
+                    let mut max = f64::NEG_INFINITY;
+                    for r in 0..col.len() {
+                        if let Some(v) = col.get_f64(r) {
+                            min = min.min(v);
+                            max = max.max(v);
+                        }
+                    }
+                    if min.is_finite() {
+                        col_range.insert((t.name.clone(), c.name.clone()), (min, max));
+                    }
+                }
+            }
+        }
+        let join_edges = db
+            .schema()
+            .foreign_keys()
+            .iter()
+            .map(|fk| {
+                (
+                    (fk.from_table.clone(), fk.from_column.clone()),
+                    (fk.to_table.clone(), fk.to_column.clone()),
+                )
+            })
+            .collect();
+        Self { tables, columns, col_range, join_edges, sample_bits }
+    }
+
+    /// Table-feature width.
+    pub fn table_dim(&self) -> usize {
+        self.tables.len() + self.sample_bits
+    }
+
+    /// Join-feature width.
+    pub fn join_dim(&self) -> usize {
+        self.join_edges.len().max(1)
+    }
+
+    /// Predicate-feature width.
+    pub fn pred_dim(&self) -> usize {
+        self.columns.len() + OPS.len() + 1
+    }
+
+    fn table_index(&self, name: &str) -> Option<usize> {
+        self.tables.iter().position(|t| t == name)
+    }
+
+    fn column_index(&self, table: &str, column: &str) -> Option<usize> {
+        self.columns.iter().position(|(t, c)| t == table && c == column)
+    }
+
+    fn normalize(&self, table: &str, column: &str, v: f64) -> f32 {
+        match self.col_range.get(&(table.to_string(), column.to_string())) {
+            Some((min, max)) if max > min => (((v - min) / (max - min)).clamp(0.0, 1.0)) as f32,
+            _ => 0.5,
+        }
+    }
+
+    /// Featurizes a query. The featurizer is *context-free* by design
+    /// (the drawback Figure 1 of the paper illustrates): string
+    /// predicates normalize to a hash fraction, values lose their
+    /// distribution, and query structure beyond join one-hots is dropped.
+    pub fn featurize(
+        &self,
+        db: &Database,
+        q: &Query,
+        sampler: Option<&BitmapSampler>,
+    ) -> MscnFeatures {
+        let stmt = &q.body;
+        let mut alias: HashMap<&str, &str> = HashMap::new();
+        for t in stmt.tables() {
+            alias.insert(t.binding(), t.table.as_str());
+        }
+        let resolve = |cr: &preqr_sql::ast::ColumnRef| -> Option<(String, String)> {
+            let table = match &cr.table {
+                Some(b) => (*alias.get(b.as_str())?).to_string(),
+                None => alias
+                    .values()
+                    .find(|t| db.schema().column(t, &cr.column).is_some())?
+                    .to_string(),
+            };
+            Some((table, cr.column.clone()))
+        };
+
+        let mut tables = Vec::new();
+        for (bi, t) in stmt.tables().iter().enumerate() {
+            let mut v = vec![0.0f32; self.table_dim()];
+            if let Some(i) = self.table_index(&t.table) {
+                v[i] = 1.0;
+            }
+            if let (Some(sampler), true) = (sampler, self.sample_bits > 0) {
+                if let Ok(bits) = sampler.bitmap_for(db, q, bi) {
+                    for (k, &b) in bits.iter().take(self.sample_bits).enumerate() {
+                        v[self.tables.len() + k] = b;
+                    }
+                }
+            }
+            tables.push(v);
+        }
+
+        let mut joins = Vec::new();
+        let mut predicates = Vec::new();
+        let mut conjuncts: Vec<&Expr> = Vec::new();
+        if let Some(w) = &stmt.where_clause {
+            conjuncts.extend(w.conjuncts());
+        }
+        for j in &stmt.joins {
+            conjuncts.extend(j.on.conjuncts());
+        }
+        for c in conjuncts {
+            match c {
+                Expr::Cmp {
+                    left: Scalar::Column(a),
+                    op: CmpOp::Eq,
+                    right: Scalar::Column(b),
+                } if a.table != b.table => {
+                    let mut v = vec![0.0f32; self.join_dim()];
+                    if let (Some(ra), Some(rb)) = (resolve(a), resolve(b)) {
+                        if let Some(i) = self.join_edges.iter().position(|(x, y)| {
+                            (*x == ra && *y == rb) || (*x == rb && *y == ra)
+                        }) {
+                            v[i] = 1.0;
+                        }
+                    }
+                    joins.push(v);
+                }
+                other => {
+                    for (col, op, val) in predicate_atoms(other) {
+                        let mut v = vec![0.0f32; self.pred_dim()];
+                        if let Some((t, c)) = resolve(&col) {
+                            if let Some(i) = self.column_index(&t, &c) {
+                                v[i] = 1.0;
+                            }
+                            let norm = match &val {
+                                preqr_sql::ast::Value::Str(s) => {
+                                    preqr_sql::vocab::string_bucket(s, 1000) as f32 / 1000.0
+                                }
+                                other => self.normalize(
+                                    &t,
+                                    &c,
+                                    other.as_f64().unwrap_or(0.0),
+                                ),
+                            };
+                            v[self.columns.len() + OPS.len()] = norm;
+                        }
+                        if let Some(oi) = OPS.iter().position(|o| *o == op) {
+                            v[self.columns.len() + oi] = 1.0;
+                        }
+                        predicates.push(v);
+                    }
+                }
+            }
+        }
+        MscnFeatures { tables, joins, predicates }
+    }
+}
+
+/// Flattens any predicate into `(column, op, value)` atoms the MSCN
+/// vector format can hold.
+fn predicate_atoms(e: &Expr) -> Vec<(preqr_sql::ast::ColumnRef, CmpOp, preqr_sql::ast::Value)> {
+    use preqr_sql::ast::Value;
+    let mut out = Vec::new();
+    match e {
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            out.extend(predicate_atoms(a));
+            out.extend(predicate_atoms(b));
+        }
+        Expr::Not(a) => out.extend(predicate_atoms(a)),
+        Expr::Cmp { left: Scalar::Column(c), op, right: Scalar::Value(v) } => {
+            out.push((c.clone(), *op, v.clone()));
+        }
+        Expr::Cmp { left: Scalar::Value(v), op, right: Scalar::Column(c) } => {
+            out.push((c.clone(), *op, v.clone()));
+        }
+        Expr::Between { col, low, high } => {
+            out.push((col.clone(), CmpOp::Ge, low.clone()));
+            out.push((col.clone(), CmpOp::Le, high.clone()));
+        }
+        Expr::InList { col, values, .. } => {
+            for v in values {
+                out.push((col.clone(), CmpOp::Eq, v.clone()));
+            }
+        }
+        Expr::Like { col, pattern, .. } => {
+            out.push((col.clone(), CmpOp::Eq, Value::Str(pattern.clone())));
+        }
+        Expr::InSubquery { col, .. } => {
+            out.push((col.clone(), CmpOp::Eq, Value::Int(0)));
+        }
+        Expr::IsNull { .. } | Expr::Cmp { .. } => {}
+    }
+    out
+}
+
+/// The MSCN set-convolutional regressor.
+pub struct MscnModel {
+    table_mlp: Linear,
+    join_mlp: Linear,
+    pred_mlp: Linear,
+    out1: Linear,
+    out2: Linear,
+    hidden: usize,
+}
+
+impl MscnModel {
+    /// Builds the model for a featurizer's dimensions.
+    pub fn new(f: &MscnFeaturizer, hidden: usize, rng: &mut StdRng) -> Self {
+        Self {
+            table_mlp: Linear::new(f.table_dim(), hidden, rng),
+            join_mlp: Linear::new(f.join_dim(), hidden, rng),
+            pred_mlp: Linear::new(f.pred_dim(), hidden, rng),
+            out1: Linear::new(3 * hidden, hidden, rng),
+            out2: Linear::new(hidden, 1, rng),
+            hidden,
+        }
+    }
+
+    fn pool(&self, mlp: &Linear, rows: &[Vec<f32>], width: usize) -> Tensor {
+        if rows.is_empty() {
+            return Tensor::constant(Matrix::zeros(1, self.hidden));
+        }
+        let m = Matrix::from_fn(rows.len(), width, |r, c| rows[r][c]);
+        let h = ops::relu(&mlp.forward(&Tensor::constant(m)));
+        ops::mean_rows(&h)
+    }
+
+    /// Predicts the regression target (e.g. log-cardinality).
+    pub fn forward(&self, feats: &MscnFeatures, f: &MscnFeaturizer) -> Tensor {
+        let t = self.pool(&self.table_mlp, &feats.tables, f.table_dim());
+        let j = self.pool(&self.join_mlp, &feats.joins, f.join_dim());
+        let p = self.pool(&self.pred_mlp, &feats.predicates, f.pred_dim());
+        let cat = ops::concat_cols(&ops::concat_cols(&t, &j), &p);
+        self.out2.forward(&ops::relu(&self.out1.forward(&cat)))
+    }
+
+    /// A flat feature vector (pooled raw sets) used by `One-hotDis`
+    /// cosine similarity.
+    pub fn onehot_vector(feats: &MscnFeatures, f: &MscnFeaturizer) -> Vec<f32> {
+        let pool = |rows: &[Vec<f32>], width: usize| -> Vec<f32> {
+            let mut v = vec![0.0f32; width];
+            for r in rows {
+                for (o, &x) in v.iter_mut().zip(r.iter()) {
+                    *o += x;
+                }
+            }
+            v
+        };
+        let mut out = pool(&feats.tables, f.table_dim());
+        out.extend(pool(&feats.joins, f.join_dim()));
+        out.extend(pool(&feats.predicates, f.pred_dim()));
+        out
+    }
+}
+
+impl Module for MscnModel {
+    fn collect_params(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        self.table_mlp.collect_params(&join(prefix, "table"), out);
+        self.join_mlp.collect_params(&join(prefix, "join"), out);
+        self.pred_mlp.collect_params(&join(prefix, "pred"), out);
+        self.out1.collect_params(&join(prefix, "out1"), out);
+        self.out2.collect_params(&join(prefix, "out2"), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preqr_data::imdb::{generate, ImdbConfig};
+    use preqr_nn::optim::Adam;
+    use preqr_sql::parser::parse;
+    use rand::SeedableRng;
+
+    fn db() -> Database {
+        generate(ImdbConfig::tiny())
+    }
+
+    #[test]
+    fn featurizer_dimensions_are_consistent() {
+        let db = db();
+        let f = MscnFeaturizer::new(&db, 0);
+        let q = parse(
+            "SELECT COUNT(*) FROM title t, movie_companies mc \
+             WHERE t.id = mc.movie_id AND t.production_year > 2000",
+        )
+        .unwrap();
+        let feats = f.featurize(&db, &q, None);
+        assert_eq!(feats.tables.len(), 2);
+        assert_eq!(feats.joins.len(), 1);
+        assert_eq!(feats.predicates.len(), 1);
+        assert!(feats.tables.iter().all(|v| v.len() == f.table_dim()));
+        assert!(feats.joins.iter().all(|v| v.len() == f.join_dim()));
+        assert!(feats.predicates.iter().all(|v| v.len() == f.pred_dim()));
+        // The join edge is known, so the one-hot must fire.
+        assert_eq!(feats.joins[0].iter().sum::<f32>(), 1.0);
+    }
+
+    #[test]
+    fn bitmap_sampling_fills_table_features() {
+        let db = db();
+        let sampler = BitmapSampler::new(&db, 16, 1);
+        let f = MscnFeaturizer::new(&db, 16);
+        let q = parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 2000").unwrap();
+        let feats = f.featurize(&db, &q, Some(&sampler));
+        let bits: f32 = feats.tables[0][f.table_dim() - 16..].iter().sum();
+        assert!(bits > 0.0, "some sample rows must satisfy the predicate");
+        // Without a sampler the bits stay zero.
+        let feats2 = f.featurize(&db, &q, None);
+        let bits2: f32 = feats2.tables[0][f.table_dim() - 16..].iter().sum();
+        assert_eq!(bits2, 0.0);
+    }
+
+    #[test]
+    fn between_and_in_expand_to_atoms() {
+        let db = db();
+        let f = MscnFeaturizer::new(&db, 0);
+        let q = parse(
+            "SELECT COUNT(*) FROM title t WHERE t.production_year BETWEEN 1990 AND 2000 \
+             AND t.kind_id IN (1, 2, 3)",
+        )
+        .unwrap();
+        let feats = f.featurize(&db, &q, None);
+        assert_eq!(feats.predicates.len(), 2 + 3);
+    }
+
+    #[test]
+    fn values_are_normalized_to_unit_range() {
+        let db = db();
+        let f = MscnFeaturizer::new(&db, 0);
+        let q = parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 2015").unwrap();
+        let feats = f.featurize(&db, &q, None);
+        let norm = *feats.predicates[0].last().unwrap();
+        assert!(norm > 0.8 && norm <= 1.0, "2015 is near the top of the year range: {norm}");
+    }
+
+    #[test]
+    fn model_learns_a_simple_monotone_target() {
+        // Sanity: MSCN can fit "more predicates → lower log-card" style
+        // structure on a toy set.
+        let db = db();
+        let f = MscnFeaturizer::new(&db, 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = MscnModel::new(&f, 16, &mut rng);
+        let mut opt = Adam::new(model.params(), 1e-2);
+        let qs: Vec<(Query, f32)> = (0..10)
+            .map(|i| {
+                let y = 1950 + i * 7;
+                let q = parse(&format!(
+                    "SELECT COUNT(*) FROM title t WHERE t.production_year > {y}"
+                ))
+                .unwrap();
+                (q, (2020 - y) as f32 / 70.0)
+            })
+            .collect();
+        let feats: Vec<MscnFeatures> =
+            qs.iter().map(|(q, _)| f.featurize(&db, q, None)).collect();
+        let mut last = f32::MAX;
+        for _ in 0..150 {
+            let mut total = 0.0;
+            for ((_, target), feat) in qs.iter().zip(&feats) {
+                let pred = model.forward(feat, &f);
+                let loss = ops::mse_loss(&pred, &Matrix::full(1, 1, *target));
+                total += loss.value_clone().get(0, 0);
+                loss.backward();
+            }
+            opt.step();
+            last = total / qs.len() as f32;
+        }
+        assert!(last < 0.01, "MSCN failed to fit monotone target: {last}");
+    }
+
+    #[test]
+    fn onehot_vector_distinguishes_tables() {
+        let db = db();
+        let f = MscnFeaturizer::new(&db, 0);
+        let a = f.featurize(&db, &parse("SELECT COUNT(*) FROM title t WHERE t.kind_id = 1").unwrap(), None);
+        let b = f.featurize(&db, &parse("SELECT COUNT(*) FROM cast_info ci WHERE ci.role_id = 1").unwrap(), None);
+        assert_ne!(MscnModel::onehot_vector(&a, &f), MscnModel::onehot_vector(&b, &f));
+    }
+}

@@ -1,0 +1,318 @@
+//! A NeuroCard-style *data-driven* join-cardinality estimator.
+//!
+//! NeuroCard (Yang et al., VLDB'21) learns a single density model over the
+//! full outer join of the database and answers queries by progressive
+//! sampling. This reproduction keeps the method's operational core — and
+//! therefore its characteristic error profile — without the deep
+//! autoregressive model: it progressively samples join paths from the
+//! *unfiltered* root table with a fixed sample budget.
+//!
+//! Consequences (matching Table 8's shape):
+//! * multi-join queries with moderate selectivity (JOB-light) are
+//!   estimated very accurately, because fanout sampling follows the true
+//!   correlation structure of the data;
+//! * highly selective point predicates (Synthetic/Scale) suffer sampling
+//!   variance — few or zero of the budgeted samples hit the predicate
+//!   region, so the tail error grows.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use preqr_engine::storage::ColumnData;
+use preqr_engine::{Database, ExecError};
+use preqr_sql::ast::{CmpOp, Expr, Query, Scalar};
+
+use preqr_engine::bind::{Bindings, BoundColumn};
+use preqr_engine::filter::{compile, Compiled};
+
+/// The sampling estimator.
+pub struct SamplingEstimator<'a> {
+    db: &'a Database,
+    /// Hash indexes `(table, column) → value → row ids` for join columns.
+    indexes: HashMap<(String, String), HashMap<i64, Vec<u32>>>,
+    /// Sample budget per query.
+    pub samples: usize,
+    seed: u64,
+}
+
+impl<'a> SamplingEstimator<'a> {
+    /// Builds join-column indexes for every foreign-key endpoint.
+    pub fn new(db: &'a Database, samples: usize, seed: u64) -> Self {
+        let mut indexes = HashMap::new();
+        for fk in db.schema().foreign_keys() {
+            for (t, c) in [
+                (&fk.from_table, &fk.from_column),
+                (&fk.to_table, &fk.to_column),
+            ] {
+                let key = (t.clone(), c.clone());
+                if indexes.contains_key(&key) {
+                    continue;
+                }
+                let mut idx: HashMap<i64, Vec<u32>> = HashMap::new();
+                if let Some(ColumnData::Int(vals)) = db.column(t, c) {
+                    for (r, &v) in vals.iter().enumerate() {
+                        idx.entry(v).or_default().push(r as u32);
+                    }
+                }
+                indexes.insert(key, idx);
+            }
+        }
+        Self { db, indexes, samples, seed }
+    }
+
+    /// Estimates the join cardinality of a (star-shaped or chained)
+    /// conjunctive query by progressive sampling.
+    ///
+    /// # Errors
+    /// Name-resolution failures or unsupported query shapes.
+    pub fn estimate(&self, q: &Query) -> Result<f64, ExecError> {
+        let stmt = &q.body;
+        let bindings = Bindings::of(stmt, self.db.schema())?;
+        // Partition predicates like the executor does.
+        let mut table_preds: Vec<Vec<Expr>> = vec![Vec::new(); bindings.len()];
+        let mut join_preds: Vec<(BoundColumn, BoundColumn)> = Vec::new();
+        let mut conjuncts: Vec<&Expr> = Vec::new();
+        if let Some(w) = &stmt.where_clause {
+            conjuncts.extend(w.conjuncts());
+        }
+        for j in &stmt.joins {
+            conjuncts.extend(j.on.conjuncts());
+        }
+        for c in conjuncts {
+            if let Expr::Cmp {
+                left: Scalar::Column(a),
+                op: CmpOp::Eq,
+                right: Scalar::Column(b),
+            } = c
+            {
+                let ba = bindings.resolve(a, self.db.schema())?;
+                let bb = bindings.resolve(b, self.db.schema())?;
+                if ba.table != bb.table {
+                    join_preds.push((ba, bb));
+                    continue;
+                }
+            }
+            let cols = c.columns();
+            let t = match cols.first() {
+                Some(col) => bindings.resolve(col, self.db.schema())?.table,
+                None => 0,
+            };
+            table_preds[t].push(c.clone());
+        }
+        // Compile per-table predicates.
+        let compiled: Vec<Option<Compiled>> = (0..bindings.len())
+            .map(|t| {
+                if table_preds[t].is_empty() {
+                    Ok(None)
+                } else {
+                    compile(&Expr::and_all(table_preds[t].clone()), t, &bindings, self.db)
+                        .map(Some)
+                }
+            })
+            .collect::<Result<_, _>>()?;
+
+        let root = 0usize;
+        let root_table = self
+            .db
+            .table(bindings.table_name(root))
+            .ok_or_else(|| ExecError::UnknownTable(bindings.table_name(root).to_string()))?;
+        let n_root = root_table.row_count();
+        if n_root == 0 {
+            return Ok(1.0);
+        }
+        // Root conjuncts compiled *separately*: the factorized density.
+        let root_conjuncts: Vec<Compiled> = table_preds[root]
+            .iter()
+            .map(|c| compile(c, root, &bindings, self.db))
+            .collect::<Result<_, _>>()?;
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let sample_rows: Vec<u32> =
+            (0..self.samples).map(|_| rng.random_range(0..n_root) as u32).collect();
+
+        // Phase 1: per-conjunct selectivities multiplied under the
+        // factorization's independence assumption.
+        let mut sel_root = 1.0f64;
+        for c in &root_conjuncts {
+            let hits = sample_rows.iter().filter(|&&r| c.eval(root_table, r as usize)).count();
+            sel_root *= hits as f64 / self.samples as f64;
+        }
+
+        // Phase 2: join fanout factor from progressive sampling. Walk
+        // from root rows that pass all root conjuncts (exact), falling
+        // back to all samples when the sample misses the predicate
+        // region entirely.
+        let passing: Vec<u32> = sample_rows
+            .iter()
+            .copied()
+            .filter(|&r| root_conjuncts.iter().all(|c| c.eval(root_table, r as usize)))
+            .collect();
+        let walk_rows: &[u32] = if passing.is_empty() { &sample_rows } else { &passing };
+
+        let mut total_weight = 0.0f64;
+        for &row in walk_rows {
+            let mut weight = 1.0f64;
+            let mut current: Vec<Option<u32>> = vec![None; bindings.len()];
+            current[root] = Some(row);
+            let mut bound = vec![false; bindings.len()];
+            bound[root] = true;
+            let mut remaining: Vec<usize> = (0..join_preds.len()).collect();
+            let mut dead = false;
+            while !remaining.is_empty() {
+                let pos = remaining.iter().position(|&j| {
+                    let (a, b) = join_preds[j];
+                    bound[a.table] != bound[b.table]
+                });
+                let Some(pos) = pos else { break };
+                let j = remaining.remove(pos);
+                let (a, b) = join_preds[j];
+                let (src, dst) = if bound[a.table] { (a, b) } else { (b, a) };
+                let src_table = self.db.table(bindings.table_name(src.table)).expect("bound");
+                let src_row = current[src.table].expect("bound row");
+                let key = match src_table.columns[src.column].get_f64(src_row as usize) {
+                    Some(v) => v as i64,
+                    None => {
+                        dead = true;
+                        break;
+                    }
+                };
+                let dst_name = bindings.table_name(dst.table).to_string();
+                let dst_schema_col =
+                    &self.db.schema().table(&dst_name).expect("table").columns[dst.column];
+                let idx = self
+                    .indexes
+                    .get(&(dst_name.clone(), dst_schema_col.name.clone()));
+                let dst_table = self.db.table(&dst_name).expect("table");
+                let matches: Vec<u32> = match idx {
+                    Some(map) => map.get(&key).cloned().unwrap_or_default(),
+                    None => (0..dst_table.row_count() as u32)
+                        .filter(|&r| {
+                            dst_table.columns[dst.column].get_f64(r as usize)
+                                == Some(key as f64)
+                        })
+                        .collect(),
+                };
+                let filtered: Vec<u32> = match &compiled[dst.table] {
+                    Some(p) => matches
+                        .into_iter()
+                        .filter(|&r| p.eval(dst_table, r as usize))
+                        .collect(),
+                    None => matches,
+                };
+                if filtered.is_empty() {
+                    dead = true;
+                    break;
+                }
+                weight *= filtered.len() as f64;
+                current[dst.table] = Some(filtered[rng.random_range(0..filtered.len())]);
+                bound[dst.table] = true;
+            }
+            if dead {
+                continue;
+            }
+            // Unjoined tables (cross products) contribute their filtered
+            // size exactly once per sample.
+            for t in 0..bindings.len() {
+                if !bound[t] {
+                    let table = self.db.table(bindings.table_name(t)).expect("table");
+                    let count = match &compiled[t] {
+                        Some(p) => (0..table.row_count())
+                            .filter(|&r| p.eval(table, r))
+                            .count(),
+                        None => table.row_count(),
+                    };
+                    weight *= count as f64;
+                    bound[t] = true;
+                }
+            }
+            total_weight += weight;
+        }
+        let join_factor = total_weight / walk_rows.len().max(1) as f64;
+        Ok((n_root as f64 * sel_root * join_factor).max(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preqr_data::imdb::{generate, ImdbConfig};
+    use preqr_engine::execute;
+    use preqr_sql::parser::parse;
+
+    fn qerror(est: f64, truth: f64) -> f64 {
+        let (e, t) = (est.max(1.0), truth.max(1.0));
+        (e / t).max(t / e)
+    }
+
+    #[test]
+    fn accurate_on_pure_fk_join() {
+        let db = generate(ImdbConfig::tiny());
+        let est = SamplingEstimator::new(&db, 400, 7);
+        let q = parse(
+            "SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id",
+        )
+        .unwrap();
+        let truth = execute(&db, &q).unwrap().join_cardinality as f64;
+        let guess = est.estimate(&q).unwrap();
+        assert!(qerror(guess, truth) < 1.3, "fk join qerr {}", qerror(guess, truth));
+    }
+
+    #[test]
+    fn good_on_moderate_multijoin() {
+        let db = generate(ImdbConfig::tiny());
+        let est = SamplingEstimator::new(&db, 800, 7);
+        let q = parse(
+            "SELECT COUNT(*) FROM title t, movie_companies mc, movie_keyword mk \
+             WHERE t.id = mc.movie_id AND t.id = mk.movie_id AND t.production_year > 1990",
+        )
+        .unwrap();
+        let truth = execute(&db, &q).unwrap().join_cardinality as f64;
+        let guess = est.estimate(&q).unwrap();
+        assert!(
+            qerror(guess, truth) < 2.0,
+            "multijoin qerr {} (guess {guess}, truth {truth})",
+            qerror(guess, truth)
+        );
+    }
+
+    #[test]
+    fn struggles_with_highly_selective_point_predicates() {
+        // The data-driven estimator's weakness: a point predicate hitting
+        // a handful of rows is rarely sampled with a small budget.
+        let db = generate(ImdbConfig::tiny());
+        let est = SamplingEstimator::new(&db, 100, 7);
+        let q = parse("SELECT COUNT(*) FROM title t WHERE t.id = 17").unwrap();
+        let guess = est.estimate(&q).unwrap();
+        // Either misses entirely (→ 1.0 floor) or overshoots by the
+        // inverse sampling fraction.
+        let truth = 1.0;
+        assert!(qerror(guess, truth) <= 400.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let db = generate(ImdbConfig::tiny());
+        let q = parse(
+            "SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id",
+        )
+        .unwrap();
+        let a = SamplingEstimator::new(&db, 200, 9).estimate(&q).unwrap();
+        let b = SamplingEstimator::new(&db, 200, 9).estimate(&q).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cross_product_queries_are_handled() {
+        let db = generate(ImdbConfig::tiny());
+        let est = SamplingEstimator::new(&db, 200, 7);
+        let q = parse(
+            "SELECT COUNT(*) FROM title t, kind_type kt WHERE t.production_year > 1990",
+        )
+        .unwrap();
+        let truth = execute(&db, &q).unwrap().join_cardinality as f64;
+        let guess = est.estimate(&q).unwrap();
+        assert!(qerror(guess, truth) < 2.0, "cross product qerr {}", qerror(guess, truth));
+    }
+}

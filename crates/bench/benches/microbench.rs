@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks over the hot paths of every reproduced
+//! pipeline — one group per experiment family, so `cargo bench` tracks
+//! regressions in the components each table/figure depends on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use preqr::{PreqrConfig, SqlBert};
+use preqr_automaton::Automaton;
+use preqr_data::imdb::{generate, ImdbConfig};
+use preqr_data::workloads;
+use preqr_engine::{execute, BitmapSampler, Database, PgEstimator, TableStats};
+use preqr_sql::normalize::{linearize, state_keys};
+use preqr_sql::parser::parse;
+use preqr_sql::template::TemplateSet;
+use preqr_tasks::setup::value_buckets_from_db;
+
+const SQL: &str = "SELECT COUNT(*) FROM title t, movie_companies mc \
+                   WHERE t.id = mc.movie_id AND t.production_year > 2010 \
+                   AND mc.company_id = 5";
+
+fn tiny_db() -> Database {
+    generate(ImdbConfig::tiny())
+}
+
+fn bench_sql_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sql_frontend");
+    g.bench_function("parse", |b| b.iter(|| parse(black_box(SQL)).unwrap()));
+    let q = parse(SQL).unwrap();
+    g.bench_function("linearize", |b| b.iter(|| linearize(black_box(&q))));
+    g.finish();
+}
+
+fn bench_automaton(c: &mut Criterion) {
+    let db = tiny_db();
+    let corpus = workloads::pretrain_corpus(&db, 60, 11);
+    let templates = TemplateSet::extract(&corpus, 0.25);
+    let mut g = c.benchmark_group("automaton");
+    g.bench_function("build_from_templates", |b| {
+        b.iter(|| Automaton::from_templates(black_box(&templates)))
+    });
+    let fa = Automaton::from_templates(&templates);
+    let keys = state_keys(&parse(SQL).unwrap());
+    g.bench_function("match_query", |b| b.iter(|| fa.match_keys(black_box(&keys))));
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let db = tiny_db();
+    let stats = TableStats::analyze(&db);
+    let q = parse(SQL).unwrap();
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("execute_join", |b| b.iter(|| execute(&db, black_box(&q)).unwrap()));
+    g.bench_function("pg_estimate", |b| {
+        b.iter(|| PgEstimator::new(&db, &stats).estimate(black_box(&q)).unwrap())
+    });
+    let sampler = BitmapSampler::new(&db, 64, 1);
+    g.bench_function("bitmap_features", |b| {
+        b.iter(|| sampler.bitmap_for(&db, black_box(&q), 0).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let db = tiny_db();
+    let corpus = workloads::pretrain_corpus(&db, 12, 11);
+    let buckets = value_buckets_from_db(&db, 8);
+    let mut model = SqlBert::new(&corpus, db.schema(), buckets, PreqrConfig::test());
+    let q = parse(SQL).unwrap();
+    let mut g = c.benchmark_group("preqr_model");
+    g.sample_size(10);
+    let nodes = model.cached_nodes();
+    g.bench_function("encode_query", |b| {
+        b.iter(|| model.encode_with_nodes(black_box(&q), nodes.as_ref()))
+    });
+    g.bench_function("schema_node_states", |b| {
+        b.iter(|| model.schema2graph().unwrap().node_states().value_clone())
+    });
+    g.bench_function("mlm_pretrain_epoch_12q", |b| {
+        b.iter(|| model.pretrain(black_box(&corpus), 1, 1e-3))
+    });
+    g.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let db = tiny_db();
+    let q = parse(SQL).unwrap();
+    let mut g = c.benchmark_group("baselines");
+    let featurizer = preqr_baselines::mscn::MscnFeaturizer::new(&db, 0);
+    g.bench_function("mscn_featurize", |b| {
+        b.iter(|| featurizer.featurize(&db, black_box(&q), None))
+    });
+    let nc = preqr_baselines::neurocard::SamplingEstimator::new(&db, 200, 7);
+    g.bench_function("neurocard_estimate", |b| {
+        b.iter(|| nc.estimate(black_box(&q)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sql_frontend,
+    bench_automaton,
+    bench_engine,
+    bench_model,
+    bench_baselines
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 9 — q-error variance on JOB-light: box-plot statistics
+//! (min / q1 / median / q3 / max) per method for cardinality and cost.
+//!
+//! Expected shape (paper): PreQR's errors stay within a small range
+//! while the MSCN-based approaches are much more spread out.
+
+use preqr::PreqrConfig;
+use preqr_bench::Ctx;
+use preqr_tasks::estimation::{
+    train_lstm, train_mscn, train_preqr, Estimator, PgBaseline, Target,
+};
+use preqr_tasks::metrics::qerror;
+
+fn box_stats(errs: &mut Vec<f64>) -> (f64, f64, f64, f64, f64) {
+    errs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let q = |p: f64| errs[((errs.len() - 1) as f64 * p).round() as usize];
+    (q(0.0), q(0.25), q(0.5), q(0.75), q(1.0))
+}
+
+fn main() {
+    let ctx = Ctx::build();
+    let model = ctx.pretrained("main", PreqrConfig::small());
+    let (train, valid) = ctx.estimation_train();
+    let job_light = ctx
+        .test_workloads()
+        .into_iter()
+        .find(|(n, _)| *n == "JOB-light")
+        .expect("JOB-light workload")
+        .1;
+    let sampler = Some(&ctx.sampler);
+    for target in [Target::Cardinality, Target::Cost] {
+        let pg = PgBaseline::new(&ctx.db, &ctx.stats, target);
+        let mscn = train_mscn(&ctx.db, sampler, &train, &valid, target, ctx.sizes.est_epochs, 7);
+        let lstm = train_lstm(&ctx.db, sampler, &train, &valid, target, ctx.sizes.est_epochs, 7);
+        let preqr = train_preqr(
+            &ctx.db, &model, sampler, &train, &valid, target, ctx.sizes.est_epochs, 7, "PreQR",
+        );
+        println!("\n=== Figure 9 ({target:?}): q-error spread on JOB-light ===");
+        println!(
+            "{:<10} {:>8} {:>8} {:>8} {:>8} {:>9}",
+            "method", "min", "q1", "median", "q3", "max"
+        );
+        let methods: Vec<&dyn Estimator> = vec![&pg, &mscn, &lstm, &preqr];
+        for m in methods {
+            let mut errs: Vec<f64> = job_light
+                .iter()
+                .map(|lq| qerror(m.predict(&lq.query), target.truth(lq)))
+                .collect();
+            let (min, q1, med, q3, max) = box_stats(&mut errs);
+            println!(
+                "{:<10} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>9.2}",
+                m.name(), min, q1, med, q3, max
+            );
+        }
+    }
+    println!("\npaper: PreQR's box is the tightest; MSCN-based methods show the widest spread.");
+}

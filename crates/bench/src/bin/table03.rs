@@ -1,0 +1,41 @@
+//! Table 3 — the number of query templates per dataset.
+//!
+//! Paper reference: JOB-light 1, Synthetic 1, Scale 1, WikiSQL 2, JOB 3,
+//! UB Exam 3, IIT Bombay 4, PocketData 4, StackOverflow 8 — the point
+//! being that a small number of templates covers each workload, so
+//! building and matching the automaton is cheap.
+
+use preqr_bench::Ctx;
+use preqr_data::clustering::{iit_bombay, pocketdata, ub_exam};
+use preqr_data::text::{corpus, TextStyle};
+use preqr_data::workloads;
+use preqr_sql::ast::Query;
+use preqr_sql::template::TemplateSet;
+
+fn count(name: &str, queries: &[Query], paper: usize) {
+    // The paper's template extraction is semi-automatic and coarse (one
+    // template covers all of JOB-light). A merge threshold of 0.5 on the
+    // hybrid distance reproduces that granularity; override with THR=…
+    let thr: f64 = std::env::var("THR").ok().and_then(|v| v.parse().ok()).unwrap_or(0.5);
+    let t = TemplateSet::extract(queries, thr);
+    println!("{name:<14} {:>10} {:>8}", t.len(), paper);
+}
+
+fn main() {
+    let ctx = Ctx::build();
+    println!("=== Table 3: number of query templates ===");
+    println!("{:<14} {:>10} {:>8}", "dataset", "measured", "paper");
+    count("JOB-light", &workloads::job_light(&ctx.db, 41), 1);
+    count("Synthetic", &workloads::synthetic(&ctx.db, 600, 42), 1);
+    count("Scale", &workloads::scale(&ctx.db, 43), 1);
+    let wiki: Vec<Query> =
+        corpus(TextStyle::WikiSql, 200, 5).into_iter().map(|p| p.query).collect();
+    count("WikiSQL", &wiki, 2);
+    count("JOB", &workloads::job_full(&ctx.db, 120, 44), 3);
+    count("UB Exam", &ub_exam().queries, 3);
+    count("IIT Bombay", &iit_bombay().queries, 4);
+    count("PocketData", &pocketdata().queries, 4);
+    let stack: Vec<Query> =
+        corpus(TextStyle::StackOverflow, 200, 6).into_iter().map(|p| p.query).collect();
+    count("StackOverflow", &stack, 8);
+}

@@ -1,0 +1,42 @@
+//! Table 6 — distribution of joins in the Synthetic / Scale / JOB-light
+//! workloads.
+//!
+//! Paper reference:
+//! ```text
+//! Number of Joins   0     1     2     3    4   overall
+//! Synthetic      1636  1407  1957    0    0      5000
+//! Scale           100   100   100  100  100       500
+//! JOB-light         0     3    32   23   12        70
+//! ```
+
+use preqr_bench::Ctx;
+use preqr_data::workloads::{self, join_distribution};
+
+fn main() {
+    let ctx = Ctx::build();
+    println!("=== Table 6: distribution of joins ===");
+    println!(
+        "{:<12} {:>6} {:>6} {:>6} {:>6} {:>6} {:>9}",
+        "workload", "0", "1", "2", "3", "4", "overall"
+    );
+    let rows: Vec<(&str, Vec<preqr_sql::ast::Query>)> = vec![
+        ("Synthetic", workloads::synthetic(&ctx.db, 5000, 42)),
+        ("Scale", workloads::scale(&ctx.db, 43)),
+        ("JOB-light", workloads::job_light(&ctx.db, 41)),
+    ];
+    for (name, qs) in rows {
+        let mut hist = join_distribution(&qs);
+        hist.resize(5, 0);
+        println!(
+            "{:<12} {:>6} {:>6} {:>6} {:>6} {:>6} {:>9}",
+            name,
+            hist[0],
+            hist[1],
+            hist[2],
+            hist[3],
+            hist[4],
+            qs.len()
+        );
+    }
+    println!("\npaper:    Synthetic 1636/1407/1957/0/0 (5000), Scale 100x5 (500), JOB-light 0/3/32/23/12 (70)");
+}

@@ -1,0 +1,142 @@
+//! Table 7 — overall performance with the same training settings:
+//! query clustering (BetaCV ↓ / NDCG ↑), cardinality & cost estimation
+//! (mean q-error ↓), and SQL-to-Text generation (BLEU ↑).
+//!
+//! This composite binary runs all three blocks at the current scale; the
+//! dedicated binaries (fig07, table08/09, …) run each block with more
+//! detail.
+
+use preqr::{PreqrConfig, SqlBert};
+use preqr_bench::runner::{run_estimation, RowSelection};
+use preqr_bench::{Ctx, Scale};
+use preqr_data::chdb::{self, ChConfig};
+use preqr_data::clustering::{ch_workload, iit_bombay, pocketdata, ub_exam};
+use preqr_data::text::{corpus, TextStyle};
+use preqr_sql::ast::Query;
+use preqr_tasks::clustering::{betacv_of, ch_ndcg, Seq2SeqEmbedder, SimilarityMethod};
+use preqr_tasks::estimation::Target;
+use preqr_tasks::setup::value_buckets_from_db;
+use preqr_tasks::textgen::{train_generator, GenEncoder};
+
+fn clustering_block() {
+    let scale = preqr_bench::scale();
+    let ch_db = chdb::generate(if scale == Scale::Full {
+        ChConfig::default()
+    } else {
+        ChConfig { customers: 400, seed: 7 }
+    });
+    let datasets = [iit_bombay(), ub_exam(), pocketdata()];
+    let ch = ch_workload(&ch_db, if scale == Scale::Full { 40 } else { 15 }, 3);
+
+    // PreQR pre-trained on the CH-schema query log.
+    let mut corpus_q: Vec<Query> = ch.queries.clone();
+    for ds in &datasets {
+        corpus_q.extend(ds.queries.clone());
+    }
+    let buckets = value_buckets_from_db(&ch_db, 10);
+    let mut model = SqlBert::new(&corpus_q, ch_db.schema(), buckets, PreqrConfig::small());
+    eprintln!("[table07] pre-training PreQR on the CH schema…");
+    model.pretrain(&corpus_q, 3, 1e-3);
+    eprintln!("[table07] training Seq2Seq auto-encoder…");
+    let s2s = Seq2SeqEmbedder::train(&corpus_q[..corpus_q.len().min(120)], 32, 6, 9);
+
+    println!("\n=== Table 7 (clustering): BetaCV ↓ and NDCG ↑ ===");
+    println!(
+        "{:<12} {:>11} {:>9} {:>11} {:>8}",
+        "method", "IIT Bombay", "UB Exam", "PocketData", "CH NDCG"
+    );
+    let methods: Vec<SimilarityMethod> = vec![
+        SimilarityMethod::Aouiche,
+        SimilarityMethod::Aligon,
+        SimilarityMethod::Makiyama,
+        SimilarityMethod::OneHot(&ch_db),
+        SimilarityMethod::Seq2Seq(Box::new(s2s)),
+        SimilarityMethod::Preqr(&model),
+    ];
+    for m in &methods {
+        let b: Vec<f64> =
+            datasets.iter().map(|ds| betacv_of(m, &ds.queries, &ds.labels)).collect();
+        let ndcg = ch_ndcg(m, &ch, ch.len() / 3);
+        println!(
+            "{:<12} {:>11.3} {:>9.3} {:>11.3} {:>8.3}",
+            m.name(), b[0], b[1], b[2], ndcg
+        );
+    }
+    println!("paper:       Aouiche .577/.923/.893/.131  Aligon .535/.799/.898/.120  Makiyama .665/.897/.879/.214");
+    println!("             One-hot .565/.852/.883/.191  Seq2Seq .459/.761/.801/.584  PreQR .387/.622/.752/.710");
+}
+
+fn estimation_block(ctx: &Ctx) {
+    let model = ctx.pretrained("main", PreqrConfig::small());
+    let (train, valid) = ctx.estimation_train();
+    let tests = ctx.test_workloads();
+    for target in [Target::Cardinality, Target::Cost] {
+        run_estimation(
+            ctx,
+            &model,
+            target,
+            &train,
+            &valid,
+            &tests,
+            RowSelection { mscn: true, neurocard: target == Target::Cardinality },
+            if target == Target::Cardinality { "PreQRCard" } else { "PreQRCost" },
+        );
+    }
+}
+
+fn generation_block(ctx: &Ctx) {
+    let n = ctx.sizes.text_pairs;
+    let epochs = ctx.sizes.text_epochs;
+    println!("\n=== Table 7 (SQL-to-Text): BLEU ↑ ===");
+    println!("{:<14} {:>9} {:>14}", "method", "WikiSQL", "StackOverflow");
+    // PreQR pre-trained on the text corpus queries (CH schema).
+    let wiki = corpus(TextStyle::WikiSql, n, 5);
+    let stack = corpus(TextStyle::StackOverflow, n, 6);
+    let ch_db = chdb::generate(ChConfig { customers: 200, seed: 7 });
+    let corpus_q: Vec<Query> =
+        wiki.iter().chain(stack.iter()).map(|p| p.query.clone()).collect();
+    let buckets = value_buckets_from_db(&ch_db, 10);
+    let mut preqr = SqlBert::new(&corpus_q, ch_db.schema(), buckets, PreqrConfig::small());
+    eprintln!("[table07] pre-training PreQR for generation…");
+    preqr.pretrain(&corpus_q[..corpus_q.len().min(400)], 2, 1e-3);
+
+    let split_w = (wiki.len() * 4) / 5;
+    let split_s = (stack.len() * 4) / 5;
+    fn make<'a>(name: &str, m: &'a SqlBert) -> GenEncoder<'a> {
+        match name {
+            "Seq2Seq" => GenEncoder::Seq2Seq,
+            "Seq2Seq+cp" => GenEncoder::Seq2SeqCp,
+            "Seq2Seq+cp+lv" => GenEncoder::Seq2SeqCpLv,
+            "Tree2Seq" => GenEncoder::Tree2Seq,
+            "Graph2Seq" => GenEncoder::Graph2Seq,
+            _ => GenEncoder::Preqr2Seq(m),
+        }
+    }
+    let variants: Vec<&str> =
+        vec!["Seq2Seq", "Seq2Seq+cp", "Seq2Seq+cp+lv", "Tree2Seq", "Graph2Seq", "PreQR2Seq"];
+    for name in variants {
+        eprintln!("[table07] training {name} (wiki)…");
+        let mw = train_generator(make(name, &preqr), &wiki[..split_w], 24, epochs, 3);
+        let bw = mw.evaluate(&wiki[split_w..]);
+        eprintln!("[table07] training {name} (stackoverflow)…");
+        let ms = train_generator(make(name, &preqr), &stack[..split_s], 24, epochs, 3);
+        let bs = ms.evaluate(&stack[split_s..]);
+        println!("{:<14} {:>9.3} {:>14.3}", name, bw, bs);
+    }
+    println!("paper BLEU %: Seq2Seq 20.9/13.3, +cp 24.1/16.6, +cp+lv 26.3/18.4, Tree2Seq 26.7/17.0,");
+    println!("              Graph2Seq 29.3/19.9, PreQR2Seq 32.1/21.1");
+}
+
+fn main() {
+    let block = std::env::var("BLOCK").unwrap_or_default();
+    let ctx = Ctx::build();
+    if block.is_empty() || block == "clustering" {
+        clustering_block();
+    }
+    if block.is_empty() || block == "estimation" {
+        estimation_block(&ctx);
+    }
+    if block.is_empty() || block == "generation" {
+        generation_block(&ctx);
+    }
+}

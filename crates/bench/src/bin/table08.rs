@@ -1,0 +1,32 @@
+//! Table 8 — cardinality q-errors on the numeric workloads (JOB-light /
+//! Synthetic / Scale) for PG, MSCN, LSTM, PreQR, NeuroCard and
+//! NeuroCard+PreQR.
+//!
+//! Expected shape (paper): PG ≫ MSCN > LSTM > PreQR on the query-driven
+//! rows; NeuroCard best on JOB-light but worse than the query-driven
+//! models on Synthetic/Scale; NeuroCard+PreQR improves NeuroCard.
+
+use preqr::PreqrConfig;
+use preqr_bench::runner::{run_estimation, RowSelection};
+use preqr_bench::Ctx;
+use preqr_tasks::estimation::Target;
+
+fn main() {
+    let ctx = Ctx::build();
+    let model = ctx.pretrained("main", PreqrConfig::small());
+    let (train, valid) = ctx.estimation_train();
+    let tests = ctx.test_workloads();
+    run_estimation(
+        &ctx,
+        &model,
+        Target::Cardinality,
+        &train,
+        &valid,
+        &tests,
+        RowSelection { mscn: true, neurocard: true },
+        "PreQRCard",
+    );
+    println!("\npaper means: JOB-light PG 174 / MSCN 57.9 / LSTM 24.9 / PreQR 11.5 / NeuroCard 2.33 / NC+PreQR 2.16");
+    println!("             Synthetic PG 154 / MSCN 2.89 / LSTM 2.87 / PreQR 2.86 / NeuroCard 6.25 / NC+PreQR 2.83");
+    println!("             Scale     PG 568 / MSCN 35.1 / LSTM 28.1 / PreQR 25.8 / NeuroCard 21.1 / NC+PreQR 18.5");
+}

@@ -1,0 +1,30 @@
+//! Table 9 — cost q-errors on the numeric workloads for PG, MSCN, LSTM
+//! and PreQR.
+//!
+//! Expected shape (paper): PG ≫ MSCN > LSTM > PreQR, with PreQR's tail
+//! percentiles improving the most.
+
+use preqr::PreqrConfig;
+use preqr_bench::runner::{run_estimation, RowSelection};
+use preqr_bench::Ctx;
+use preqr_tasks::estimation::Target;
+
+fn main() {
+    let ctx = Ctx::build();
+    let model = ctx.pretrained("main", PreqrConfig::small());
+    let (train, valid) = ctx.estimation_train();
+    let tests = ctx.test_workloads();
+    run_estimation(
+        &ctx,
+        &model,
+        Target::Cost,
+        &train,
+        &valid,
+        &tests,
+        RowSelection { mscn: true, neurocard: false },
+        "PreQRCost",
+    );
+    println!("\npaper means: JOB-light PG 173 / MSCN 27.4 / LSTM 17 / PreQR 5.25");
+    println!("             Synthetic PG 62.7 / MSCN 10.3 / LSTM 4.45 / PreQR 1.09");
+    println!("             Scale     PG 35.7 / MSCN 8.22 / LSTM 5.21 / PreQR 4.15");
+}

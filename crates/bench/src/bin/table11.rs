@@ -1,0 +1,25 @@
+//! Table 11 — cost q-errors on the JOB workload with string predicates
+//! (PG, LSTM, PreQR).
+
+use preqr::PreqrConfig;
+use preqr_bench::runner::{run_estimation, RowSelection};
+use preqr_bench::Ctx;
+use preqr_tasks::estimation::Target;
+
+fn main() {
+    let ctx = Ctx::build();
+    let model = ctx.pretrained("main", PreqrConfig::small());
+    let (train, valid) = ctx.job_train();
+    let tests = vec![("JOB (strings)", ctx.job_workload())];
+    run_estimation(
+        &ctx,
+        &model,
+        Target::Cost,
+        &train,
+        &valid,
+        &tests,
+        RowSelection { mscn: false, neurocard: false },
+        "PreQRCost",
+    );
+    println!("\npaper means: PG 105 / LSTM 9.4 / PreQR 6.5");
+}

@@ -1,0 +1,58 @@
+//! Table 12 — ablation over model composition: BERT (no automaton, no
+//! Trm_g), PreQRNT (no Trm_g), PreQRNA (no automaton), full PreQR;
+//! cardinality and cost mean q-errors on all four workloads.
+//!
+//! Expected shape (paper): BERT < PreQRNT < PreQRNA < PreQR, i.e. the
+//! schema module matters more than the automaton.
+
+use preqr::PreqrConfig;
+use preqr_bench::Ctx;
+use preqr_tasks::estimation::{evaluate, train_preqr, Target};
+
+fn main() {
+    let ctx = Ctx::build();
+    let variants: Vec<(&str, PreqrConfig)> = vec![
+        ("BERT", PreqrConfig::small().bert_only()),
+        ("PreQRNT", PreqrConfig::small().without_schema()),
+        ("PreQRNA", PreqrConfig::small().without_automaton()),
+        ("PreQR", PreqrConfig::small()),
+    ];
+    let (train, valid) = ctx.estimation_train();
+    let (jtrain, jvalid) = ctx.job_train();
+    let mut tests = ctx.test_workloads();
+    tests.push(("JOB", ctx.job_workload()));
+    for target in [Target::Cardinality, Target::Cost] {
+        println!("\n=== Table 12 ({target:?}): mean q-error ===");
+        println!(
+            "{:<10} {:>10} {:>10} {:>10} {:>10}",
+            "method", "JOB-light", "Synthetic", "Scale", "JOB"
+        );
+        for (name, config) in &variants {
+            let model = ctx.pretrained(&format!("abl_{name}"), *config);
+            let pred = train_preqr(
+                &ctx.db, &model, Some(&ctx.sampler), &train, &valid, target,
+                ctx.sizes.est_epochs, 7, name,
+            );
+            let jpred = train_preqr(
+                &ctx.db, &model, Some(&ctx.sampler), &jtrain, &jvalid, target,
+                ctx.sizes.est_epochs, 7, name,
+            );
+            let means: Vec<f64> = tests
+                .iter()
+                .map(|(wname, w)| {
+                    if *wname == "JOB" {
+                        evaluate(&jpred, target, w).mean
+                    } else {
+                        evaluate(&pred, target, w).mean
+                    }
+                })
+                .collect();
+            println!(
+                "{:<10} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+                name, means[0], means[1], means[2], means[3]
+            );
+        }
+    }
+    println!("\npaper (card means): BERT 36.5/3.53/39.2/58.4, PreQRNT 28.2/3.25/35.4/53.1,");
+    println!("                    PreQRNA 20.3/2.95/29.8/50.8, PreQR 11.5/2.85/25.8/48.3");
+}

@@ -1,0 +1,40 @@
+//! Table 13 — ablation over model size (#L, #H, #A) on the cost task.
+//!
+//! Expected shape (paper): accuracy improves monotonically with model
+//! size, with diminishing returns (the paper picks L=4/H=256/A=4 as the
+//! cost/quality sweet spot).
+
+use preqr::PreqrConfig;
+use preqr_bench::Ctx;
+use preqr_tasks::estimation::{evaluate, train_preqr, Target};
+
+fn main() {
+    let ctx = Ctx::build();
+    // CPU-scaled sweep mirroring the paper's (2,256,4)/(4,256,4)/
+    // (6,256,8)/(12,256,8) ladder.
+    let ladder: Vec<(usize, usize, usize)> =
+        vec![(1, 32, 2), (2, 64, 4), (3, 64, 4), (4, 96, 4)];
+    let (train, valid) = ctx.estimation_train();
+    let tests = ctx.test_workloads();
+    println!("=== Table 13: ablation over model size (cost estimation, mean q-error) ===");
+    println!(
+        "{:<4} {:<5} {:<4} {:>10} {:>10} {:>10}",
+        "#L", "#H", "#A", "JOB-light", "Synthetic", "Scale"
+    );
+    for (l, h, a) in ladder {
+        let config = PreqrConfig { layers: l, d_model: h, heads: a, ..PreqrConfig::small() };
+        let model = ctx.pretrained(&format!("size_{l}_{h}_{a}"), config);
+        let pred = train_preqr(
+            &ctx.db, &model, Some(&ctx.sampler), &train, &valid, Target::Cost,
+            ctx.sizes.est_epochs, 7, "PreQRCost",
+        );
+        let means: Vec<f64> =
+            tests.iter().map(|(_, w)| evaluate(&pred, Target::Cost, w).mean).collect();
+        println!(
+            "{:<4} {:<5} {:<4} {:>10.2} {:>10.2} {:>10.2}",
+            l, h, a, means[0], means[1], means[2]
+        );
+    }
+    println!("\npaper (JOB-light/Synthetic/Scale/JOB): 2,256,4→5.63/1.16/4.52/8.5; 4,256,4→5.25/1.09/4.15/8.0;");
+    println!("                                       6,256,8→5.03/1.05/4.10/7.8; 12,256,8→4.94/1.04/4.07/7.7");
+}

@@ -1,0 +1,80 @@
+//! Shared estimation-experiment runner used by the table/figure binaries.
+
+use preqr::SqlBert;
+use preqr_data::workloads::LabeledQuery;
+use preqr_tasks::estimation::{
+    evaluate, train_corrected, train_lstm, train_mscn, train_preqr, Estimator, NeuroCardPredictor,
+    PgBaseline, Target,
+};
+use preqr_tasks::metrics::QErrorStats;
+
+use crate::Ctx;
+
+/// Result rows of one estimation table: `(method, workload, stats)`.
+pub type TableRows = Vec<(String, String, QErrorStats)>;
+
+/// Which rows to include.
+#[derive(Clone, Copy, Debug)]
+pub struct RowSelection {
+    /// Include MSCN (absent on JOB per the paper: "current MSCN model
+    /// does not support string predicates").
+    pub mscn: bool,
+    /// Include the NeuroCard rows (cardinality + numeric workloads only).
+    pub neurocard: bool,
+}
+
+/// Runs the full method battery for one target over test workloads,
+/// printing rows as they complete and returning them.
+pub fn run_estimation(
+    ctx: &Ctx,
+    model: &SqlBert,
+    target: Target,
+    train: &[LabeledQuery],
+    valid: &[LabeledQuery],
+    tests: &[(&str, Vec<LabeledQuery>)],
+    rows: RowSelection,
+    preqr_label: &str,
+) -> TableRows {
+    let mut out = TableRows::new();
+    let sampler = Some(&ctx.sampler);
+    let epochs = ctx.sizes.est_epochs;
+
+    let pg = PgBaseline::new(&ctx.db, &ctx.stats, target);
+    let mscn = rows.mscn.then(|| {
+        eprintln!("[run] training MSCN…");
+        train_mscn(&ctx.db, sampler, train, valid, target, epochs, 7)
+    });
+    eprintln!("[run] training LSTM…");
+    let lstm = train_lstm(&ctx.db, sampler, train, valid, target, epochs, 7);
+    eprintln!("[run] fine-tuning PreQR…");
+    let preqr =
+        train_preqr(&ctx.db, model, sampler, train, valid, target, epochs, 7, preqr_label);
+    let neurocard = (rows.neurocard && target == Target::Cardinality)
+        .then(|| NeuroCardPredictor::new(&ctx.db, ctx.sizes.nc_samples, 7));
+    let corrected = (rows.neurocard && target == Target::Cardinality).then(|| {
+        eprintln!("[run] training NeuroCard+PreQR correction…");
+        train_corrected(&ctx.db, model, sampler, train, valid, ctx.sizes.nc_samples, epochs, 7)
+    });
+
+    for (wname, workload) in tests {
+        let mut methods: Vec<&dyn Estimator> = vec![&pg];
+        if let Some(m) = &mscn {
+            methods.push(m);
+        }
+        methods.push(&lstm);
+        methods.push(&preqr);
+        if let Some(n) = &neurocard {
+            methods.push(n);
+        }
+        if let Some(c) = &corrected {
+            methods.push(c);
+        }
+        crate::print_qerror_header(&format!("{wname} ({target:?})"));
+        for m in methods {
+            let stats = evaluate(m, target, workload);
+            println!("{}", stats.row(&m.name()));
+            out.push((m.name(), (*wname).to_string(), stats));
+        }
+    }
+    out
+}

@@ -1,0 +1,500 @@
+//! Input Embedding module (§3.3): composite token / SQL-state / position
+//! embeddings with value-range tokens.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use preqr_automaton::Automaton;
+use preqr_nn::layers::{join, Embedding, Linear, Module};
+use preqr_nn::{ops, Tensor};
+use preqr_schema::Schema;
+use preqr_sql::ast::{Query, Value};
+use preqr_sql::normalize::{linearize, state_keys};
+use preqr_sql::template::TemplateSet;
+use preqr_sql::vocab::{string_bucket, Bucketizer, Vocab, MASK};
+
+use crate::config::PreqrConfig;
+
+/// Per-column equi-depth value bucketizers (§3.3.2: "we transform
+/// \[values\] into discrete ranges and use range tokens to denote them").
+#[derive(Clone, Debug, Default)]
+pub struct ValueBuckets {
+    k: usize,
+    map: HashMap<(String, String), Bucketizer>,
+}
+
+impl ValueBuckets {
+    /// Creates an empty registry with `k` buckets per column.
+    pub fn new(k: usize) -> Self {
+        Self { k: k.max(1), map: HashMap::new() }
+    }
+
+    /// Registers a numeric column from value samples.
+    pub fn insert(&mut self, table: &str, column: &str, samples: Vec<f64>) {
+        self.map.insert(
+            (table.to_string(), column.to_string()),
+            Bucketizer::from_samples(samples, self.k),
+        );
+    }
+
+    /// Number of buckets per column.
+    pub fn buckets(&self) -> usize {
+        self.k
+    }
+
+    /// The range token for a literal compared against `table.column`.
+    /// Strings hash into `k` buckets; numeric literals use the column's
+    /// equi-depth ranges (magnitude-based fallback when the column is
+    /// unregistered).
+    pub fn token_for(&self, table: &str, column: &str, v: &Value) -> String {
+        match v {
+            Value::Str(s) => format!("[STR#{}]", string_bucket(s, self.k)),
+            other => {
+                let x = other.as_f64().unwrap_or(0.0);
+                match self.map.get(&(table.to_string(), column.to_string())) {
+                    Some(b) => format!("{table}.{column}#r{}", b.bucket(x)),
+                    None => {
+                        let mag = x.abs().max(1.0).log10().floor() as i64;
+                        format!("[NUM#m{mag}]")
+                    }
+                }
+            }
+        }
+    }
+
+    /// All possible range tokens (for vocabulary registration).
+    pub fn all_tokens(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for b in 0..self.k {
+            out.push(format!("[STR#{b}]"));
+        }
+        for m in 0..12 {
+            out.push(format!("[NUM#m{m}]"));
+        }
+        for (t, c) in self.map.keys() {
+            for b in 0..self.k {
+                out.push(format!("{t}.{c}#r{b}"));
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+/// A token prepared for the model: vocabulary id, automaton state, and
+/// whether the MLM may mask it.
+#[derive(Clone, Debug)]
+pub struct PreparedToken {
+    /// Vocabulary id (after value-range replacement).
+    pub vocab_id: usize,
+    /// Automaton state id.
+    pub state_id: usize,
+    /// Surface text after replacement.
+    pub text: String,
+    /// True when the token belongs to the database-specific mask
+    /// dictionary.
+    pub maskable: bool,
+}
+
+/// A query prepared for encoding.
+#[derive(Clone, Debug)]
+pub struct PreparedQuery {
+    /// The tokens, `[CLS] … [END]`.
+    pub tokens: Vec<PreparedToken>,
+    /// Fraction of tokens with known automaton states.
+    pub structure_coverage: f64,
+}
+
+impl PreparedQuery {
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when the query produced no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+/// The Input Embedding module: vocabulary + automaton + value buckets +
+/// the three learned embedding tables, combined by concatenation and a
+/// linear projection to `d_model` (Figure 4).
+pub struct InputEmbedding {
+    vocab: Vocab,
+    automaton: Automaton,
+    buckets: ValueBuckets,
+    tok_emb: Embedding,
+    state_emb: Embedding,
+    pos_emb: Embedding,
+    proj: Linear,
+    config: PreqrConfig,
+}
+
+/// Extra state-embedding rows reserved for templates added later
+/// (§3.6 Case 3 incremental updates).
+const STATE_SLACK: usize = 32;
+
+impl InputEmbedding {
+    /// Builds vocabulary and automaton from a pre-training corpus, a
+    /// schema, and value bucketizers, then initializes the embedding
+    /// tables.
+    pub fn build(
+        corpus: &[Query],
+        schema: &Schema,
+        buckets: ValueBuckets,
+        config: PreqrConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        // Templates → automaton (one sub-automaton per template, merged).
+        let templates = TemplateSet::extract(corpus, 0.25);
+        let automaton = Automaton::from_templates(&templates);
+
+        // Vocabulary from the value-replaced token stream.
+        let mut texts: Vec<String> = Vec::new();
+        for q in corpus {
+            for t in linearize(q) {
+                texts.push(replaced_text(&t, q, schema, &buckets));
+            }
+        }
+        let mut vocab = Vocab::build(texts.iter().map(String::as_str), 1);
+        // Database-specific mask dictionary: keywords, schema tokens,
+        // value-range tokens (§3.3.2).
+        for kw in ["SELECT", "FROM", "WHERE", "AND", "OR", "IN", "LIKE", "UNION", "COUNT(*)"] {
+            vocab.add_maskable(kw);
+        }
+        for t in schema.tables() {
+            vocab.add_maskable(&t.name);
+            for c in &t.columns {
+                vocab.add_maskable(&c.name);
+                vocab.add_maskable(&format!("{}.{}", t.name, c.name));
+            }
+        }
+        for tok in buckets.all_tokens() {
+            vocab.add_maskable(&tok);
+        }
+
+        let d = config.d_model;
+        let state_rows = automaton.num_states() + STATE_SLACK;
+        Self {
+            tok_emb: Embedding::new(vocab.len(), d, rng),
+            state_emb: Embedding::new(state_rows, d, rng),
+            pos_emb: Embedding::new(config.max_seq, d, rng),
+            proj: Linear::new(3 * d, d, rng),
+            vocab,
+            automaton,
+            buckets,
+            config,
+        }
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// The automaton.
+    pub fn automaton(&self) -> &Automaton {
+        &self.automaton
+    }
+
+    /// Mutable automaton access (incremental template updates, §3.6
+    /// Case 3). New states must fit in the reserved slack.
+    pub fn automaton_mut(&mut self) -> &mut Automaton {
+        &mut self.automaton
+    }
+
+    /// The value bucketizers.
+    pub fn buckets(&self) -> &ValueBuckets {
+        &self.buckets
+    }
+
+    /// Prepares a query: linearize, replace literals with range tokens,
+    /// attach automaton states and mask-dictionary membership.
+    pub fn prepare(&self, q: &Query, schema: &Schema) -> PreparedQuery {
+        let lin = linearize(q);
+        let m = self.automaton.match_keys(&state_keys(q));
+        let max_state = self.state_emb.vocab();
+        let tokens = lin
+            .iter()
+            .zip(&m.states)
+            .take(self.config.max_seq)
+            .map(|(t, &state)| {
+                let text = replaced_text(t, q, schema, &self.buckets);
+                let vocab_id = self.vocab.encode_primary(&text);
+                PreparedToken {
+                    vocab_id,
+                    state_id: if self.config.use_automaton { state.min(max_state - 1) } else { 0 },
+                    maskable: self.vocab.is_maskable(vocab_id),
+                    text,
+                }
+            })
+            .collect();
+        PreparedQuery { tokens, structure_coverage: m.coverage() }
+    }
+
+    /// Composite embedding forward pass: `n × d_model`.
+    pub fn forward(&self, pq: &PreparedQuery, training: bool, rng: &mut StdRng) -> Tensor {
+        self.forward_with_override(pq, None, training, rng)
+    }
+
+    /// Forward pass with some token ids overridden (the MLM's
+    /// masked/corrupted inputs). `overrides[i] = Some(id)` replaces token
+    /// `i`'s vocabulary id.
+    pub fn forward_with_override(
+        &self,
+        pq: &PreparedQuery,
+        overrides: Option<&[Option<usize>]>,
+        training: bool,
+        rng: &mut StdRng,
+    ) -> Tensor {
+        assert!(!pq.is_empty(), "cannot embed an empty query");
+        let n = pq.len();
+        let tok_ids: Vec<usize> = pq
+            .tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                overrides
+                    .and_then(|o| o.get(i).copied().flatten())
+                    .unwrap_or(t.vocab_id)
+            })
+            .collect();
+        let state_ids: Vec<usize> = pq.tokens.iter().map(|t| t.state_id).collect();
+        let pos_ids: Vec<usize> = (0..n).map(|i| i.min(self.config.max_seq - 1)).collect();
+        let tok = self.tok_emb.forward(&tok_ids);
+        let state = if self.config.use_automaton {
+            self.state_emb.forward(&state_ids)
+        } else {
+            // Ablation: constant zero state channel.
+            Tensor::constant(preqr_nn::Matrix::zeros(n, self.config.d_model))
+        };
+        let pos = self.pos_emb.forward(&pos_ids);
+        let composite = ops::concat_cols(&ops::concat_cols(&tok, &state), &pos);
+        let projected = self.proj.forward(&composite);
+        ops::dropout(&projected, self.config.dropout, training, rng)
+    }
+
+    /// The `[MASK]` vocabulary id.
+    pub fn mask_id(&self) -> usize {
+        MASK
+    }
+
+    /// Random *maskable* vocabulary id (for the 10 % random-replacement
+    /// branch of MLM).
+    pub fn random_maskable_id(&self, rng: &mut StdRng) -> usize {
+        let ids = self.vocab.maskable_ids();
+        if ids.is_empty() {
+            MASK
+        } else {
+            ids[rng.random_range(0..ids.len())]
+        }
+    }
+}
+
+impl Module for InputEmbedding {
+    fn collect_params(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        self.tok_emb.collect_params(&join(prefix, "tok"), out);
+        self.state_emb.collect_params(&join(prefix, "state"), out);
+        self.pos_emb.collect_params(&join(prefix, "pos"), out);
+        self.proj.collect_params(&join(prefix, "proj"), out);
+    }
+}
+
+/// Replaces a literal token's text with its value-range token; resolves
+/// the alias-qualified column to `(table, column)` through the query's
+/// FROM lists.
+fn replaced_text(
+    t: &preqr_sql::normalize::LinToken,
+    q: &Query,
+    schema: &Schema,
+    buckets: &ValueBuckets,
+) -> String {
+    let Some(v) = &t.value else {
+        return t.text.clone();
+    };
+    let Some(col) = &t.value_col else {
+        // Bare literal (e.g. LIMIT count).
+        return buckets.token_for("", "", v);
+    };
+    let alias_map = alias_map(q);
+    let table = match &col.table {
+        Some(binding) => alias_map.get(binding).cloned().unwrap_or_else(|| binding.clone()),
+        None => {
+            // Unqualified: first query table containing the column.
+            alias_map
+                .values()
+                .find(|t| schema.column(t, &col.column).is_some())
+                .cloned()
+                .unwrap_or_default()
+        }
+    };
+    buckets.token_for(&table, &col.column, v)
+}
+
+fn alias_map(q: &Query) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    fn walk(stmt: &preqr_sql::ast::SelectStmt, map: &mut HashMap<String, String>) {
+        for t in stmt.tables() {
+            map.insert(t.binding().to_string(), t.table.clone());
+        }
+        if let Some(w) = &stmt.where_clause {
+            walk_expr(w, map);
+        }
+    }
+    fn walk_expr(e: &preqr_sql::ast::Expr, map: &mut HashMap<String, String>) {
+        use preqr_sql::ast::Expr;
+        match e {
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                walk_expr(a, map);
+                walk_expr(b, map);
+            }
+            Expr::Not(a) => walk_expr(a, map),
+            Expr::InSubquery { subquery, .. } => {
+                for s in subquery.selects() {
+                    walk(s, map);
+                }
+            }
+            _ => {}
+        }
+    }
+    for s in q.selects() {
+        walk(s, &mut map);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preqr_schema::{Column, ColumnType, Table};
+    use preqr_sql::parser::parse;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_table(Table::new(
+            "title",
+            vec![
+                Column::primary("id", ColumnType::Int),
+                Column::new("production_year", ColumnType::Int),
+            ],
+        ));
+        s
+    }
+
+    fn corpus() -> Vec<Query> {
+        vec![
+            parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 2000").unwrap(),
+            parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 1990 AND t.id = 5")
+                .unwrap(),
+            parse("SELECT id FROM title WHERE production_year BETWEEN 1990 AND 2000").unwrap(),
+        ]
+    }
+
+    fn build() -> InputEmbedding {
+        let mut buckets = ValueBuckets::new(4);
+        buckets.insert("title", "production_year", (1900..2020).map(f64::from).collect());
+        let mut rng = StdRng::seed_from_u64(1);
+        InputEmbedding::build(&corpus(), &schema(), buckets, PreqrConfig::test(), &mut rng)
+    }
+
+    #[test]
+    fn literals_become_range_tokens() {
+        let ie = build();
+        let q = parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 2010").unwrap();
+        let pq = ie.prepare(&q, &schema());
+        let texts: Vec<&str> = pq.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(
+            texts.iter().any(|t| t.starts_with("title.production_year#r")),
+            "expected a range token in {texts:?}"
+        );
+        assert!(!texts.contains(&"2010"), "raw literal must be replaced");
+    }
+
+    #[test]
+    fn same_bucket_values_share_tokens_different_buckets_differ() {
+        let ie = build();
+        let sch = schema();
+        let tok = |y: i64| {
+            let q = parse(&format!(
+                "SELECT COUNT(*) FROM title t WHERE t.production_year > {y}"
+            ))
+            .unwrap();
+            ie.prepare(&q, &sch)
+                .tokens
+                .iter()
+                .find(|t| t.text.contains("#r"))
+                .map(|t| t.text.clone())
+                .expect("range token")
+        };
+        assert_eq!(tok(2011), tok(2015), "nearby years share a range");
+        assert_ne!(tok(1905), tok(2015), "distant years differ");
+    }
+
+    #[test]
+    fn prepare_attaches_states_and_maskability() {
+        let ie = build();
+        let q = parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 2000").unwrap();
+        let pq = ie.prepare(&q, &schema());
+        assert!(pq.structure_coverage > 0.99, "corpus query must match automaton");
+        assert!(pq.tokens.iter().any(|t| t.maskable), "keywords are maskable");
+        assert!(pq.tokens.iter().any(|t| t.state_id != 0));
+    }
+
+    #[test]
+    fn forward_shape_and_determinism() {
+        let ie = build();
+        let q = parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 2000").unwrap();
+        let pq = ie.prepare(&q, &schema());
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = ie.forward(&pq, false, &mut rng);
+        assert_eq!(out.shape(), (pq.len(), PreqrConfig::test().d_model));
+        let out2 = ie.forward(&pq, false, &mut StdRng::seed_from_u64(99));
+        assert_eq!(out.value_clone(), out2.value_clone(), "eval mode is deterministic");
+    }
+
+    #[test]
+    fn override_changes_embedding() {
+        let ie = build();
+        let q = parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 2000").unwrap();
+        let pq = ie.prepare(&q, &schema());
+        let mut rng = StdRng::seed_from_u64(2);
+        let clean = ie.forward(&pq, false, &mut rng).value_clone();
+        let mut ov: Vec<Option<usize>> = vec![None; pq.len()];
+        ov[1] = Some(ie.mask_id());
+        let masked =
+            ie.forward_with_override(&pq, Some(&ov), false, &mut rng).value_clone();
+        assert_ne!(clean.row(1), masked.row(1), "masked row must change");
+        assert_eq!(clean.row(0), masked.row(0), "other rows unchanged");
+    }
+
+    #[test]
+    fn ablation_without_automaton_ignores_states() {
+        let mut buckets = ValueBuckets::new(4);
+        buckets.insert("title", "production_year", (1900..2020).map(f64::from).collect());
+        let mut rng = StdRng::seed_from_u64(1);
+        let ie = InputEmbedding::build(
+            &corpus(),
+            &schema(),
+            buckets,
+            PreqrConfig::test().without_automaton(),
+            &mut rng,
+        );
+        let q = parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 2000").unwrap();
+        let pq = ie.prepare(&q, &schema());
+        assert!(pq.tokens.iter().all(|t| t.state_id == 0));
+    }
+
+    #[test]
+    fn value_bucket_fallbacks() {
+        let b = ValueBuckets::new(3);
+        let s = b.token_for("x", "y", &Value::Str("abc".into()));
+        assert!(s.starts_with("[STR#"));
+        let n = b.token_for("x", "y", &Value::Int(5000));
+        assert!(n.starts_with("[NUM#m"));
+        assert!(b.all_tokens().iter().any(|t| t.starts_with("[STR#")));
+    }
+}

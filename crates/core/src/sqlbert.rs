@@ -1,0 +1,611 @@
+//! SQLBERT (§3.5): the stack of `Trm_g` layers over composite input
+//! embeddings and query-aware schema states, pre-trained with masked
+//! language modelling (§3.5.2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use preqr_nn::layers::{join, Linear, Module};
+use preqr_nn::optim::{Adam, WarmupLinearSchedule};
+use preqr_nn::{ops, Matrix, Tensor};
+use preqr_schema::Schema;
+use preqr_sql::ast::Query;
+
+use crate::config::PreqrConfig;
+use crate::embedding::{InputEmbedding, PreparedQuery, ValueBuckets};
+use crate::schema2graph::Schema2Graph;
+use crate::trm_g::TrmG;
+
+/// The full PreQR model.
+pub struct SqlBert {
+    /// Model configuration.
+    pub config: PreqrConfig,
+    input: InputEmbedding,
+    schema2graph: Option<Schema2Graph>,
+    layers: Vec<TrmG>,
+    mlm_head: Linear,
+    schema: Schema,
+}
+
+/// Per-epoch pre-training statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochStats {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Mean MLM loss.
+    pub loss: f64,
+    /// Masked-token prediction accuracy.
+    pub accuracy: f64,
+}
+
+impl SqlBert {
+    /// Builds the model: vocabulary + automaton from the corpus, the
+    /// schema graph from the schema, fresh weights from `config.seed`.
+    pub fn new(
+        corpus: &[Query],
+        schema: &Schema,
+        buckets: ValueBuckets,
+        config: PreqrConfig,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let input = InputEmbedding::build(corpus, schema, buckets, config, &mut rng);
+        let schema2graph =
+            config.use_schema.then(|| Schema2Graph::build(schema, &config, &mut rng));
+        let layers = (0..config.layers.max(1))
+            .map(|_| TrmG::new(config.d_model, config.heads, config.use_schema, &mut rng))
+            .collect();
+        let mlm_head = Linear::new(config.output_dim(), input.vocab().len(), &mut rng);
+        Self { config, input, schema2graph, layers, mlm_head, schema: schema.clone() }
+    }
+
+    /// The input-embedding module.
+    pub fn input(&self) -> &InputEmbedding {
+        &self.input
+    }
+
+    /// Mutable input-embedding access (incremental updates).
+    pub fn input_mut(&mut self) -> &mut InputEmbedding {
+        &mut self.input
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The Schema2Graph module (when enabled).
+    pub fn schema2graph(&self) -> Option<&Schema2Graph> {
+        self.schema2graph.as_ref()
+    }
+
+    /// Applies a schema update (§3.6 Case 2).
+    pub fn update_schema(&mut self, schema: &Schema) {
+        self.schema = schema.clone();
+        if let Some(s2g) = &mut self.schema2graph {
+            s2g.update_schema(schema);
+        }
+    }
+
+    /// Prepares a query for encoding.
+    pub fn prepare(&self, q: &Query) -> PreparedQuery {
+        self.input.prepare(q, &self.schema)
+    }
+
+    /// Current schema node states (with gradient tracking).
+    pub fn node_states(&self) -> Option<Tensor> {
+        self.schema2graph.as_ref().map(Schema2Graph::node_states)
+    }
+
+    /// Full forward pass to the final `n × output_dim` representation
+    /// (Eq. 8: `y = Concat(e_q, e_g)` at the last layer).
+    pub fn forward(
+        &self,
+        pq: &PreparedQuery,
+        overrides: Option<&[Option<usize>]>,
+        nodes: Option<&Tensor>,
+        training: bool,
+        rng: &mut StdRng,
+    ) -> Tensor {
+        let mut x = self.input.forward_with_override(pq, overrides, training, rng);
+        let owned_nodes;
+        let nodes_ref = match (nodes, &self.schema2graph) {
+            (Some(n), _) => Some(n),
+            (None, Some(s2g)) => {
+                owned_nodes = s2g.node_states();
+                Some(&owned_nodes)
+            }
+            (None, None) => None,
+        };
+        let mut last = None;
+        let n_layers = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let out = layer.forward(&x, nodes_ref);
+            if i + 1 == n_layers {
+                last = Some(out);
+                break;
+            }
+            x = out.merged;
+        }
+        let last = last.expect("at least one layer");
+        match last.e_g {
+            Some(e_g) => ops::concat_cols(&last.e_q, &e_g),
+            None => last.e_q,
+        }
+    }
+
+    /// Builds an MLM example: masked positions (80 % `[MASK]`, 10 %
+    /// random maskable token, 10 % unchanged) and per-position targets
+    /// (`usize::MAX` = not predicted).
+    pub fn mlm_corrupt(
+        &self,
+        pq: &PreparedQuery,
+        rng: &mut StdRng,
+    ) -> (Vec<Option<usize>>, Vec<usize>) {
+        let n = pq.len();
+        let mut overrides: Vec<Option<usize>> = vec![None; n];
+        let mut targets: Vec<usize> = vec![usize::MAX; n];
+        let candidates: Vec<usize> =
+            (0..n).filter(|&i| pq.tokens[i].maskable).collect();
+        if candidates.is_empty() {
+            return (overrides, targets);
+        }
+        let mut chosen: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|_| rng.random::<f32>() < self.config.mask_prob)
+            .collect();
+        if chosen.is_empty() {
+            chosen.push(candidates[rng.random_range(0..candidates.len())]);
+        }
+        for i in chosen {
+            targets[i] = pq.tokens[i].vocab_id;
+            let r: f32 = rng.random();
+            overrides[i] = if r < 0.8 {
+                Some(self.input.mask_id())
+            } else if r < 0.9 {
+                Some(self.input.random_maskable_id(rng))
+            } else {
+                None
+            };
+        }
+        (overrides, targets)
+    }
+
+    /// One MLM loss computation (no optimizer step). Returns the loss
+    /// tensor, the number of masked positions, and how many were
+    /// predicted correctly (greedy).
+    pub fn mlm_loss(
+        &self,
+        pq: &PreparedQuery,
+        nodes: Option<&Tensor>,
+        rng: &mut StdRng,
+    ) -> (Tensor, usize, usize) {
+        let (overrides, targets) = self.mlm_corrupt(pq, rng);
+        let reps = self.forward(pq, Some(&overrides), nodes, true, rng);
+        let masked: Vec<usize> =
+            (0..targets.len()).filter(|&i| targets[i] != usize::MAX).collect();
+        if masked.is_empty() {
+            return (ops::sum_all(&ops::scale(&reps, 0.0)), 0, 0);
+        }
+        let rows = ops::gather_rows(&reps, &masked);
+        let logits = self.mlm_head.forward(&rows);
+        let masked_targets: Vec<usize> = masked.iter().map(|&i| targets[i]).collect();
+        // Greedy accuracy for monitoring.
+        let lv = logits.value_clone();
+        let mut correct = 0;
+        for (r, &t) in masked_targets.iter().enumerate() {
+            let row = lv.row(r);
+            let argmax = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                .map(|(i, _)| i)
+                .expect("non-empty row");
+            if argmax == t {
+                correct += 1;
+            }
+        }
+        let loss = ops::cross_entropy_logits(&logits, &masked_targets);
+        (loss, masked.len(), correct)
+    }
+
+    /// Pre-trains with MLM over the corpus (§3.5.2). Queries are prepared
+    /// once; Adam with linear warmup; gradients accumulate over
+    /// micro-batches of 8 (the schema node states are shared within a
+    /// micro-batch). Returns per-epoch statistics.
+    pub fn pretrain(&mut self, corpus: &[Query], epochs: usize, lr: f32) -> Vec<EpochStats> {
+        let params = self.params();
+        let mut opt = Adam::new(params, lr);
+        let total_steps = (epochs * corpus.len().max(1) / 8 + 1) as u64;
+        let schedule = WarmupLinearSchedule::new(lr, total_steps / 20 + 1, total_steps);
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
+        let prepared: Vec<PreparedQuery> =
+            corpus.iter().map(|q| self.prepare(q)).collect();
+        let mut stats = Vec::with_capacity(epochs);
+        let mut step: u64 = 0;
+        for epoch in 0..epochs {
+            let mut order: Vec<usize> = (0..prepared.len()).collect();
+            // Fisher–Yates with the model rng for determinism.
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.random_range(0..=i));
+            }
+            let mut total_loss = 0.0f64;
+            let mut total_masked = 0usize;
+            let mut total_correct = 0usize;
+            let mut samples = 0usize;
+            for chunk in order.chunks(8) {
+                let nodes = self.node_states();
+                for &idx in chunk {
+                    let (loss, masked, correct) =
+                        self.mlm_loss(&prepared[idx], nodes.as_ref(), &mut rng);
+                    total_loss += f64::from(loss.value_clone().get(0, 0));
+                    total_masked += masked;
+                    total_correct += correct;
+                    samples += 1;
+                    loss.backward();
+                }
+                opt.set_lr(schedule.lr_at(step));
+                opt.step();
+                step += 1;
+            }
+            stats.push(EpochStats {
+                epoch,
+                loss: total_loss / samples.max(1) as f64,
+                accuracy: total_correct as f64 / total_masked.max(1) as f64,
+            });
+        }
+        stats
+    }
+
+    /// Encodes a query to its final representation matrix (eval mode, no
+    /// gradients). `nodes` may be a cached detached node matrix.
+    pub fn encode_with_nodes(&self, q: &Query, nodes: Option<&Tensor>) -> Matrix {
+        let pq = self.prepare(q);
+        let mut rng = StdRng::seed_from_u64(0);
+        self.forward(&pq, None, nodes, false, &mut rng).value_clone()
+    }
+
+    /// Encodes a query (recomputing schema node states).
+    pub fn encode(&self, q: &Query) -> Matrix {
+        self.encode_with_nodes(q, None)
+    }
+
+    /// Detached schema node states for fast repeated encoding.
+    pub fn cached_nodes(&self) -> Option<Tensor> {
+        self.schema2graph.as_ref().map(|s| Tensor::constant(s.node_states().value_clone()))
+    }
+
+    /// The `[CLS]` vector of a query — the aggregate sequence
+    /// representation used for similarity and as downstream input.
+    pub fn cls_vector(&self, q: &Query, nodes: Option<&Tensor>) -> Vec<f32> {
+        let m = self.encode_with_nodes(q, nodes);
+        m.row(0).to_vec()
+    }
+
+    /// Fine-tuning forward: the lower layers and schema module run
+    /// detached (frozen); only the *last* `Trm_g` layer runs with
+    /// gradients — the paper fine-tunes "the last layer of SQLBERT
+    /// together with the SOTA model".
+    pub fn encode_finetune(
+        &self,
+        pq: &PreparedQuery,
+        frozen_nodes: &Option<Tensor>,
+        rng: &mut StdRng,
+    ) -> Tensor {
+        let mut x = self.input.forward(pq, false, rng).detach();
+        let n_layers = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            if i + 1 == n_layers {
+                let out = layer.forward(&x, frozen_nodes.as_ref());
+                return match out.e_g {
+                    Some(e_g) => ops::concat_cols(&out.e_q, &e_g),
+                    None => out.e_q,
+                };
+            }
+            x = layer.forward(&x, frozen_nodes.as_ref()).merged.detach();
+        }
+        unreachable!("loop returns at the last layer");
+    }
+
+    /// Interpretability: the first layer's query→schema attention
+    /// weights for a query, with vertex display names. Returns `None`
+    /// when the schema module is disabled. Shape is `n_tokens × |V|`.
+    pub fn schema_attention(&self, q: &Query) -> Option<(Vec<String>, Matrix)> {
+        let s2g = self.schema2graph.as_ref()?;
+        let nodes = s2g.node_states();
+        let pq = self.prepare(q);
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = self.input.forward(&pq, false, &mut rng);
+        let attn = self.layers.first()?.schema_attention(&x, &nodes)?;
+        let names = s2g
+            .graph()
+            .vertices()
+            .iter()
+            .map(|v| match &v.kind {
+                preqr_schema::graph::VertexKind::Table { table } => table.clone(),
+                preqr_schema::graph::VertexKind::Column { table, column } => {
+                    format!("{table}.{column}")
+                }
+            })
+            .collect();
+        Some((names, attn.value_clone()))
+    }
+
+    /// Eval-mode output of all layers *below* the last one (the frozen
+    /// prefix of fine-tuning). Deterministic, so it can be cached per
+    /// query across fine-tuning epochs.
+    pub fn lower_states(&self, pq: &PreparedQuery, nodes: Option<&Tensor>) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut x = self.input.forward(pq, false, &mut rng);
+        for layer in &self.layers[..self.layers.len() - 1] {
+            x = layer.forward(&x, nodes).merged;
+        }
+        x.value_clone()
+    }
+
+    /// Runs only the last `Trm_g` layer on cached lower states, with
+    /// gradients flowing into the last layer's parameters. Returns the
+    /// final `n × output_dim` representation.
+    pub fn last_layer_encode(&self, lower: &Matrix, nodes: Option<&Tensor>) -> Tensor {
+        let x = Tensor::constant(lower.clone());
+        let out = self.layers.last().expect("at least one layer").forward(&x, nodes);
+        match out.e_g {
+            Some(e_g) => ops::concat_cols(&out.e_q, &e_g),
+            None => out.e_q,
+        }
+    }
+
+    /// Parameters of the last `Trm_g` layer (the fine-tuned subset).
+    pub fn last_layer_params(&self) -> Vec<Tensor> {
+        self.layers.last().expect("at least one layer").params()
+    }
+
+    /// Parameters of the Input Embedding module (§3.6 Case 3 subset).
+    pub fn input_params(&self) -> Vec<Tensor> {
+        self.input.params()
+    }
+
+    /// Parameters of the Schema2Graph module (§3.6 Case 2 subset).
+    pub fn schema_params(&self) -> Vec<Tensor> {
+        self.schema2graph.as_ref().map(Module::params).unwrap_or_default()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_parameters(&self) -> usize {
+        self.param_count()
+    }
+
+    /// Saves all parameters to a checkpoint file.
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        preqr_nn::serialize::save_to_file(path, &self.named_params("preqr"))
+    }
+
+    /// Loads parameters from a checkpoint created by [`SqlBert::save`]
+    /// into this model. The model must have been built with the same
+    /// corpus/schema/config (vocabulary and automaton construction are
+    /// deterministic, so rebuilding reproduces the architecture).
+    ///
+    /// # Errors
+    /// I/O failures, or an architecture mismatch.
+    pub fn load(&self, path: impl AsRef<std::path::Path>) -> Result<(), String> {
+        let loaded =
+            preqr_nn::serialize::load_from_file(path).map_err(|e| e.to_string())?;
+        preqr_nn::serialize::apply_params(&self.named_params("preqr"), &loaded)?;
+        Ok(())
+    }
+}
+
+impl Module for SqlBert {
+    fn collect_params(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        self.input.collect_params(&join(prefix, "input"), out);
+        if let Some(s2g) = &self.schema2graph {
+            s2g.collect_params(&join(prefix, "schema2graph"), out);
+        }
+        for (i, l) in self.layers.iter().enumerate() {
+            l.collect_params(&join(prefix, &format!("layer{i}")), out);
+        }
+        self.mlm_head.collect_params(&join(prefix, "mlm_head"), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preqr_schema::{Column, ColumnType, ForeignKey, Table};
+    use preqr_sql::parser::parse;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_table(Table::new(
+            "title",
+            vec![
+                Column::primary("id", ColumnType::Int),
+                Column::new("production_year", ColumnType::Int),
+                Column::new("kind_id", ColumnType::Int),
+            ],
+        ));
+        s.add_table(Table::new(
+            "movie_companies",
+            vec![
+                Column::primary("id", ColumnType::Int),
+                Column::new("movie_id", ColumnType::Int),
+                Column::new("company_id", ColumnType::Int),
+            ],
+        ));
+        s.add_foreign_key(ForeignKey {
+            from_table: "movie_companies".into(),
+            from_column: "movie_id".into(),
+            to_table: "title".into(),
+            to_column: "id".into(),
+        });
+        s
+    }
+
+    fn corpus() -> Vec<Query> {
+        let mut out = Vec::new();
+        for y in [1990, 2000, 2005, 2010] {
+            out.push(
+                parse(&format!(
+                    "SELECT COUNT(*) FROM title t WHERE t.production_year > {y}"
+                ))
+                .unwrap(),
+            );
+            out.push(
+                parse(&format!(
+                    "SELECT COUNT(*) FROM title t, movie_companies mc \
+                     WHERE t.id = mc.movie_id AND t.production_year > {y}"
+                ))
+                .unwrap(),
+            );
+        }
+        out
+    }
+
+    fn buckets() -> ValueBuckets {
+        let mut b = ValueBuckets::new(4);
+        b.insert("title", "production_year", (1930..2020).map(f64::from).collect());
+        b.insert("title", "kind_id", (1..8).map(f64::from).collect());
+        b.insert("movie_companies", "company_id", (1..100).map(f64::from).collect());
+        b
+    }
+
+    fn model() -> SqlBert {
+        SqlBert::new(&corpus(), &schema(), buckets(), PreqrConfig::test())
+    }
+
+    #[test]
+    fn encode_shape_is_output_dim() {
+        let m = model();
+        let q = &corpus()[1];
+        let e = m.encode(q);
+        let pq = m.prepare(q);
+        assert_eq!(e.shape(), (pq.len(), PreqrConfig::test().output_dim()));
+    }
+
+    #[test]
+    fn mlm_corrupt_masks_only_maskable_positions() {
+        let m = model();
+        let pq = m.prepare(&corpus()[0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (overrides, targets) = m.mlm_corrupt(&pq, &mut rng);
+        let masked: Vec<usize> =
+            (0..targets.len()).filter(|&i| targets[i] != usize::MAX).collect();
+        assert!(!masked.is_empty(), "at least one position must be masked");
+        for &i in &masked {
+            assert!(pq.tokens[i].maskable, "masked a non-maskable position {i}");
+            assert_eq!(targets[i], pq.tokens[i].vocab_id);
+        }
+        // Overrides only at masked positions.
+        for (i, o) in overrides.iter().enumerate() {
+            if o.is_some() {
+                assert!(masked.contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn pretraining_reduces_loss_and_raises_accuracy() {
+        let mut m = model();
+        let stats = m.pretrain(&corpus(), 8, 5e-3);
+        let first = stats.first().unwrap();
+        let last = stats.last().unwrap();
+        assert!(
+            last.loss < first.loss * 0.8,
+            "MLM loss should drop: {} → {}",
+            first.loss,
+            last.loss
+        );
+        assert!(last.accuracy > first.accuracy, "accuracy should rise");
+    }
+
+    #[test]
+    fn equivalent_queries_embed_closer_than_unrelated_after_pretraining() {
+        let mut m = model();
+        let _ = m.pretrain(&corpus(), 6, 5e-3);
+        let nodes = m.cached_nodes();
+        let a = m.cls_vector(
+            &parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 2000").unwrap(),
+            nodes.as_ref(),
+        );
+        let b = m.cls_vector(
+            &parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 2001").unwrap(),
+            nodes.as_ref(),
+        );
+        let c = m.cls_vector(
+            &parse(
+                "SELECT COUNT(*) FROM title t, movie_companies mc \
+                 WHERE t.id = mc.movie_id AND mc.company_id = 3",
+            )
+            .unwrap(),
+            nodes.as_ref(),
+        );
+        let cos = |x: &[f32], y: &[f32]| {
+            let dot: f32 = x.iter().zip(y).map(|(a, b)| a * b).sum();
+            let nx: f32 = x.iter().map(|v| v * v).sum::<f32>().sqrt();
+            let ny: f32 = y.iter().map(|v| v * v).sum::<f32>().sqrt();
+            dot / (nx * ny).max(1e-9)
+        };
+        assert!(
+            cos(&a, &b) > cos(&a, &c),
+            "same-template queries should be closer: {} vs {}",
+            cos(&a, &b),
+            cos(&a, &c)
+        );
+    }
+
+    #[test]
+    fn finetune_gradients_touch_only_last_layer() {
+        let m = model();
+        let pq = m.prepare(&corpus()[0]);
+        let nodes = m.cached_nodes();
+        let mut rng = StdRng::seed_from_u64(7);
+        let reps = m.encode_finetune(&pq, &nodes, &mut rng);
+        ops::sum_all(&reps).backward();
+        // Every last-layer parameter except the inter-layer merge (which
+        // Eq. 8 bypasses at the last layer) must receive gradients.
+        let with_grad = m
+            .named_params("m")
+            .into_iter()
+            .filter(|(n, _)| n.contains("layer0") && !n.contains("g_merge"))
+            .all(|(_, p)| p.grad().is_some());
+        assert!(with_grad, "last layer must receive gradients");
+        for p in m.input_params() {
+            assert!(p.grad().is_none(), "input embedding must stay frozen");
+        }
+        for p in m.schema_params() {
+            assert!(p.grad().is_none(), "schema module must stay frozen");
+        }
+    }
+
+    #[test]
+    fn bert_only_ablation_runs_without_schema() {
+        let m = SqlBert::new(&corpus(), &schema(), buckets(), PreqrConfig::test().bert_only());
+        assert!(m.schema2graph().is_none());
+        let e = m.encode(&corpus()[0]);
+        assert_eq!(e.cols(), PreqrConfig::test().d_model);
+    }
+
+    #[test]
+    fn cached_nodes_match_fresh_encoding() {
+        let m = model();
+        let q = &corpus()[0];
+        let cached = m.cached_nodes();
+        assert_eq!(m.encode(q), m.encode_with_nodes(q, cached.as_ref()));
+    }
+
+    #[test]
+    fn parameter_count_is_substantial_and_named() {
+        let m = model();
+        assert!(m.num_parameters() > 10_000);
+        let names: Vec<String> =
+            m.named_params("preqr").into_iter().map(|(n, _)| n).collect();
+        assert!(names.iter().any(|n| n.contains("input.tok")));
+        assert!(names.iter().any(|n| n.contains("schema2graph.gcn0")));
+        assert!(names.iter().any(|n| n.contains("layer0.g_attn")));
+        let unique: std::collections::HashSet<&String> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "parameter names must be unique");
+    }
+}

@@ -1,0 +1,252 @@
+//! A compact CH-benchmark-style database (TPC-C entities with TPC-H-ish
+//! analytics columns), used by the clustering evaluation (§4.1.1): the
+//! paper generates 600 random queries on the CH-benchmark and grades
+//! similarity by result-set row-id overlap.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use preqr_engine::{Database, Datum};
+use preqr_schema::{Column, ColumnType, ForeignKey, Schema, Table};
+
+/// Generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ChConfig {
+    /// Number of customers; other tables scale with it.
+    pub customers: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChConfig {
+    fn default() -> Self {
+        Self { customers: 2_000, seed: 7 }
+    }
+}
+
+impl ChConfig {
+    /// Tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self { customers: 120, seed: 7 }
+    }
+}
+
+/// The CH-style schema: customer / orders / order_line / item / district,
+/// plus the `user` + `accounts` pair from Figure 2 of the paper.
+pub fn ch_schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_table(Table::new(
+        "district",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("name", ColumnType::Varchar),
+            Column::new("tax", ColumnType::Float),
+        ],
+    ));
+    s.add_table(Table::new(
+        "customer",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("district_id", ColumnType::Int),
+            Column::new("name", ColumnType::Varchar),
+            Column::new("balance", ColumnType::Float),
+            Column::new("discount", ColumnType::Float),
+        ],
+    ));
+    s.add_table(Table::new(
+        "item",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("name", ColumnType::Varchar),
+            Column::new("price", ColumnType::Float),
+            Column::new("category", ColumnType::Varchar),
+        ],
+    ));
+    s.add_table(Table::new(
+        "orders",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("customer_id", ColumnType::Int),
+            Column::new("entry_date", ColumnType::Int),
+            Column::new("carrier_id", ColumnType::Int),
+        ],
+    ));
+    s.add_table(Table::new(
+        "order_line",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("order_id", ColumnType::Int),
+            Column::new("item_id", ColumnType::Int),
+            Column::new("quantity", ColumnType::Int),
+            Column::new("amount", ColumnType::Float),
+        ],
+    ));
+    s.add_table(Table::new(
+        "user",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("name", ColumnType::Varchar),
+            Column::new("rank", ColumnType::Varchar),
+        ],
+    ));
+    s.add_table(Table::new(
+        "accounts",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("user_id", ColumnType::Int),
+            Column::new("balance", ColumnType::Float),
+        ],
+    ));
+    for (from, from_col, to) in [
+        ("customer", "district_id", "district"),
+        ("orders", "customer_id", "customer"),
+        ("order_line", "order_id", "orders"),
+        ("order_line", "item_id", "item"),
+        ("accounts", "user_id", "user"),
+    ] {
+        s.add_foreign_key(ForeignKey {
+            from_table: from.into(),
+            from_column: from_col.into(),
+            to_table: to.into(),
+            to_column: "id".into(),
+        });
+    }
+    s
+}
+
+const CATEGORIES: [&str; 6] = ["food", "tools", "toys", "books", "media", "garden"];
+const RANKS: [&str; 4] = ["adm", "sup", "usr", "gst"];
+
+/// Generates the CH-style database.
+pub fn generate(config: ChConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut db = Database::new(ch_schema());
+    let districts = 10usize;
+    for d in 0..districts {
+        db.insert("district", &[
+            Datum::Int(d as i64 + 1),
+            Datum::Str(format!("district-{d}")),
+            Datum::Float(0.05 + 0.01 * d as f64),
+        ]);
+    }
+    let items = config.customers / 2 + 20;
+    for i in 0..items {
+        db.insert("item", &[
+            Datum::Int(i as i64 + 1),
+            Datum::Str(format!("item-{i:05}")),
+            Datum::Float(1.0 + rng.random::<f64>() * 99.0),
+            Datum::Str(CATEGORIES[i % CATEGORIES.len()].to_string()),
+        ]);
+    }
+    for c in 0..config.customers {
+        db.insert("customer", &[
+            Datum::Int(c as i64 + 1),
+            Datum::Int(rng.random_range(1..=districts as i64)),
+            Datum::Str(format!("cust-{c:05}")),
+            Datum::Float(-100.0 + rng.random::<f64>() * 1000.0),
+            Datum::Float(rng.random::<f64>() * 0.3),
+        ]);
+    }
+    let (mut order_id, mut ol_id) = (0i64, 0i64);
+    for c in 0..config.customers {
+        for _ in 0..rng.random_range(0..5) {
+            order_id += 1;
+            db.insert("orders", &[
+                Datum::Int(order_id),
+                Datum::Int(c as i64 + 1),
+                Datum::Int(rng.random_range(20180101..20240101)),
+                Datum::Int(rng.random_range(0..10)),
+            ]);
+            for _ in 0..rng.random_range(1..6) {
+                ol_id += 1;
+                let item = rng.random_range(1..=items as i64);
+                let qty = rng.random_range(1..10);
+                db.insert("order_line", &[
+                    Datum::Int(ol_id),
+                    Datum::Int(order_id),
+                    Datum::Int(item),
+                    Datum::Int(qty),
+                    Datum::Float(qty as f64 * (1.0 + rng.random::<f64>() * 50.0)),
+                ]);
+            }
+        }
+    }
+    let users = config.customers / 4 + 10;
+    for u in 0..users {
+        // Rank is skewed: most users are `usr`.
+        let rank = if u % 10 == 0 {
+            RANKS[u % 2]
+        } else {
+            RANKS[2 + u % 2]
+        };
+        db.insert("user", &[
+            Datum::Int(u as i64 + 1),
+            Datum::Str(format!("user-{u:04}")),
+            Datum::Str(rank.to_string()),
+        ]);
+        for _ in 0..rng.random_range(1..4) {
+            let id = db.row_count("accounts") as i64 + 1;
+            db.insert("accounts", &[
+                Datum::Int(id),
+                Datum::Int(u as i64 + 1),
+                Datum::Float(rng.random::<f64>() * 5000.0),
+            ]);
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preqr_engine::execute;
+    use preqr_sql::parser::parse;
+
+    #[test]
+    fn all_tables_populated_and_deterministic() {
+        let a = generate(ChConfig::tiny());
+        let b = generate(ChConfig::tiny());
+        for t in a.schema().tables() {
+            assert!(a.row_count(&t.name) > 0, "{} empty", t.name);
+            assert_eq!(a.row_count(&t.name), b.row_count(&t.name));
+        }
+    }
+
+    #[test]
+    fn figure2_queries_run_and_agree() {
+        let db = generate(ChConfig::tiny());
+        let q1 = parse("SELECT name FROM user WHERE rank IN ('adm', 'sup')").unwrap();
+        let q3 = parse(
+            "SELECT name FROM user WHERE rank = 'adm' \
+             UNION SELECT name FROM user WHERE rank = 'sup'",
+        )
+        .unwrap();
+        let r1 = execute(&db, &q1).unwrap();
+        let r3 = execute(&db, &q3).unwrap();
+        assert!(!r1.rows.is_empty());
+        assert_eq!(r1.base_row_ids, r3.base_row_ids, "q1 and q3 are logically equal");
+        let q4 = parse(
+            "SELECT SUM(balance) FROM accounts WHERE user_id IN \
+             (SELECT id FROM user WHERE rank = 'adm')",
+        )
+        .unwrap();
+        let q5 = parse(
+            "SELECT SUM(accounts.balance) FROM accounts, user \
+             WHERE accounts.user_id = user.id AND user.rank = 'adm'",
+        )
+        .unwrap();
+        assert_eq!(execute(&db, &q4).unwrap().rows, execute(&db, &q5).unwrap().rows);
+    }
+
+    #[test]
+    fn order_lines_join_through_orders() {
+        let db = generate(ChConfig::tiny());
+        let q = parse(
+            "SELECT COUNT(*) FROM customer c, orders o, order_line ol \
+             WHERE c.id = o.customer_id AND o.id = ol.order_id AND c.balance > 0",
+        )
+        .unwrap();
+        let r = execute(&db, &q).unwrap();
+        assert!(r.join_cardinality > 0);
+    }
+}

@@ -1,0 +1,430 @@
+//! Clustering datasets (§4.1.1).
+//!
+//! Two families, mirroring the paper:
+//!
+//! * **Labelled equivalence-cluster logs** — three profiles standing in
+//!   for the IIT Bombay student queries, the UB Exam queries, and the
+//!   PocketData mobile logs. Each dataset is a list of queries with a
+//!   ground-truth cluster label; queries in one cluster are
+//!   logically-equivalent rewrites of a seed intent. The profiles differ
+//!   in how much *template overlap* exists between distinct clusters —
+//!   template-based similarity metrics degrade as overlap rises, which is
+//!   exactly the ordering the paper's Table 7 shows (IIT Bombay easiest,
+//!   UB Exam / PocketData much harder).
+//! * **CH-style similarity workload** — seed queries with an equivalent
+//!   rewrite and same-template constant-shift variants; ground-truth
+//!   similarity of any two queries is the row-id overlap of their result
+//!   sets measured on the engine.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use preqr_engine::{execute, Database};
+use preqr_sql::ast::Query;
+use preqr_sql::parser::parse;
+
+use crate::rewrites;
+
+/// A labelled clustering dataset.
+#[derive(Clone, Debug)]
+pub struct ClusteringDataset {
+    /// Dataset name.
+    pub name: String,
+    /// The queries.
+    pub queries: Vec<Query>,
+    /// Ground-truth cluster label per query.
+    pub labels: Vec<usize>,
+}
+
+impl ClusteringDataset {
+    /// Number of distinct clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.labels.iter().copied().max().map_or(0, |m| m + 1)
+    }
+}
+
+fn q(sql: &str) -> Query {
+    parse(sql).unwrap_or_else(|e| panic!("dataset seed failed to parse: {e}\n{sql}"))
+}
+
+/// Applies the full set of semantics-preserving rewrites to a seed and
+/// returns up to `k` distinct variants (including the seed itself).
+fn equivalent_variants(seed: &Query, k: usize) -> Vec<Query> {
+    let mut out: Vec<Query> = vec![seed.clone()];
+    let push = |v: Option<Query>, out: &mut Vec<Query>| {
+        if let Some(v) = v {
+            if !out.iter().any(|x| x.sql() == v.sql()) {
+                out.push(v);
+            }
+        }
+    };
+    push(rewrites::in_list_to_union(seed), &mut out);
+    push(rewrites::between_to_range(seed), &mut out);
+    push(rewrites::subquery_to_join(seed), &mut out);
+    push(Some(rewrites::shuffle_structure(seed)), &mut out);
+    push(Some(rewrites::rename_aliases(seed, "x")), &mut out);
+    push(rewrites::duplicate_predicate(seed), &mut out);
+    push(rewrites::add_aliases(seed), &mut out);
+    push(rewrites::eq_to_in_singleton(seed), &mut out);
+    push(rewrites::negate_comparison(seed), &mut out);
+    push(rewrites::add_not_null(seed), &mut out);
+    // Second-order rewrites for more variety.
+    if let Some(u) = rewrites::in_list_to_union(seed) {
+        push(Some(rewrites::shuffle_structure(&u)), &mut out);
+    }
+    if let Some(j) = rewrites::subquery_to_join(seed) {
+        push(Some(rewrites::rename_aliases(&j, "y")), &mut out);
+    }
+    out.truncate(k);
+    out
+}
+
+/// IIT-Bombay-style dataset: distinct intents over distinct table sets —
+/// clusters are well separated (the easiest profile; paper BetaCV ≈ 0.4–0.6).
+pub fn iit_bombay() -> ClusteringDataset {
+    let seeds = vec![
+        q("SELECT name FROM customer WHERE balance > 500"),
+        q("SELECT COUNT(*) FROM orders WHERE carrier_id IN (1, 2, 3)"),
+        q("SELECT SUM(amount) FROM order_line WHERE quantity BETWEEN 3 AND 7"),
+        q("SELECT name FROM item WHERE category IN ('food', 'toys')"),
+        q("SELECT name FROM user WHERE rank IN ('adm', 'sup')"),
+        q("SELECT SUM(balance) FROM accounts WHERE user_id IN \
+           (SELECT id FROM user WHERE rank = 'adm')"),
+        q("SELECT c.name FROM customer c, orders o WHERE c.id = o.customer_id \
+           AND o.entry_date > 20200101"),
+        q("SELECT i.name FROM item i, order_line ol WHERE i.id = ol.item_id \
+           AND ol.quantity > 8"),
+        q("SELECT COUNT(*) FROM district WHERE tax > 0.1"),
+        q("SELECT name FROM customer WHERE discount BETWEEN 0.1 AND 0.2"),
+        q("SELECT customer_id, COUNT(*) FROM orders GROUP BY customer_id \
+           ORDER BY customer_id"),
+        q("SELECT AVG(price) FROM item WHERE category = 'books'"),
+    ];
+    build_labelled("IIT Bombay", &seeds, 5)
+}
+
+/// UB-Exam-style dataset: intents deliberately share tables and
+/// templates (different columns or constants express different exam
+/// answers), so template metrics conflate clusters (paper BetaCV ≈ 0.6–0.9).
+pub fn ub_exam() -> ClusteringDataset {
+    let mut seeds = vec![
+        q("SELECT name FROM customer WHERE balance > 500"),
+        q("SELECT name FROM customer WHERE discount > 0.2"),
+        q("SELECT name FROM customer WHERE balance < 0"),
+        q("SELECT COUNT(*) FROM orders WHERE carrier_id = 1"),
+        q("SELECT COUNT(*) FROM orders WHERE carrier_id = 9"),
+        q("SELECT COUNT(*) FROM orders WHERE entry_date > 20220101"),
+        q("SELECT SUM(amount) FROM order_line WHERE quantity > 5"),
+        q("SELECT SUM(quantity) FROM order_line WHERE amount > 100"),
+        q("SELECT name FROM item WHERE category = 'food'"),
+        q("SELECT name FROM item WHERE category = 'garden'"),
+        q("SELECT c.name FROM customer c, orders o WHERE c.id = o.customer_id \
+           AND o.carrier_id = 2"),
+        q("SELECT c.name FROM customer c, orders o WHERE c.id = o.customer_id \
+           AND o.entry_date < 20190101"),
+    ];
+    // Same-template different-table confusers.
+    seeds.push(rewrites::swap_table(&seeds[8], "item", "district"));
+    build_labelled("UB Exam", &seeds, 4)
+}
+
+/// PocketData-style dataset: mobile key-value logs — very narrow,
+/// highly-templated single-table queries where almost every cluster
+/// shares the global template (the hardest profile; paper BetaCV ≈ 0.75–0.9).
+pub fn pocketdata() -> ClusteringDataset {
+    let mut seeds = Vec::new();
+    for key in ["balance", "discount"] {
+        for c in [100, 400, 700] {
+            seeds.push(q(&format!("SELECT id FROM customer WHERE {key} > {c}")));
+        }
+    }
+    for carrier in [0, 3, 6, 9] {
+        seeds.push(q(&format!("SELECT id FROM orders WHERE carrier_id = {carrier}")));
+    }
+    for qty in [2, 5, 8] {
+        seeds.push(q(&format!("SELECT id FROM order_line WHERE quantity = {qty}")));
+    }
+    for rank in ["adm", "usr", "gst"] {
+        seeds.push(q(&format!("SELECT id FROM user WHERE rank = '{rank}'")));
+    }
+    build_labelled("PocketData", &seeds, 4)
+}
+
+fn build_labelled(name: &str, seeds: &[Query], per_cluster: usize) -> ClusteringDataset {
+    let mut queries = Vec::new();
+    let mut labels = Vec::new();
+    for (label, seed) in seeds.iter().enumerate() {
+        let vars = equivalent_variants(seed, per_cluster);
+        for v in vars {
+            queries.push(v);
+            labels.push(label);
+        }
+    }
+    ClusteringDataset { name: name.to_string(), queries, labels }
+}
+
+/// How two CH workload queries relate. Following §4.1.1 of the paper,
+/// the classification is *measured*: queries are generated randomly and
+/// pairs are classified by the row-id overlap of their executed results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PairKind {
+    /// Same seed and identical result sets (logically equivalent —
+    /// structural rewrites and sub-bucket constant jitters both land
+    /// here when the data has no rows between the constants).
+    Equivalent,
+    /// Same seed, overlapping but unequal results (same template,
+    /// different constants).
+    SameTemplate,
+    /// Different seeds.
+    Irrelevant,
+}
+
+/// The CH similarity workload.
+#[derive(Clone, Debug)]
+pub struct ChWorkload {
+    /// All queries.
+    pub queries: Vec<Query>,
+    /// Seed id per query.
+    pub seed_of: Vec<usize>,
+    /// Ground-truth pairwise similarity: result row-id Jaccard overlap.
+    pub overlap: Vec<Vec<f64>>,
+}
+
+impl ChWorkload {
+    /// Relation between queries `i` and `j`, classified from the measured
+    /// result overlap (§4.1.1).
+    pub fn pair_kind(&self, i: usize, j: usize) -> PairKind {
+        if self.seed_of[i] != self.seed_of[j] {
+            PairKind::Irrelevant
+        } else if self.overlap[i][j] >= 0.9999 {
+            PairKind::Equivalent
+        } else {
+            PairKind::SameTemplate
+        }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// CH seed templates (range predicates so constant shifts give partial
+/// result overlap).
+fn ch_seed(rng: &mut StdRng) -> Query {
+    let balance = rng.random_range(-50..600);
+    let qty = rng.random_range(2..8);
+    let date = 20180601 + rng.random_range(0..5) * 10000;
+    let cat_pairs =
+        [("food", "toys"), ("books", "media"), ("tools", "garden"), ("food", "books")];
+    let (c1, c2) = cat_pairs[rng.random_range(0..cat_pairs.len())];
+    match rng.random_range(0..6) {
+        0 => q(&format!("SELECT id FROM customer WHERE balance > {balance}")),
+        1 => q(&format!(
+            "SELECT c.id FROM customer c, orders o WHERE c.id = o.customer_id \
+             AND o.entry_date > {date}"
+        )),
+        2 => q(&format!("SELECT id FROM order_line WHERE quantity >= {qty}")),
+        3 => q(&format!("SELECT id FROM item WHERE category IN ('{c1}', '{c2}')")),
+        4 => q(&format!(
+            "SELECT o.id FROM orders o WHERE o.customer_id IN \
+             (SELECT c.id FROM customer c WHERE c.balance > {balance})"
+        )),
+        _ => q(&format!(
+            "SELECT id FROM order_line WHERE amount > {}",
+            rng.random_range(10..250)
+        )),
+    }
+}
+
+/// Builds the CH workload: `n_seeds` random seeds, each expanded with
+/// sub-bucket constant jitters (often result-identical on discrete
+/// data), bucket-crossing constant shifts (same template, partial
+/// overlap), and one structural rewrite; pairs are then classified by
+/// executing every query on `db` and measuring result overlap, exactly
+/// as §4.1.1 describes.
+pub fn ch_workload(db: &Database, n_seeds: usize, seed: u64) -> ChWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queries = Vec::new();
+    let mut seed_of = Vec::new();
+    for s in 0..n_seeds {
+        let base = ch_seed(&mut rng);
+        let mut push = |q: Query, queries: &mut Vec<Query>, seed_of: &mut Vec<usize>| {
+            if !queries.iter().any(|x| x.sql() == q.sql()) {
+                queries.push(q);
+                seed_of.push(s);
+            }
+        };
+        push(base.clone(), &mut queries, &mut seed_of);
+        // Sub-bucket jitters and bucket-crossing shifts.
+        for delta in [1, 2, 41, 173] {
+            push(rewrites::shift_constants(&base, delta), &mut queries, &mut seed_of);
+        }
+        // One structural rewrite when available.
+        let structural = rewrites::in_list_to_union(&base)
+            .or_else(|| rewrites::subquery_to_join(&base))
+            .unwrap_or_else(|| rewrites::shuffle_structure(&base));
+        push(structural, &mut queries, &mut seed_of);
+    }
+    // Measure ground-truth result overlap: Jaccard on the smallest table
+    // name shared by both queries (stable across rewrites that add join
+    // tables); queries with no shared table overlap 0.
+    let ids: Vec<Vec<(String, Vec<u32>)>> = queries
+        .iter()
+        .map(|query| {
+            execute(db, query)
+                .unwrap_or_else(|e| panic!("CH query failed: {e}\n{query}"))
+                .table_row_ids
+        })
+        .collect();
+    let n = queries.len();
+    let mut overlap = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        overlap[i][i] = 1.0;
+        for j in i + 1..n {
+            let common = ids[i].iter().find_map(|(t, v)| {
+                ids[j].iter().find(|(u, _)| u == t).map(|(_, w)| (v, w))
+            });
+            let o = match common {
+                Some((a, b)) => jaccard_sorted(a, b),
+                None => 0.0,
+            };
+            overlap[i][j] = o;
+            overlap[j][i] = o;
+        }
+    }
+    ChWorkload { queries, seed_of, overlap }
+}
+
+/// Jaccard of two sorted id lists.
+fn jaccard_sorted(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chdb::{generate, ChConfig};
+
+    #[test]
+    fn labelled_datasets_have_consistent_shapes() {
+        for ds in [iit_bombay(), ub_exam(), pocketdata()] {
+            assert_eq!(ds.queries.len(), ds.labels.len());
+            assert!(ds.num_clusters() >= 10, "{} too few clusters", ds.name);
+            assert!(ds.queries.len() >= 3 * ds.num_clusters());
+        }
+    }
+
+    #[test]
+    fn variants_within_cluster_are_distinct_strings() {
+        let ds = iit_bombay();
+        for label in 0..ds.num_clusters() {
+            let sqls: Vec<String> = ds
+                .queries
+                .iter()
+                .zip(&ds.labels)
+                .filter(|(_, &l)| l == label)
+                .map(|(qq, _)| qq.sql())
+                .collect();
+            let distinct: std::collections::HashSet<&String> = sqls.iter().collect();
+            assert_eq!(distinct.len(), sqls.len(), "cluster {label} has duplicate SQL");
+        }
+    }
+
+    #[test]
+    fn all_labelled_queries_execute_and_cluster_variants_agree() {
+        let db = generate(ChConfig::tiny());
+        let ds = iit_bombay();
+        for label in 0..ds.num_clusters() {
+            let members: Vec<&Query> = ds
+                .queries
+                .iter()
+                .zip(&ds.labels)
+                .filter(|(_, &l)| l == label)
+                .map(|(qq, _)| qq)
+                .collect();
+            let first = execute(&db, members[0]).unwrap().base_row_ids;
+            for m in &members[1..] {
+                let ids = execute(&db, m).unwrap().base_row_ids;
+                assert_eq!(ids, first, "variant not equivalent in cluster {label}: {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn ub_exam_has_cross_cluster_template_overlap() {
+        use preqr_sql::normalize::template_text;
+        let ds = ub_exam();
+        // At least two different clusters must share a normalized template.
+        let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        let mut conflict = false;
+        for (qq, &l) in ds.queries.iter().zip(&ds.labels) {
+            let t = template_text(qq);
+            if let Some(&other) = seen.get(&t) {
+                if other != l {
+                    conflict = true;
+                    break;
+                }
+            }
+            seen.insert(t, l);
+        }
+        assert!(conflict, "UB Exam profile must conflate templates across clusters");
+    }
+
+    #[test]
+    fn ch_workload_overlap_structure() {
+        let db = generate(ChConfig::tiny());
+        let w = ch_workload(&db, 6, 3);
+        assert!(w.len() >= 6 * 3, "got {} queries", w.len());
+        let mut counts = [0usize; 3];
+        let mut irrel_overlaps = Vec::new();
+        for i in 0..w.len() {
+            for jj in i + 1..w.len() {
+                match w.pair_kind(i, jj) {
+                    PairKind::Equivalent => {
+                        counts[0] += 1;
+                        assert!(w.overlap[i][jj] >= 0.9999, "by definition");
+                    }
+                    PairKind::SameTemplate => counts[1] += 1,
+                    PairKind::Irrelevant => {
+                        counts[2] += 1;
+                        irrel_overlaps.push(w.overlap[i][jj]);
+                    }
+                }
+            }
+        }
+        assert!(counts.iter().all(|&c| c > 0), "all three pair classes occur: {counts:?}");
+        let ir_mean: f64 =
+            irrel_overlaps.iter().sum::<f64>() / irrel_overlaps.len().max(1) as f64;
+        assert!(ir_mean < 0.5, "irrelevant pairs should overlap weakly, got {ir_mean}");
+    }
+
+    #[test]
+    fn jaccard_sorted_cases() {
+        assert_eq!(jaccard_sorted(&[], &[]), 1.0);
+        assert_eq!(jaccard_sorted(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(jaccard_sorted(&[1, 2], &[3]), 0.0);
+        assert!((jaccard_sorted(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,416 @@
+//! Deterministic, deliberately *correlated* mini-IMDB database.
+//!
+//! The paper evaluates estimation tasks on IMDB because "columns and
+//! tables have high correlations, and therefore the dataset proves to be
+//! very challenging". This generator reproduces that property
+//! synthetically:
+//!
+//! * `production_year` is skewed toward recent years;
+//! * `kind_id` correlates with year (series are recent);
+//! * the *number* of company/info/keyword/cast rows per movie grows with
+//!   year and depends on kind;
+//! * `company_id`, `keyword_id` and info values correlate with year and
+//!   kind (Zipf-like popularity).
+//!
+//! These correlations are exactly what breaks the independence assumption
+//! of the PG estimator and what learned estimators can pick up.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use preqr_engine::{Database, Datum};
+use preqr_schema::{Column, ColumnType, ForeignKey, Schema, Table};
+
+/// Generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ImdbConfig {
+    /// Number of `title` rows. Fact-table sizes scale with this.
+    pub movies: usize,
+    /// Number of distinct companies.
+    pub companies: usize,
+    /// Number of distinct keywords.
+    pub keywords: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ImdbConfig {
+    fn default() -> Self {
+        Self { movies: 20_000, companies: 800, keywords: 600, seed: 42 }
+    }
+}
+
+impl ImdbConfig {
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self { movies: 400, companies: 40, keywords: 30, seed: 42 }
+    }
+}
+
+/// The mini-IMDB schema: 9 tables connected by PK–FK relationships
+/// (paper: "22 tables, connected by the primary-foreign key
+/// relationships" — this keeps the JOB-light-relevant core).
+pub fn imdb_schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_table(Table::new(
+        "kind_type",
+        vec![Column::primary("id", ColumnType::Int), Column::new("kind", ColumnType::Varchar)],
+    ));
+    s.add_table(Table::new(
+        "company_name",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("name", ColumnType::Varchar),
+            Column::new("country_code", ColumnType::Varchar),
+        ],
+    ));
+    s.add_table(Table::new(
+        "info_type",
+        vec![Column::primary("id", ColumnType::Int), Column::new("info", ColumnType::Varchar)],
+    ));
+    s.add_table(Table::new(
+        "keyword",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("keyword", ColumnType::Varchar),
+        ],
+    ));
+    s.add_table(Table::new(
+        "title",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("title", ColumnType::Varchar),
+            Column::new("kind_id", ColumnType::Int),
+            Column::new("production_year", ColumnType::Int),
+            Column::new("season_nr", ColumnType::Int),
+            Column::new("episode_nr", ColumnType::Int),
+        ],
+    ));
+    s.add_table(Table::new(
+        "movie_companies",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("movie_id", ColumnType::Int),
+            Column::new("company_id", ColumnType::Int),
+            Column::new("company_type_id", ColumnType::Int),
+        ],
+    ));
+    s.add_table(Table::new(
+        "movie_info",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("movie_id", ColumnType::Int),
+            Column::new("info_type_id", ColumnType::Int),
+            Column::new("info", ColumnType::Varchar),
+        ],
+    ));
+    s.add_table(Table::new(
+        "movie_info_idx",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("movie_id", ColumnType::Int),
+            Column::new("info_type_id", ColumnType::Int),
+            Column::new("info", ColumnType::Int),
+        ],
+    ));
+    s.add_table(Table::new(
+        "movie_keyword",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("movie_id", ColumnType::Int),
+            Column::new("keyword_id", ColumnType::Int),
+        ],
+    ));
+    s.add_table(Table::new(
+        "cast_info",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("movie_id", ColumnType::Int),
+            Column::new("person_id", ColumnType::Int),
+            Column::new("role_id", ColumnType::Int),
+        ],
+    ));
+    for (from, to) in [
+        ("title", "kind_type"),
+        ("movie_companies", "title"),
+        ("movie_companies", "company_name"),
+        ("movie_info", "title"),
+        ("movie_info", "info_type"),
+        ("movie_info_idx", "title"),
+        ("movie_info_idx", "info_type"),
+        ("movie_keyword", "title"),
+        ("movie_keyword", "keyword"),
+        ("cast_info", "title"),
+    ] {
+        let from_column = match (from, to) {
+            ("title", "kind_type") => "kind_id",
+            ("movie_companies", "company_name") => "company_id",
+            ("movie_info", "info_type") | ("movie_info_idx", "info_type") => "info_type_id",
+            ("movie_keyword", "keyword") => "keyword_id",
+            _ => "movie_id",
+        };
+        s.add_foreign_key(ForeignKey {
+            from_table: from.into(),
+            from_column: from_column.into(),
+            to_table: to.into(),
+            to_column: "id".into(),
+        });
+    }
+    s
+}
+
+const KINDS: [&str; 7] =
+    ["movie", "tv series", "tv movie", "video movie", "tv mini series", "video game", "episode"];
+const COUNTRIES: [&str; 8] = ["us", "gb", "de", "fr", "jp", "in", "cn", "br"];
+const INFO_KINDS: [&str; 10] = [
+    "genres", "languages", "runtimes", "color info", "countries", "sound mix", "rating",
+    "votes", "budget", "release dates",
+];
+const GENRES: [&str; 12] = [
+    "drama", "comedy", "action", "thriller", "documentary", "horror", "romance", "animation",
+    "crime", "adventure", "fantasy", "mystery",
+];
+
+/// Zipf-like index in `0..n`: small indices are much more likely.
+fn zipf(rng: &mut StdRng, n: usize) -> usize {
+    let u: f64 = rng.random::<f64>();
+    let skew = 1.1f64;
+    let x = (u.powf(skew) * n as f64) as usize;
+    x.min(n - 1)
+}
+
+/// Generates the mini-IMDB database.
+pub fn generate(config: ImdbConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut db = Database::new(imdb_schema());
+
+    for (i, kind) in KINDS.iter().enumerate() {
+        db.insert("kind_type", &[Datum::Int(i as i64 + 1), Datum::Str((*kind).to_string())]);
+    }
+    for (i, info) in INFO_KINDS.iter().enumerate() {
+        db.insert("info_type", &[Datum::Int(i as i64 + 1), Datum::Str((*info).to_string())]);
+    }
+    for i in 0..config.companies {
+        // Company country correlates with id block.
+        let country = COUNTRIES[(i * COUNTRIES.len()) / config.companies.max(1)];
+        db.insert("company_name", &[
+            Datum::Int(i as i64 + 1),
+            Datum::Str(format!("{country} studio {i:04}")),
+            Datum::Str(country.to_string()),
+        ]);
+    }
+    for i in 0..config.keywords {
+        let theme = GENRES[i % GENRES.len()];
+        db.insert("keyword", &[
+            Datum::Int(i as i64 + 1),
+            Datum::Str(format!("{theme}-kw-{i:04}")),
+        ]);
+    }
+
+    let (mut mc_id, mut mi_id, mut mii_id, mut mk_id, mut ci_id) = (0i64, 0i64, 0i64, 0i64, 0i64);
+    for m in 0..config.movies {
+        let id = m as i64 + 1;
+        // Year: skewed toward recent (1930..2020), quadratic density.
+        let u: f64 = rng.random::<f64>();
+        let year = 1930 + (u.sqrt() * 90.0) as i64;
+        // Kind correlates with year: series/video games concentrate after
+        // 1990; early movies are almost always kind 1.
+        let kind = if year < 1990 {
+            if rng.random::<f64>() < 0.85 {
+                1
+            } else {
+                rng.random_range(2..=3)
+            }
+        } else {
+            1 + zipf(&mut rng, 7) as i64
+        };
+        let is_series = kind == 2 || kind == 5 || kind == 7;
+        let season = if is_series { rng.random_range(1..=15) } else { 0 };
+        let episode = if is_series { rng.random_range(1..=24) } else { 0 };
+        let genre = GENRES[zipf(&mut rng, GENRES.len())];
+        db.insert("title", &[
+            Datum::Int(id),
+            Datum::Str(format!("{genre} {} no{m:05}", KINDS[(kind - 1) as usize])),
+            Datum::Int(kind),
+            Datum::Int(year),
+            Datum::Int(season),
+            Datum::Int(episode),
+        ]);
+
+        // Companies per movie: recent movies have more (0..=5).
+        let recency = ((year - 1930) as f64 / 90.0).clamp(0.0, 1.0);
+        let n_mc = (rng.random::<f64>() * (1.0 + 4.0 * recency)) as usize;
+        for _ in 0..n_mc {
+            mc_id += 1;
+            // Companies cluster by era: a movie's company is drawn near
+            // the id block proportional to its year.
+            let base = (recency * (config.companies as f64 - 1.0)) as i64;
+            let jitter = rng.random_range(-(config.companies as i64) / 8..=(config.companies as i64) / 8);
+            let company = (base + jitter).clamp(0, config.companies as i64 - 1) + 1;
+            db.insert("movie_companies", &[
+                Datum::Int(mc_id),
+                Datum::Int(id),
+                Datum::Int(company),
+                Datum::Int(1 + zipf(&mut rng, 4) as i64),
+            ]);
+        }
+
+        // movie_info: 1..4 rows; info kind correlates with movie kind.
+        let n_mi = 1 + rng.random_range(0..4);
+        for _ in 0..n_mi {
+            mi_id += 1;
+            let it = if is_series { 1 + zipf(&mut rng, 4) as i64 } else { 1 + zipf(&mut rng, 10) as i64 };
+            let val = match it {
+                1 => GENRES[zipf(&mut rng, GENRES.len())].to_string(),
+                2 => ["english", "french", "german", "japanese"][zipf(&mut rng, 4)].to_string(),
+                _ => format!("v{}", rng.random_range(0..50)),
+            };
+            db.insert("movie_info", &[
+                Datum::Int(mi_id),
+                Datum::Int(id),
+                Datum::Int(it),
+                Datum::Str(val),
+            ]);
+        }
+
+        // movie_info_idx: ratings/votes; value correlates with year & kind.
+        if rng.random::<f64>() < 0.8 {
+            mii_id += 1;
+            let it = if rng.random::<f64>() < 0.5 { 7 } else { 8 };
+            let info = if it == 7 {
+                // Rating 10..100, older movies rated slightly higher.
+                (55.0 + 20.0 * rng.random::<f64>() + 15.0 * (1.0 - recency)) as i64
+            } else {
+                // Votes: recent movies get many more.
+                (10.0 + 5000.0 * recency * rng.random::<f64>()) as i64
+            };
+            db.insert("movie_info_idx", &[
+                Datum::Int(mii_id),
+                Datum::Int(id),
+                Datum::Int(it),
+                Datum::Int(info),
+            ]);
+        }
+
+        // movie_keyword: 0..6 rows, keyword popularity Zipf, theme follows
+        // the title's genre block.
+        let n_mk = rng.random_range(0..=6).min((config.keywords / 4).max(1));
+        for _ in 0..n_mk {
+            mk_id += 1;
+            let kw = 1 + zipf(&mut rng, config.keywords) as i64;
+            db.insert("movie_keyword", &[Datum::Int(mk_id), Datum::Int(id), Datum::Int(kw)]);
+        }
+
+        // cast_info: series have larger casts.
+        let n_ci = if is_series { rng.random_range(3..=10) } else { rng.random_range(1..=6) };
+        for _ in 0..n_ci {
+            ci_id += 1;
+            db.insert("cast_info", &[
+                Datum::Int(ci_id),
+                Datum::Int(id),
+                Datum::Int(rng.random_range(1..=(config.movies as i64 / 2 + 10))),
+                Datum::Int(1 + zipf(&mut rng, 11) as i64),
+            ]);
+        }
+    }
+    db
+}
+
+/// The six tables JOB-light queries draw from: `title` plus the five fact
+/// tables joined through `movie_id`.
+pub const JOB_LIGHT_FACTS: [&str; 5] =
+    ["movie_companies", "movie_info", "movie_info_idx", "movie_keyword", "cast_info"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preqr_engine::execute;
+    use preqr_sql::parser::parse;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(ImdbConfig::tiny());
+        let b = generate(ImdbConfig::tiny());
+        assert_eq!(a.row_count("movie_companies"), b.row_count("movie_companies"));
+        assert_eq!(
+            a.column("title", "production_year").unwrap().get(17),
+            b.column("title", "production_year").unwrap().get(17)
+        );
+    }
+
+    #[test]
+    fn all_tables_are_populated() {
+        let db = generate(ImdbConfig::tiny());
+        for t in db.schema().tables() {
+            assert!(db.row_count(&t.name) > 0, "table {} empty", t.name);
+        }
+        assert_eq!(db.row_count("title"), 400);
+    }
+
+    #[test]
+    fn foreign_keys_are_valid() {
+        let db = generate(ImdbConfig::tiny());
+        for fk in db.schema().foreign_keys().to_vec() {
+            let q = parse(&format!(
+                "SELECT COUNT(*) FROM {} x, {} y WHERE x.{} = y.{}",
+                fk.from_table, fk.to_table, fk.from_column, fk.to_column
+            ))
+            .unwrap();
+            let joined = execute(&db, &q).unwrap().join_cardinality;
+            assert_eq!(
+                joined as usize,
+                db.row_count(&fk.from_table),
+                "dangling fk {}.{}",
+                fk.from_table,
+                fk.from_column
+            );
+        }
+    }
+
+    #[test]
+    fn year_is_skewed_recent() {
+        let db = generate(ImdbConfig::tiny());
+        let q_new = parse("SELECT COUNT(*) FROM title WHERE title.production_year > 1990").unwrap();
+        let q_old = parse("SELECT COUNT(*) FROM title WHERE title.production_year < 1960").unwrap();
+        let new = execute(&db, &q_new).unwrap().join_cardinality;
+        let old = execute(&db, &q_old).unwrap().join_cardinality;
+        assert!(new > 2 * old, "expected recent skew: new={new} old={old}");
+    }
+
+    #[test]
+    fn kind_correlates_with_year() {
+        let db = generate(ImdbConfig::tiny());
+        // Fraction of kind=1 among old movies should far exceed that among
+        // recent ones.
+        let count = |sql: &str| execute(&db, &parse(sql).unwrap()).unwrap().join_cardinality as f64;
+        let old_k1 = count("SELECT COUNT(*) FROM title WHERE title.production_year < 1990 AND title.kind_id = 1");
+        let old = count("SELECT COUNT(*) FROM title WHERE title.production_year < 1990").max(1.0);
+        let new_k1 = count("SELECT COUNT(*) FROM title WHERE title.production_year >= 1990 AND title.kind_id = 1");
+        let new = count("SELECT COUNT(*) FROM title WHERE title.production_year >= 1990").max(1.0);
+        assert!(old_k1 / old > new_k1 / new + 0.1, "kind/year correlation missing");
+    }
+
+    #[test]
+    fn company_count_grows_with_year() {
+        let db = generate(ImdbConfig { movies: 2000, ..ImdbConfig::tiny() });
+        let count = |sql: &str| execute(&db, &parse(sql).unwrap()).unwrap().join_cardinality as f64;
+        let new_movies =
+            count("SELECT COUNT(*) FROM title WHERE title.production_year > 2000").max(1.0);
+        let old_movies =
+            count("SELECT COUNT(*) FROM title WHERE title.production_year < 1970").max(1.0);
+        let new_mc = count(
+            "SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id \
+             AND t.production_year > 2000",
+        );
+        let old_mc = count(
+            "SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id \
+             AND t.production_year < 1970",
+        );
+        assert!(
+            new_mc / new_movies > old_mc / old_movies + 0.5,
+            "companies-per-movie should grow with year: new={} old={}",
+            new_mc / new_movies,
+            old_mc / old_movies
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! `preqr-data` — synthetic datasets for the PreQR reproduction.
+//!
+//! Everything the paper's evaluation consumes, rebuilt synthetically per
+//! the substitution table in `DESIGN.md`:
+//!
+//! * [`imdb`] — a deterministic, deliberately correlated mini-IMDB;
+//! * [`chdb`] — a CH-benchmark-style database (plus Figure 2's
+//!   `user`/`accounts` tables);
+//! * [`workloads`] — Synthetic / Scale / JOB-light / JOB-full query
+//!   generators with the join distributions of Table 6, plus the MLM
+//!   pre-training corpus and ground-truth labelling via the engine;
+//! * [`rewrites`] — semantics-preserving rewrites (Figure 2's
+//!   equivalences) used to build clustering ground truth;
+//! * [`clustering`] — labelled clustering profiles (IIT Bombay / UB Exam /
+//!   PocketData stand-ins) and the CH result-overlap workload;
+//! * [`text`] — SQL-to-Text corpora in WikiSQL and StackOverflow styles;
+//! * [`splits`] — deterministic dataset splitting.
+
+#![warn(missing_docs)]
+pub mod chdb;
+pub mod clustering;
+pub mod imdb;
+pub mod rewrites;
+pub mod splits;
+pub mod text;
+pub mod workloads;
+
+pub use workloads::LabeledQuery;

@@ -1,0 +1,467 @@
+//! Semantics-preserving query rewrites.
+//!
+//! These produce the logically-equivalent variants of Figure 2: IN-list ↔
+//! UNION, IN-subquery ↔ join, BETWEEN ↔ range conjunction, plus purely
+//! syntactic shuffles (alias renaming, FROM-order and predicate-order
+//! permutation). The clustering datasets use them to build ground-truth
+//! equivalence groups.
+
+use preqr_sql::ast::{
+    CmpOp, ColumnRef, Expr, Query, Scalar, SelectStmt, Value,
+};
+
+/// Rewrites `col IN (v1, …, vk)` (in the top-level WHERE) into a UNION of
+/// `k` single-equality queries (Figure 2, q1 → q3). Returns `None` when
+/// the query has no top-level IN-list or already has UNIONs.
+pub fn in_list_to_union(q: &Query) -> Option<Query> {
+    if !q.unions.is_empty() {
+        return None;
+    }
+    let w = q.body.where_clause.as_ref()?;
+    let conjuncts: Vec<Expr> = w.conjuncts().into_iter().cloned().collect();
+    let pos = conjuncts
+        .iter()
+        .position(|c| matches!(c, Expr::InList { negated: false, .. }))?;
+    let (col, values) = match &conjuncts[pos] {
+        Expr::InList { col, values, .. } => (col.clone(), values.clone()),
+        _ => unreachable!("position found above"),
+    };
+    if values.len() < 2 {
+        return None;
+    }
+    let mut branches = Vec::with_capacity(values.len());
+    for v in values {
+        let mut c = conjuncts.clone();
+        c[pos] = Expr::Cmp {
+            left: Scalar::Column(col.clone()),
+            op: CmpOp::Eq,
+            right: Scalar::Value(v),
+        };
+        let mut stmt = q.body.clone();
+        stmt.where_clause = Some(Expr::and_all(c));
+        branches.push(stmt);
+    }
+    let body = branches.remove(0);
+    Some(Query { body, unions: branches })
+}
+
+/// Rewrites `BETWEEN low AND high` into `col >= low AND col <= high`.
+pub fn between_to_range(q: &Query) -> Option<Query> {
+    let mut q = q.clone();
+    let mut changed = false;
+    for stmt in std::iter::once(&mut q.body).chain(q.unions.iter_mut()) {
+        if let Some(w) = &stmt.where_clause {
+            let conjuncts: Vec<Expr> = w.conjuncts().into_iter().cloned().collect();
+            let mut out = Vec::with_capacity(conjuncts.len() + 1);
+            for c in conjuncts {
+                if let Expr::Between { col, low, high } = c {
+                    out.push(Expr::Cmp {
+                        left: Scalar::Column(col.clone()),
+                        op: CmpOp::Ge,
+                        right: Scalar::Value(low),
+                    });
+                    out.push(Expr::Cmp {
+                        left: Scalar::Column(col),
+                        op: CmpOp::Le,
+                        right: Scalar::Value(high),
+                    });
+                    changed = true;
+                } else {
+                    out.push(c);
+                }
+            }
+            stmt.where_clause = Some(Expr::and_all(out));
+        }
+    }
+    changed.then_some(q)
+}
+
+/// Rewrites `outer.fk IN (SELECT dim.id FROM dim WHERE p)` into an
+/// explicit join `FROM outer, dim WHERE outer.fk = dim.id AND p`
+/// (Figure 2, q4 → q5). Only handles single-table subqueries.
+pub fn subquery_to_join(q: &Query) -> Option<Query> {
+    if !q.unions.is_empty() {
+        return None;
+    }
+    let w = q.body.where_clause.as_ref()?;
+    let conjuncts: Vec<Expr> = w.conjuncts().into_iter().cloned().collect();
+    let pos = conjuncts
+        .iter()
+        .position(|c| matches!(c, Expr::InSubquery { negated: false, .. }))?;
+    let (outer_col, sub) = match &conjuncts[pos] {
+        Expr::InSubquery { col, subquery, .. } => (col.clone(), subquery.clone()),
+        _ => unreachable!("position found above"),
+    };
+    if !sub.unions.is_empty() || sub.body.from.len() != 1 || !sub.body.joins.is_empty() {
+        return None;
+    }
+    let sub_table = sub.body.from[0].clone();
+    let sub_col = match sub.body.projections.first()? {
+        preqr_sql::ast::SelectItem::Column(c) => c.clone(),
+        _ => return None,
+    };
+    let binding = sub_table.binding().to_string();
+    let qualified_sub_col = ColumnRef::qualified(binding, sub_col.column);
+    let mut stmt = q.body.clone();
+    stmt.from.push(sub_table);
+    let mut out = conjuncts;
+    out[pos] = Expr::Cmp {
+        left: Scalar::Column(outer_col),
+        op: CmpOp::Eq,
+        right: Scalar::Column(qualified_sub_col),
+    };
+    if let Some(sw) = &sub.body.where_clause {
+        out.push(sw.clone());
+    }
+    stmt.where_clause = Some(Expr::and_all(out));
+    Some(Query::single(stmt))
+}
+
+/// Renames every table alias `old → new` consistently (FROM list and all
+/// column qualifiers), producing a syntactically different but identical
+/// query.
+pub fn rename_aliases(q: &Query, suffix: &str) -> Query {
+    let mut q = q.clone();
+    for stmt in std::iter::once(&mut q.body).chain(q.unions.iter_mut()) {
+        let renames: Vec<(String, String)> = stmt
+            .from
+            .iter()
+            .chain(stmt.joins.iter().map(|j| &j.table))
+            .filter_map(|t| t.alias.as_ref().map(|a| (a.clone(), format!("{a}{suffix}"))))
+            .collect();
+        rename_in_stmt(stmt, &renames);
+    }
+    q
+}
+
+fn rename_in_stmt(stmt: &mut SelectStmt, renames: &[(String, String)]) {
+    let map = |name: &mut Option<String>| {
+        if let Some(n) = name {
+            if let Some((_, new)) = renames.iter().find(|(old, _)| old == n) {
+                *n = new.clone();
+            }
+        }
+    };
+    for t in stmt.from.iter_mut().chain(stmt.joins.iter_mut().map(|j| &mut j.table)) {
+        map(&mut t.alias);
+    }
+    let fix_col = |c: &mut ColumnRef| {
+        if let Some(t) = &mut c.table {
+            if let Some((_, new)) = renames.iter().find(|(old, _)| old == t) {
+                *t = new.clone();
+            }
+        }
+    };
+    fn fix_expr(e: &mut Expr, fix_col: &impl Fn(&mut ColumnRef)) {
+        match e {
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                fix_expr(a, fix_col);
+                fix_expr(b, fix_col);
+            }
+            Expr::Not(a) => fix_expr(a, fix_col),
+            Expr::Cmp { left, right, .. } => {
+                if let Scalar::Column(c) = left {
+                    fix_col(c);
+                }
+                if let Scalar::Column(c) = right {
+                    fix_col(c);
+                }
+            }
+            Expr::Between { col, .. }
+            | Expr::InList { col, .. }
+            | Expr::Like { col, .. }
+            | Expr::IsNull { col, .. }
+            | Expr::InSubquery { col, .. } => fix_col(col),
+        }
+    }
+    for p in &mut stmt.projections {
+        match p {
+            preqr_sql::ast::SelectItem::Column(c) => fix_col(c),
+            preqr_sql::ast::SelectItem::Aggregate { arg: Some(c), .. } => fix_col(c),
+            _ => {}
+        }
+    }
+    if let Some(w) = &mut stmt.where_clause {
+        fix_expr(w, &fix_col);
+    }
+    for j in &mut stmt.joins {
+        fix_expr(&mut j.on, &fix_col);
+    }
+    for c in stmt.group_by.iter_mut() {
+        fix_col(c);
+    }
+    for (c, _) in stmt.order_by.iter_mut() {
+        fix_col(c);
+    }
+    if let Some(h) = &mut stmt.having {
+        fix_expr(h, &fix_col);
+    }
+}
+
+/// Reverses the FROM list and predicate order (commutativity), keeping
+/// semantics.
+pub fn shuffle_structure(q: &Query) -> Query {
+    let mut q = q.clone();
+    for stmt in std::iter::once(&mut q.body).chain(q.unions.iter_mut()) {
+        stmt.from.reverse();
+        if let Some(w) = &stmt.where_clause {
+            let mut conjuncts: Vec<Expr> = w.conjuncts().into_iter().cloned().collect();
+            conjuncts.reverse();
+            stmt.where_clause = Some(Expr::and_all(conjuncts));
+        }
+    }
+    q
+}
+
+/// Adds a tautological duplicate of the first value predicate (`p AND p`),
+/// a common student-query redundancy.
+pub fn duplicate_predicate(q: &Query) -> Option<Query> {
+    let mut q = q.clone();
+    let w = q.body.where_clause.as_ref()?;
+    let conjuncts: Vec<Expr> = w.conjuncts().into_iter().cloned().collect();
+    let value_pred = conjuncts.iter().find(|c| {
+        matches!(c, Expr::Cmp { right: Scalar::Value(_), .. } | Expr::Between { .. })
+    })?;
+    let mut out = conjuncts.clone();
+    out.push(value_pred.clone());
+    q.body.where_clause = Some(Expr::and_all(out));
+    Some(q)
+}
+
+/// Gives every alias-less FROM table a fresh alias (`a0`, `a1`, …);
+/// unqualified column references remain valid, so semantics are
+/// unchanged while the text differs.
+pub fn add_aliases(q: &Query) -> Option<Query> {
+    let mut q = q.clone();
+    let mut changed = false;
+    for stmt in std::iter::once(&mut q.body).chain(q.unions.iter_mut()) {
+        for (i, t) in stmt.from.iter_mut().enumerate() {
+            if t.alias.is_none() {
+                t.alias = Some(format!("a{i}"));
+                changed = true;
+            }
+        }
+    }
+    changed.then_some(q)
+}
+
+/// Rewrites the first `col = v` predicate into the singleton
+/// `col IN (v)` — identical semantics, different surface form.
+pub fn eq_to_in_singleton(q: &Query) -> Option<Query> {
+    let mut q = q.clone();
+    let w = q.body.where_clause.as_ref()?;
+    let conjuncts: Vec<Expr> = w.conjuncts().into_iter().cloned().collect();
+    let pos = conjuncts.iter().position(|c| {
+        matches!(
+            c,
+            Expr::Cmp { left: Scalar::Column(_), op: CmpOp::Eq, right: Scalar::Value(_) }
+        )
+    })?;
+    let mut out = conjuncts;
+    if let Expr::Cmp { left: Scalar::Column(c), right: Scalar::Value(v), .. } = &out[pos] {
+        out[pos] =
+            Expr::InList { col: c.clone(), values: vec![v.clone()], negated: false };
+    }
+    q.body.where_clause = Some(Expr::and_all(out));
+    Some(q)
+}
+
+/// Rewrites the first ordering comparison `col ⊕ v` into the equivalent
+/// `NOT (col ⊖ v)` with the complementary operator.
+pub fn negate_comparison(q: &Query) -> Option<Query> {
+    let mut q = q.clone();
+    let w = q.body.where_clause.as_ref()?;
+    let conjuncts: Vec<Expr> = w.conjuncts().into_iter().cloned().collect();
+    let pos = conjuncts.iter().position(|c| {
+        matches!(
+            c,
+            Expr::Cmp {
+                left: Scalar::Column(_),
+                op: CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge,
+                right: Scalar::Value(_),
+            }
+        )
+    })?;
+    let mut out = conjuncts;
+    if let Expr::Cmp { left, op, right } = out[pos].clone() {
+        let complement = match op {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+            other => other,
+        };
+        out[pos] = Expr::Not(Box::new(Expr::Cmp { left, op: complement, right }));
+    }
+    q.body.where_clause = Some(Expr::and_all(out));
+    Some(q)
+}
+
+/// Appends a tautological `col IS NOT NULL` for the first predicate
+/// column (NOT NULL data ⇒ semantics unchanged), a common log artifact.
+pub fn add_not_null(q: &Query) -> Option<Query> {
+    let mut q = q.clone();
+    let w = q.body.where_clause.as_ref()?;
+    let first_col = w.columns().first().map(|c| (*c).clone())?;
+    let conjuncts: Vec<Expr> = w.conjuncts().into_iter().cloned().collect();
+    let mut out = conjuncts;
+    out.push(Expr::IsNull { col: first_col, negated: true });
+    q.body.where_clause = Some(Expr::and_all(out));
+    Some(q)
+}
+
+/// Makes a same-template variant: shifts every numeric literal by `delta`
+/// (NOT equivalent — same template, different constants).
+pub fn shift_constants(q: &Query, delta: i64) -> Query {
+    let mut q = q.clone();
+    for stmt in std::iter::once(&mut q.body).chain(q.unions.iter_mut()) {
+        if let Some(w) = &mut stmt.where_clause {
+            shift_expr(w, delta);
+        }
+    }
+    q
+}
+
+fn shift_expr(e: &mut Expr, delta: i64) {
+    match e {
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            shift_expr(a, delta);
+            shift_expr(b, delta);
+        }
+        Expr::Not(a) => shift_expr(a, delta),
+        Expr::Cmp { right: Scalar::Value(Value::Int(v)), .. } => *v += delta,
+        Expr::Between { low, high, .. } => {
+            if let Value::Int(v) = low {
+                *v += delta;
+            }
+            if let Value::Int(v) = high {
+                *v += delta;
+            }
+        }
+        Expr::InList { values, .. } => {
+            for v in values {
+                if let Value::Int(x) = v {
+                    *x += delta;
+                }
+            }
+        }
+        Expr::InSubquery { subquery, .. } => {
+            for s in std::iter::once(&mut subquery.body).chain(subquery.unions.iter_mut()) {
+                if let Some(w) = &mut s.where_clause {
+                    shift_expr(w, delta);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Replaces the FROM tables with different ones of the same arity —
+/// a *template-equal but semantically different* variant (used to test
+/// that metrics don't conflate template similarity with equivalence).
+pub fn swap_table(q: &Query, from: &str, to: &str) -> Query {
+    let mut q = q.clone();
+    for stmt in std::iter::once(&mut q.body).chain(q.unions.iter_mut()) {
+        for t in stmt.from.iter_mut().chain(stmt.joins.iter_mut().map(|j| &mut j.table)) {
+            if t.table == from {
+                t.table = to.to_string();
+            }
+        }
+    }
+    q
+}
+
+/// Convenience: `TableRef`-preserving deep equality of result semantics is
+/// tested by executing; this helper just parses.
+pub fn parse(sql: &str) -> Query {
+    preqr_sql::parser::parse(sql).expect("valid rewrite test SQL")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_list_to_union_matches_figure2() {
+        let q1 = parse("SELECT name FROM user WHERE rank IN ('adm', 'sup')");
+        let q3 = in_list_to_union(&q1).unwrap();
+        assert_eq!(
+            q3.sql(),
+            "SELECT name FROM user WHERE rank = 'adm' \
+             UNION SELECT name FROM user WHERE rank = 'sup'"
+        );
+    }
+
+    #[test]
+    fn in_list_to_union_requires_multi_values() {
+        let q = parse("SELECT name FROM user WHERE rank IN ('adm')");
+        assert!(in_list_to_union(&q).is_none());
+        let no_in = parse("SELECT name FROM user WHERE rank = 'adm'");
+        assert!(in_list_to_union(&no_in).is_none());
+    }
+
+    #[test]
+    fn between_to_range_round_trip_semantics() {
+        let q = parse("SELECT COUNT(*) FROM t WHERE t.y BETWEEN 3 AND 9 AND t.k = 1");
+        let r = between_to_range(&q).unwrap();
+        assert_eq!(
+            r.sql(),
+            "SELECT COUNT(*) FROM t WHERE t.y >= 3 AND t.y <= 9 AND t.k = 1"
+        );
+        assert!(between_to_range(&r).is_none(), "no BETWEEN left");
+    }
+
+    #[test]
+    fn subquery_to_join_matches_figure2() {
+        let q4 = parse(
+            "SELECT SUM(balance) FROM accounts WHERE user_id IN \
+             (SELECT id FROM user WHERE rank = 'adm')",
+        );
+        let q5 = subquery_to_join(&q4).unwrap();
+        assert_eq!(
+            q5.sql(),
+            "SELECT SUM(balance) FROM accounts, user \
+             WHERE user_id = user.id AND rank = 'adm'"
+        );
+    }
+
+    #[test]
+    fn rename_aliases_is_consistent() {
+        let q = parse("SELECT t.id FROM title t, movie_companies mc WHERE t.id = mc.movie_id");
+        let r = rename_aliases(&q, "2");
+        assert_eq!(
+            r.sql(),
+            "SELECT t2.id FROM title t2, movie_companies mc2 WHERE t2.id = mc2.movie_id"
+        );
+    }
+
+    #[test]
+    fn shuffle_reverses_from_and_predicates() {
+        let q = parse("SELECT COUNT(*) FROM a x, b y WHERE x.id = y.a_id AND x.v > 1");
+        let r = shuffle_structure(&q);
+        assert_eq!(r.sql(), "SELECT COUNT(*) FROM b y, a x WHERE x.v > 1 AND x.id = y.a_id");
+    }
+
+    #[test]
+    fn shift_constants_changes_only_literals() {
+        let q = parse("SELECT COUNT(*) FROM t WHERE t.y > 2000 AND t.k IN (1, 2)");
+        let r = shift_constants(&q, 5);
+        assert_eq!(r.sql(), "SELECT COUNT(*) FROM t WHERE t.y > 2005 AND t.k IN (6, 7)");
+    }
+
+    #[test]
+    fn swap_table_changes_semantics_not_template() {
+        let q = parse("SELECT COUNT(*) FROM movie_info mi WHERE mi.info_type_id = 1");
+        let r = swap_table(&q, "movie_info", "movie_info_idx");
+        assert!(r.sql().contains("movie_info_idx"));
+        use preqr_sql::normalize::state_keys;
+        assert_eq!(state_keys(&q), state_keys(&r), "template (state keys) unchanged");
+    }
+
+    #[test]
+    fn duplicate_predicate_appends_tautology() {
+        let q = parse("SELECT COUNT(*) FROM t WHERE t.y > 2000");
+        let r = duplicate_predicate(&q).unwrap();
+        assert_eq!(r.sql(), "SELECT COUNT(*) FROM t WHERE t.y > 2000 AND t.y > 2000");
+    }
+}

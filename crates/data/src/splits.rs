@@ -1,0 +1,73 @@
+//! Deterministic train/validation/test splitting.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A three-way index split.
+#[derive(Clone, Debug)]
+pub struct Split {
+    /// Training indices.
+    pub train: Vec<usize>,
+    /// Validation indices.
+    pub valid: Vec<usize>,
+    /// Test indices.
+    pub test: Vec<usize>,
+}
+
+/// Splits `n` items into train/valid/test by the given fractions
+/// (test takes the remainder), shuffled with `seed`.
+///
+/// # Panics
+/// Panics if the fractions are negative or sum above 1.
+pub fn split(n: usize, train_frac: f64, valid_frac: f64, seed: u64) -> Split {
+    assert!(train_frac >= 0.0 && valid_frac >= 0.0 && train_frac + valid_frac <= 1.0);
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let n_train = (n as f64 * train_frac).round() as usize;
+    let n_valid = (n as f64 * valid_frac).round() as usize;
+    let train = idx[..n_train.min(n)].to_vec();
+    let valid = idx[n_train.min(n)..(n_train + n_valid).min(n)].to_vec();
+    let test = idx[(n_train + n_valid).min(n)..].to_vec();
+    Split { train, valid, test }
+}
+
+/// Selects items by index.
+pub fn take<T: Clone>(items: &[T], indices: &[usize]) -> Vec<T> {
+    indices.iter().map(|&i| items[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_partitions_everything() {
+        let s = split(100, 0.8, 0.1, 1);
+        assert_eq!(s.train.len(), 80);
+        assert_eq!(s.valid.len(), 10);
+        assert_eq!(s.test.len(), 10);
+        let mut all: Vec<usize> =
+            s.train.iter().chain(&s.valid).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        assert_eq!(split(50, 0.5, 0.2, 9).train, split(50, 0.5, 0.2, 9).train);
+        assert_ne!(split(50, 0.5, 0.2, 9).train, split(50, 0.5, 0.2, 10).train);
+    }
+
+    #[test]
+    fn take_selects_in_order() {
+        let items = vec!["a", "b", "c", "d"];
+        assert_eq!(take(&items, &[3, 0]), vec!["d", "a"]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_fractions() {
+        let _ = split(10, 0.9, 0.2, 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! SQL-to-Text corpora (§4.1.3).
+//!
+//! WikiSQL and StackOverflow are hand-annotated (SQL, natural-language
+//! question) corpora; this module generates the synthetic equivalent:
+//! simple queries paired with templated natural-language descriptions in
+//! two styles — question-form ("wikisql") and imperative-form
+//! ("stackoverflow") — with lexical variation so the task is non-trivial
+//! and BLEU-measurable. Each pair carries two reference renderings.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use preqr_sql::ast::{
+    AggFunc, CmpOp, ColumnRef, Expr, Query, Scalar, SelectItem, SelectStmt, TableRef, Value,
+};
+
+/// One SQL ↔ text pair.
+#[derive(Clone, Debug)]
+pub struct TextPair {
+    /// The query.
+    pub query: Query,
+    /// Tokenized reference descriptions (≥ 1; the first is the canonical
+    /// training target, all are BLEU references).
+    pub references: Vec<Vec<String>>,
+}
+
+/// Corpus style.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TextStyle {
+    /// Question form ("how many customers have a balance above 500").
+    WikiSql,
+    /// Imperative form ("count the customers whose balance exceeds 500").
+    StackOverflow,
+}
+
+const TABLE_NOUNS: [(&str, &str); 6] = [
+    ("customer", "customers"),
+    ("orders", "orders"),
+    ("item", "items"),
+    ("order_line", "order lines"),
+    ("user", "users"),
+    ("district", "districts"),
+];
+
+const NUM_COLS: [(&str, &str, &str); 6] = [
+    ("customer", "balance", "balance"),
+    ("customer", "discount", "discount"),
+    ("orders", "carrier_id", "carrier id"),
+    ("order_line", "quantity", "quantity"),
+    ("item", "price", "price"),
+    ("district", "tax", "tax rate"),
+];
+
+const STR_COLS: [(&str, &str, &str, &[&str]); 2] = [
+    ("item", "category", "category", &["food", "toys", "books", "media"]),
+    ("user", "rank", "rank", &["adm", "sup", "usr", "gst"]),
+];
+
+fn noun(table: &str) -> &'static str {
+    TABLE_NOUNS.iter().find(|(t, _)| *t == table).map_or("rows", |(_, n)| n)
+}
+
+fn words(s: &str) -> Vec<String> {
+    s.split_whitespace().map(str::to_string).collect()
+}
+
+/// Generates `n` pairs in the given style.
+pub fn corpus(style: TextStyle, n: usize, seed: u64) -> Vec<TextPair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| generate_pair(style, &mut rng)).collect()
+}
+
+fn generate_pair(style: TextStyle, rng: &mut StdRng) -> TextPair {
+    // Pick table + predicate.
+    let use_string = rng.random::<f64>() < 0.3;
+    let (table, pred, cond_a, cond_b) = if use_string {
+        let (t, col, phrase, vals) = STR_COLS[rng.random_range(0..STR_COLS.len())];
+        let v = vals[rng.random_range(0..vals.len())];
+        let pred = Expr::Cmp {
+            left: Scalar::Column(ColumnRef::bare(col)),
+            op: CmpOp::Eq,
+            right: Scalar::Value(Value::Str(v.to_string())),
+        };
+        (t, pred, format!("with {phrase} {v}"), format!("whose {phrase} is {v}"))
+    } else {
+        let (t, col, phrase) = NUM_COLS[rng.random_range(0..NUM_COLS.len())];
+        let v = rng.random_range(1..900);
+        let (op, op_a, op_b): (CmpOp, &str, &str) = match rng.random_range(0..3) {
+            0 => (CmpOp::Gt, "greater than", "above"),
+            1 => (CmpOp::Lt, "less than", "below"),
+            _ => (CmpOp::Eq, "equal to", "of exactly"),
+        };
+        let pred = Expr::Cmp {
+            left: Scalar::Column(ColumnRef::bare(col)),
+            op,
+            right: Scalar::Value(Value::Int(v)),
+        };
+        (t, pred, format!("with {phrase} {op_a} {v}"), format!("whose {phrase} is {op_b} {v}"))
+    };
+
+    // Pick projection.
+    let proj_kind = rng.random_range(0..3);
+    let (projections, verb_a, verb_b): (Vec<SelectItem>, String, String) = match proj_kind {
+        0 => (
+            vec![SelectItem::Aggregate { func: AggFunc::Count, arg: None, distinct: false }],
+            format!("how many {}", noun(table)),
+            format!("count the {}", noun(table)),
+        ),
+        1 => (
+            vec![SelectItem::Column(ColumnRef::bare("name"))],
+            format!("what are the names of {}", noun(table)),
+            format!("list the names of {}", noun(table)),
+        ),
+        _ => {
+            let (_, col, phrase) = NUM_COLS
+                .iter()
+                .find(|(t, _, _)| *t == table)
+                .copied()
+                .unwrap_or(("customer", "id", "id"));
+            (
+                vec![SelectItem::Aggregate {
+                    func: AggFunc::Avg,
+                    arg: Some(ColumnRef::bare(col)),
+                    distinct: false,
+                }],
+                format!("what is the average {phrase} of {}", noun(table)),
+                format!("compute the average {phrase} of {}", noun(table)),
+            )
+        }
+    };
+
+    let stmt = SelectStmt {
+        projections,
+        from: vec![TableRef::new(table)],
+        where_clause: Some(pred),
+        ..Default::default()
+    };
+    let query = Query::single(stmt);
+
+    let references = match style {
+        TextStyle::WikiSql => vec![
+            words(&format!("{verb_a} {cond_a}")),
+            words(&format!("{verb_a} {cond_b}")),
+        ],
+        TextStyle::StackOverflow => vec![
+            words(&format!("{verb_b} {cond_b}")),
+            words(&format!("{verb_b} {cond_a}")),
+        ],
+    };
+    TextPair { query, references }
+}
+
+/// All target-side words that can appear in any reference (the decoder
+/// vocabulary).
+pub fn target_vocabulary(pairs: &[TextPair]) -> Vec<String> {
+    let mut set: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for p in pairs {
+        for r in &p.references {
+            set.extend(r.iter().cloned());
+        }
+    }
+    set.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_parses() {
+        let a = corpus(TextStyle::WikiSql, 50, 1);
+        let b = corpus(TextStyle::WikiSql, 50, 1);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.query.sql(), y.query.sql());
+            assert_eq!(x.references, y.references);
+        }
+        for p in &a {
+            assert!(preqr_sql::parser::parse(&p.query.sql()).is_ok());
+            assert_eq!(p.references.len(), 2);
+            assert!(!p.references[0].is_empty());
+        }
+    }
+
+    #[test]
+    fn styles_differ_lexically() {
+        let wiki = corpus(TextStyle::WikiSql, 30, 2);
+        let stack = corpus(TextStyle::StackOverflow, 30, 2);
+        let wiki_words: std::collections::HashSet<String> =
+            wiki.iter().flat_map(|p| p.references[0].clone()).collect();
+        let stack_words: std::collections::HashSet<String> =
+            stack.iter().flat_map(|p| p.references[0].clone()).collect();
+        assert!(wiki_words.contains("how") || wiki_words.contains("what"));
+        assert!(stack_words.contains("count") || stack_words.contains("list"));
+    }
+
+    #[test]
+    fn descriptions_reflect_query_contents() {
+        for p in corpus(TextStyle::WikiSql, 80, 3) {
+            let sql = p.query.sql();
+            let text = p.references[0].join(" ");
+            if sql.contains("COUNT(*)") {
+                assert!(text.starts_with("how many"), "{sql} → {text}");
+            }
+            if sql.contains("AVG(") {
+                assert!(text.contains("average"), "{sql} → {text}");
+            }
+            // The literal value must appear in the text.
+            if let Some(Expr::Cmp { right: Scalar::Value(Value::Int(v)), .. }) =
+                &p.query.body.where_clause
+            {
+                assert!(text.contains(&v.to_string()), "{sql} → {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn target_vocabulary_is_compact() {
+        let pairs = corpus(TextStyle::StackOverflow, 200, 4);
+        let vocab = target_vocabulary(&pairs);
+        assert!(vocab.len() > 20);
+        assert!(vocab.len() < 1200, "vocabulary should be compact, got {}", vocab.len());
+    }
+}

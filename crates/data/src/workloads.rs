@@ -1,0 +1,501 @@
+//! Workload generators mirroring §4.1.2 and Table 6 of the paper.
+//!
+//! * **Synthetic** — 5,000 unique queries, conjunctive equality/range
+//!   predicates on non-key numeric columns, 0–2 joins (1636/1407/1957).
+//! * **Scale** — 500 queries, 100 per join count 0–4, showing
+//!   generalization to more joins than trained on.
+//! * **JOB-light** — 70 queries, numeric predicates only, ≤ 4 joins with
+//!   the distribution 0/3/32/23/12.
+//! * **JOB-full** — string *and* numeric predicates, 4+ joins through the
+//!   dimension tables (the paper's JOB with 4–28 joins, scaled to this
+//!   schema).
+//! * **Pre-training corpus** — the large mixed-shape query set PreQR's
+//!   MLM is trained on (the paper uses 100,000 queries; the scale here is
+//!   configurable).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use preqr_engine::{execute, CostModel, Database};
+use preqr_sql::ast::{
+    AggFunc, CmpOp, ColumnRef, Expr, Query, Scalar, SelectItem, SelectStmt, TableRef, Value,
+};
+
+/// A query labelled with its ground truth.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LabeledQuery {
+    /// The query.
+    pub query: Query,
+    /// True join cardinality (≥ 1 for log-space learning).
+    pub card: u64,
+    /// True plan cost from the engine cost model on true intermediate
+    /// sizes.
+    pub cost: f64,
+    /// Number of equi-join predicates.
+    pub num_joins: usize,
+}
+
+/// The fact tables joined to `title` through `movie_id`, with their
+/// standard aliases and numeric predicate columns.
+const FACTS: [(&str, &str, &[&str]); 5] = [
+    ("movie_companies", "mc", &["company_id", "company_type_id"]),
+    ("movie_info", "mi", &["info_type_id"]),
+    ("movie_info_idx", "mii", &["info_type_id", "info"]),
+    ("movie_keyword", "mk", &["keyword_id"]),
+    ("cast_info", "ci", &["person_id", "role_id"]),
+];
+
+const TITLE_COLS: [&str; 4] = ["production_year", "kind_id", "season_nr", "episode_nr"];
+
+fn col(alias: &str, name: &str) -> ColumnRef {
+    ColumnRef::qualified(alias, name)
+}
+
+/// Samples a literal from the actual column data (so predicates hit
+/// realistic values).
+fn sample_value(db: &Database, table: &str, column: &str, rng: &mut StdRng) -> i64 {
+    let data = db.column(table, column).expect("numeric workload column");
+    let n = data.len();
+    if n == 0 {
+        return 0;
+    }
+    data.get_f64(rng.random_range(0..n)).unwrap_or(0.0) as i64
+}
+
+fn numeric_predicate(db: &Database, table: &str, alias: &str, column: &str, rng: &mut StdRng) -> Expr {
+    let v = sample_value(db, table, column, rng);
+    let op = match rng.random_range(0..5) {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Lt,
+        2 => CmpOp::Le,
+        3 => CmpOp::Gt,
+        _ => CmpOp::Ge,
+    };
+    Expr::Cmp {
+        left: Scalar::Column(col(alias, column)),
+        op,
+        right: Scalar::Value(Value::Int(v)),
+    }
+}
+
+fn count_star() -> Vec<SelectItem> {
+    vec![SelectItem::Aggregate { func: AggFunc::Count, arg: None, distinct: false }]
+}
+
+/// Builds a star query: `title` joined with `n_joins` distinct fact
+/// tables, plus `n_preds` numeric predicates spread over the chosen
+/// tables. With `n_joins == 0` a single table is used (title or a fact).
+fn star_query(db: &Database, n_joins: usize, n_preds: usize, rng: &mut StdRng) -> Query {
+    assert!(n_joins <= FACTS.len(), "at most {} star joins", FACTS.len());
+    let mut stmt = SelectStmt { projections: count_star(), ..Default::default() };
+    let mut preds: Vec<Expr> = Vec::new();
+    // Choose tables.
+    let mut fact_idx: Vec<usize> = (0..FACTS.len()).collect();
+    for i in (1..fact_idx.len()).rev() {
+        let j = rng.random_range(0..=i);
+        fact_idx.swap(i, j);
+    }
+    let facts = &fact_idx[..n_joins];
+    // Predicate site list: (table, alias, columns).
+    let mut sites: Vec<(&str, &str, Vec<&str>)> = Vec::new();
+    if n_joins == 0 && rng.random::<f64>() < 0.4 {
+        // Single fact table.
+        let (t, a, cols) = FACTS[fact_idx[0]];
+        stmt.from.push(TableRef::aliased(t, a));
+        sites.push((t, a, cols.to_vec()));
+    } else {
+        stmt.from.push(TableRef::aliased("title", "t"));
+        sites.push(("title", "t", TITLE_COLS.to_vec()));
+        for &f in facts {
+            let (t, a, cols) = FACTS[f];
+            stmt.from.push(TableRef::aliased(t, a));
+            preds.push(Expr::Cmp {
+                left: Scalar::Column(col("t", "id")),
+                op: CmpOp::Eq,
+                right: Scalar::Column(col(a, "movie_id")),
+            });
+            sites.push((t, a, cols.to_vec()));
+        }
+    }
+    // Numeric predicates.
+    for _ in 0..n_preds.max(1) {
+        let (t, a, cols) = &sites[rng.random_range(0..sites.len())];
+        let c = cols[rng.random_range(0..cols.len())];
+        preds.push(numeric_predicate(db, t, a, c, rng));
+    }
+    stmt.where_clause = Some(Expr::and_all(preds));
+    Query::single(stmt)
+}
+
+/// The Synthetic workload: `n` queries, join distribution of Table 6
+/// (1636 : 1407 : 1957 over 0/1/2 joins).
+pub fn synthetic(db: &Database, n: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let r: f64 = rng.random();
+            let joins = if r < 1636.0 / 5000.0 {
+                0
+            } else if r < (1636.0 + 1407.0) / 5000.0 {
+                1
+            } else {
+                2
+            };
+            star_query(db, joins, rng.random_range(1..=3), &mut rng)
+        })
+        .collect()
+}
+
+/// The Scale workload: 100 queries per join count 0–4 (Table 6).
+pub fn scale(db: &Database, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(500);
+    for joins in 0..=4 {
+        for _ in 0..100 {
+            out.push(star_query(db, joins, rng.random_range(1..=3), &mut rng));
+        }
+    }
+    out
+}
+
+/// The JOB-light-style workload: 70 queries with the join distribution
+/// 0/3/32/23/12 over 0–4 joins (Table 6), numeric predicates only.
+pub fn job_light(db: &Database, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist: [(usize, usize); 5] = [(0, 0), (1, 3), (2, 32), (3, 23), (4, 12)];
+    let mut out = Vec::with_capacity(70);
+    for (joins, count) in dist {
+        for _ in 0..count {
+            out.push(star_query(db, joins, rng.random_range(1..=4), &mut rng));
+        }
+    }
+    out
+}
+
+const LIKE_FRAGMENTS: [&str; 6] = ["%drama%", "%comedy%", "%action%", "studio 0%", "%kw-0%", "%series%"];
+const COUNTRY_CODES: [&str; 8] = ["us", "gb", "de", "fr", "jp", "in", "cn", "br"];
+const INFO_VALUES: [&str; 6] = ["drama", "comedy", "english", "german", "french", "action"];
+
+/// The JOB-style workload with string predicates: each query joins
+/// `title` with 2–4 fact tables *and* their dimension tables (4–8 joins
+/// total) and mixes LIKE / equality / IN string predicates with numeric
+/// ones.
+pub fn job_full(db: &Database, n: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| job_full_query(db, &mut rng)).collect()
+}
+
+fn job_full_query(db: &Database, rng: &mut StdRng) -> Query {
+    let mut stmt = SelectStmt { projections: count_star(), ..Default::default() };
+    let mut preds: Vec<Expr> = Vec::new();
+    stmt.from.push(TableRef::aliased("title", "t"));
+
+    // Always join kind_type (a dimension) half of the time.
+    if rng.random::<f64>() < 0.5 {
+        stmt.from.push(TableRef::aliased("kind_type", "kt"));
+        preds.push(Expr::Cmp {
+            left: Scalar::Column(col("t", "kind_id")),
+            op: CmpOp::Eq,
+            right: Scalar::Column(col("kt", "id")),
+        });
+        let kinds = ["movie", "tv series", "tv movie", "episode"];
+        preds.push(Expr::Cmp {
+            left: Scalar::Column(col("kt", "kind")),
+            op: CmpOp::Eq,
+            right: Scalar::Value(Value::Str(kinds[rng.random_range(0..kinds.len())].into())),
+        });
+    }
+
+    // 2–4 facts with optional dimensions.
+    let mut fact_idx: Vec<usize> = (0..FACTS.len()).collect();
+    for i in (1..fact_idx.len()).rev() {
+        let j = rng.random_range(0..=i);
+        fact_idx.swap(i, j);
+    }
+    let n_facts = rng.random_range(2..=4);
+    for &f in fact_idx.iter().take(n_facts) {
+        let (t, a, cols) = FACTS[f];
+        stmt.from.push(TableRef::aliased(t, a));
+        preds.push(Expr::Cmp {
+            left: Scalar::Column(col("t", "id")),
+            op: CmpOp::Eq,
+            right: Scalar::Column(col(a, "movie_id")),
+        });
+        match t {
+            "movie_companies" if rng.random::<f64>() < 0.7 => {
+                stmt.from.push(TableRef::aliased("company_name", "cn"));
+                preds.push(Expr::Cmp {
+                    left: Scalar::Column(col(a, "company_id")),
+                    op: CmpOp::Eq,
+                    right: Scalar::Column(col("cn", "id")),
+                });
+                if rng.random::<f64>() < 0.6 {
+                    preds.push(Expr::Cmp {
+                        left: Scalar::Column(col("cn", "country_code")),
+                        op: CmpOp::Eq,
+                        right: Scalar::Value(Value::Str(
+                            COUNTRY_CODES[rng.random_range(0..COUNTRY_CODES.len())].into(),
+                        )),
+                    });
+                } else {
+                    preds.push(Expr::Like {
+                        col: col("cn", "name"),
+                        pattern: LIKE_FRAGMENTS[rng.random_range(0..LIKE_FRAGMENTS.len())].into(),
+                        negated: false,
+                    });
+                }
+            }
+            "movie_keyword" if rng.random::<f64>() < 0.7 => {
+                stmt.from.push(TableRef::aliased("keyword", "k"));
+                preds.push(Expr::Cmp {
+                    left: Scalar::Column(col(a, "keyword_id")),
+                    op: CmpOp::Eq,
+                    right: Scalar::Column(col("k", "id")),
+                });
+                preds.push(Expr::Like {
+                    col: col("k", "keyword"),
+                    pattern: format!(
+                        "{}%",
+                        INFO_VALUES[rng.random_range(0..INFO_VALUES.len())]
+                    ),
+                    negated: false,
+                });
+            }
+            "movie_info" if rng.random::<f64>() < 0.6 => {
+                if rng.random::<f64>() < 0.5 {
+                    preds.push(Expr::Cmp {
+                        left: Scalar::Column(col(a, "info")),
+                        op: CmpOp::Eq,
+                        right: Scalar::Value(Value::Str(
+                            INFO_VALUES[rng.random_range(0..INFO_VALUES.len())].into(),
+                        )),
+                    });
+                } else {
+                    let a_v = INFO_VALUES[rng.random_range(0..INFO_VALUES.len())];
+                    let b_v = INFO_VALUES[rng.random_range(0..INFO_VALUES.len())];
+                    preds.push(Expr::InList {
+                        col: col(a, "info"),
+                        values: vec![Value::Str(a_v.into()), Value::Str(b_v.into())],
+                        negated: false,
+                    });
+                }
+            }
+            _ => {
+                let c = cols[rng.random_range(0..cols.len())];
+                preds.push(numeric_predicate(db, t, a, c, rng));
+            }
+        }
+    }
+    // A numeric title predicate to anchor selectivity.
+    preds.push(numeric_predicate(db, "title", "t", "production_year", rng));
+    stmt.where_clause = Some(Expr::and_all(preds));
+    Query::single(stmt)
+}
+
+/// The MLM pre-training corpus: a mixed-shape set covering all workload
+/// families (star joins with 0–5 joins, string-heavy dimension joins,
+/// BETWEEN/IN forms) so the automaton and vocabulary cover every
+/// downstream query shape.
+pub fn pretrain_corpus(db: &Database, n: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| match i % 10 {
+            0..=3 => star_query(db, rng.random_range(0..=2), rng.random_range(1..=3), &mut rng),
+            4..=5 => star_query(db, rng.random_range(3..=5), rng.random_range(1..=3), &mut rng),
+            6..=7 => job_full_query(db, &mut rng),
+            8 => between_query(db, &mut rng),
+            _ => in_list_query(db, &mut rng),
+        })
+        .collect()
+}
+
+fn between_query(db: &Database, rng: &mut StdRng) -> Query {
+    let lo = sample_value(db, "title", "production_year", rng);
+    let hi = lo + rng.random_range(1..=20);
+    let mut stmt = SelectStmt { projections: count_star(), ..Default::default() };
+    stmt.from.push(TableRef::aliased("title", "t"));
+    stmt.where_clause = Some(Expr::Between {
+        col: col("t", "production_year"),
+        low: Value::Int(lo),
+        high: Value::Int(hi),
+    });
+    Query::single(stmt)
+}
+
+fn in_list_query(db: &Database, rng: &mut StdRng) -> Query {
+    let mut stmt = SelectStmt { projections: count_star(), ..Default::default() };
+    stmt.from.push(TableRef::aliased("title", "t"));
+    let k = rng.random_range(2..=4);
+    let values =
+        (0..k).map(|_| Value::Int(sample_value(db, "title", "kind_id", rng))).collect();
+    stmt.where_clause = Some(Expr::InList { col: col("t", "kind_id"), values, negated: false });
+    Query::single(stmt)
+}
+
+/// Number of equi-join predicates in a query.
+pub fn num_joins(q: &Query) -> usize {
+    let mut joins = 0;
+    for s in q.selects() {
+        let mut conjs: Vec<&Expr> = Vec::new();
+        if let Some(w) = &s.where_clause {
+            conjs.extend(w.conjuncts());
+        }
+        for j in &s.joins {
+            conjs.extend(j.on.conjuncts());
+        }
+        for c in conjs {
+            if let Expr::Cmp { left: Scalar::Column(a), op: CmpOp::Eq, right: Scalar::Column(b) } =
+                c
+            {
+                if a.table != b.table {
+                    joins += 1;
+                }
+            }
+        }
+    }
+    joins
+}
+
+/// Executes every query to produce ground-truth labels.
+///
+/// # Panics
+/// Panics if any generated query fails to execute — generated workloads
+/// must be valid by construction.
+pub fn label(db: &Database, queries: &[Query], cost_model: &CostModel) -> Vec<LabeledQuery> {
+    queries
+        .iter()
+        .map(|q| {
+            let r = execute(db, q).unwrap_or_else(|e| panic!("workload query failed: {e}\n{q}"));
+            let ntables = q.body.tables().len();
+            let base_rows: Vec<f64> =
+                q.body.tables().iter().map(|t| db.row_count(&t.table) as f64).collect();
+            let cost = cost_model.cost_from_steps(&base_rows, &r.step_cardinalities, ntables);
+            LabeledQuery {
+                query: q.clone(),
+                card: r.join_cardinality.max(1),
+                cost,
+                num_joins: num_joins(q),
+            }
+        })
+        .collect()
+}
+
+/// Join-count histogram of a workload (Table 6 reproduction).
+pub fn join_distribution(queries: &[Query]) -> Vec<usize> {
+    let mut hist = vec![0usize; 8];
+    for q in queries {
+        let j = num_joins(q).min(hist.len() - 1);
+        hist[j] += 1;
+    }
+    while hist.len() > 1 && *hist.last().expect("non-empty") == 0 {
+        hist.pop();
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imdb::{generate, ImdbConfig};
+
+    fn tiny_db() -> Database {
+        generate(ImdbConfig::tiny())
+    }
+
+    #[test]
+    fn synthetic_join_distribution_matches_table6() {
+        let db = tiny_db();
+        let qs = synthetic(&db, 1000, 1);
+        let hist = join_distribution(&qs);
+        let frac0 = hist[0] as f64 / 1000.0;
+        let frac2 = hist[2] as f64 / 1000.0;
+        assert!((frac0 - 1636.0 / 5000.0).abs() < 0.06, "0-join frac {frac0}");
+        assert!((frac2 - 1957.0 / 5000.0).abs() < 0.06, "2-join frac {frac2}");
+    }
+
+    #[test]
+    fn scale_has_100_queries_per_join_count() {
+        let db = tiny_db();
+        let qs = scale(&db, 1);
+        assert_eq!(qs.len(), 500);
+        let hist = join_distribution(&qs);
+        assert_eq!(&hist[..5], &[100, 100, 100, 100, 100]);
+    }
+
+    #[test]
+    fn job_light_distribution_matches_table6() {
+        let db = tiny_db();
+        let qs = job_light(&db, 1);
+        assert_eq!(qs.len(), 70);
+        let hist = join_distribution(&qs);
+        assert_eq!(&hist[..5], &[0, 3, 32, 23, 12]);
+    }
+
+    #[test]
+    fn job_full_has_string_predicates_and_many_joins() {
+        let db = tiny_db();
+        let qs = job_full(&db, 40, 1);
+        assert!(qs.iter().all(|q| num_joins(q) >= 2));
+        assert!(qs.iter().any(|q| num_joins(q) >= 4), "some queries should have ≥4 joins");
+        let has_string = qs.iter().any(|q| {
+            q.sql().contains("LIKE") || q.sql().contains('\'')
+        });
+        assert!(has_string, "JOB workload must contain string predicates");
+    }
+
+    #[test]
+    fn all_workload_queries_execute() {
+        let db = tiny_db();
+        let cm = CostModel::default();
+        let mut qs = synthetic(&db, 30, 2);
+        qs.extend(scale(&db, 3).into_iter().take(30));
+        qs.extend(job_light(&db, 4).into_iter().take(20));
+        qs.extend(job_full(&db, 20, 5));
+        qs.extend(pretrain_corpus(&db, 30, 6));
+        let labeled = label(&db, &qs, &cm);
+        assert_eq!(labeled.len(), qs.len());
+        assert!(labeled.iter().all(|l| l.card >= 1));
+        assert!(labeled.iter().all(|l| l.cost.is_finite() && l.cost > 0.0));
+    }
+
+    #[test]
+    fn labels_have_variance() {
+        let db = tiny_db();
+        let cm = CostModel::default();
+        let labeled = label(&db, &synthetic(&db, 80, 7), &cm);
+        let cards: std::collections::HashSet<u64> = labeled.iter().map(|l| l.card).collect();
+        assert!(cards.len() > 20, "cardinalities too uniform: {} distinct", cards.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let db = tiny_db();
+        let a = synthetic(&db, 20, 9);
+        let b = synthetic(&db, 20, 9);
+        assert_eq!(
+            a.iter().map(Query::sql).collect::<Vec<_>>(),
+            b.iter().map(Query::sql).collect::<Vec<_>>()
+        );
+        let c = synthetic(&db, 20, 10);
+        assert_ne!(
+            a.iter().map(Query::sql).collect::<Vec<_>>(),
+            c.iter().map(Query::sql).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn num_joins_counts_equijoins_only() {
+        let db = tiny_db();
+        let q = preqr_sql::parser::parse(
+            "SELECT COUNT(*) FROM title t, movie_companies mc \
+             WHERE t.id = mc.movie_id AND t.kind_id = 1",
+        )
+        .unwrap();
+        assert_eq!(num_joins(&q), 1);
+        let q0 = preqr_sql::parser::parse("SELECT COUNT(*) FROM title WHERE title.kind_id = 1")
+            .unwrap();
+        assert_eq!(num_joins(&q0), 0);
+        let _ = db;
+    }
+}

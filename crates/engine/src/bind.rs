@@ -1,0 +1,205 @@
+//! Name resolution: table bindings (aliases) and column references.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use preqr_sql::ast::{ColumnRef, SelectStmt};
+use preqr_schema::Schema;
+
+/// Execution/binding error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// Unknown table name.
+    UnknownTable(String),
+    /// Unresolvable column reference.
+    UnknownColumn(String),
+    /// Ambiguous unqualified column.
+    AmbiguousColumn(String),
+    /// Unsupported query shape.
+    Unsupported(String),
+    /// Intermediate result exceeded the safety cap.
+    TooLarge(u64),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            ExecError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            ExecError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
+            ExecError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+            ExecError::TooLarge(n) => write!(f, "intermediate result too large ({n} rows)"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A bound column: `(binding index, column index within the table)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BoundColumn {
+    /// Index into the binding list (the query's table order).
+    pub table: usize,
+    /// Column index within that table's schema definition.
+    pub column: usize,
+}
+
+/// Table bindings of one SELECT: maps aliases to schema tables.
+#[derive(Clone, Debug)]
+pub struct Bindings {
+    /// `(binding name, table name)` in FROM/JOIN order.
+    entries: Vec<(String, String)>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Bindings {
+    /// Builds bindings for a SELECT against a schema.
+    ///
+    /// # Errors
+    /// [`ExecError::UnknownTable`] if any referenced table is undefined.
+    pub fn of(stmt: &SelectStmt, schema: &Schema) -> Result<Self, ExecError> {
+        let mut entries = Vec::new();
+        let mut by_name = HashMap::new();
+        for tref in stmt.tables() {
+            if schema.table(&tref.table).is_none() {
+                return Err(ExecError::UnknownTable(tref.table.clone()));
+            }
+            let name = tref.binding().to_string();
+            by_name.insert(name.clone(), entries.len());
+            entries.push((name, tref.table.clone()));
+        }
+        Ok(Self { entries, by_name })
+    }
+
+    /// Number of bound tables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no tables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Schema table name of binding `i`.
+    pub fn table_name(&self, i: usize) -> &str {
+        &self.entries[i].1
+    }
+
+    /// Binding (alias) name of binding `i`.
+    pub fn binding_name(&self, i: usize) -> &str {
+        &self.entries[i].0
+    }
+
+    /// Resolves a column reference.
+    ///
+    /// # Errors
+    /// Unknown or ambiguous references.
+    pub fn resolve(&self, col: &ColumnRef, schema: &Schema) -> Result<BoundColumn, ExecError> {
+        match &col.table {
+            Some(binding) => {
+                let &t = self
+                    .by_name
+                    .get(binding)
+                    .ok_or_else(|| ExecError::UnknownTable(binding.clone()))?;
+                let table = schema.table(self.table_name(t)).expect("bound table exists");
+                let c = table
+                    .column_index(&col.column)
+                    .ok_or_else(|| ExecError::UnknownColumn(col.to_string()))?;
+                Ok(BoundColumn { table: t, column: c })
+            }
+            None => {
+                let mut found = None;
+                for (i, (_, table_name)) in self.entries.iter().enumerate() {
+                    let table = schema.table(table_name).expect("bound table exists");
+                    if let Some(c) = table.column_index(&col.column) {
+                        if found.is_some() {
+                            return Err(ExecError::AmbiguousColumn(col.column.clone()));
+                        }
+                        found = Some(BoundColumn { table: i, column: c });
+                    }
+                }
+                found.ok_or_else(|| ExecError::UnknownColumn(col.column.clone()))
+            }
+        }
+    }
+}
+
+impl PartialEq for Bindings {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preqr_sql::parser::parse;
+    use preqr_schema::{Column, ColumnType, Table};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_table(Table::new(
+            "title",
+            vec![Column::primary("id", ColumnType::Int), Column::new("year", ColumnType::Int)],
+        ));
+        s.add_table(Table::new(
+            "movie_companies",
+            vec![Column::primary("id", ColumnType::Int), Column::new("movie_id", ColumnType::Int)],
+        ));
+        s
+    }
+
+    #[test]
+    fn binds_aliases_and_resolves_qualified() {
+        let q = parse("SELECT t.id FROM title t, movie_companies mc WHERE t.id = mc.movie_id")
+            .unwrap();
+        let b = Bindings::of(&q.body, &schema()).unwrap();
+        assert_eq!(b.len(), 2);
+        let r = b.resolve(&ColumnRef::qualified("mc", "movie_id"), &schema()).unwrap();
+        assert_eq!(r, BoundColumn { table: 1, column: 1 });
+    }
+
+    #[test]
+    fn resolves_unqualified_unique_column() {
+        let q = parse("SELECT year FROM title").unwrap();
+        let b = Bindings::of(&q.body, &schema()).unwrap();
+        let r = b.resolve(&ColumnRef::bare("year"), &schema()).unwrap();
+        assert_eq!(r, BoundColumn { table: 0, column: 1 });
+    }
+
+    #[test]
+    fn reports_ambiguous_unqualified_column() {
+        let q = parse("SELECT id FROM title, movie_companies").unwrap();
+        let b = Bindings::of(&q.body, &schema()).unwrap();
+        assert_eq!(
+            b.resolve(&ColumnRef::bare("id"), &schema()),
+            Err(ExecError::AmbiguousColumn("id".into()))
+        );
+    }
+
+    #[test]
+    fn reports_unknown_table_and_column() {
+        let q = parse("SELECT x FROM nope").unwrap();
+        assert_eq!(
+            Bindings::of(&q.body, &schema()),
+            Err(ExecError::UnknownTable("nope".into()))
+        );
+        let q2 = parse("SELECT nope_col FROM title").unwrap();
+        let b = Bindings::of(&q2.body, &schema()).unwrap();
+        assert!(matches!(
+            b.resolve(&ColumnRef::bare("nope_col"), &schema()),
+            Err(ExecError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn join_clause_tables_are_bound() {
+        let q = parse("SELECT * FROM title t JOIN movie_companies mc ON t.id = mc.movie_id")
+            .unwrap();
+        let b = Bindings::of(&q.body, &schema()).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.table_name(1), "movie_companies");
+        assert_eq!(b.binding_name(1), "mc");
+    }
+}

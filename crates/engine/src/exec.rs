@@ -1,0 +1,750 @@
+//! Query execution: filters, hash joins, aggregation, set operations.
+//!
+//! The executor produces both query answers and the ground truth the
+//! learned-estimator experiments need: the pre-aggregation join
+//! cardinality, the per-join-step intermediate cardinalities (input to the
+//! true-cost model), and the surviving base-table row ids (input to the
+//! CH-workload result-overlap similarity).
+
+use std::collections::{HashMap, HashSet};
+
+use preqr_sql::ast::{
+    AggFunc, Expr, Query, Scalar, SelectItem, SelectStmt,
+};
+
+use crate::bind::{Bindings, BoundColumn, ExecError};
+use crate::filter::{compile, filter_rows};
+use crate::storage::{ColumnData, Database, Datum};
+
+/// Safety cap on intermediate join results.
+const MAX_INTERMEDIATE: u64 = 50_000_000;
+
+/// A hashable join/group key.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Key {
+    /// Integer key.
+    I(i64),
+    /// Dictionary code key (strings joined by equality only make sense
+    /// within one column's dictionary, so keys also carry the string).
+    S(String),
+    /// Float key by bit pattern.
+    F(u64),
+}
+
+impl Key {
+    fn of(d: &Datum) -> Key {
+        match d {
+            Datum::Int(v) => Key::I(*v),
+            Datum::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 9e15 {
+                    Key::I(*v as i64)
+                } else {
+                    Key::F(v.to_bits())
+                }
+            }
+            Datum::Str(s) => Key::S(s.clone()),
+        }
+    }
+}
+
+/// Result of executing a query.
+#[derive(Clone, Debug, Default)]
+pub struct QueryResult {
+    /// Final projected rows (after aggregation / ORDER BY / LIMIT).
+    pub rows: Vec<Vec<Datum>>,
+    /// Cardinality of the joined, filtered relation before aggregation and
+    /// LIMIT — the quantity cardinality estimators predict.
+    pub join_cardinality: u64,
+    /// Intermediate cardinalities: filtered sizes of each base table in
+    /// join order, then the result size after each join step.
+    pub step_cardinalities: Vec<u64>,
+    /// Distinct surviving row ids of the canonical base table (result
+    /// signature used by the CH clustering workload).
+    pub base_row_ids: Vec<u32>,
+    /// Distinct surviving row ids per bound table name (sorted). Lets
+    /// consumers compare result signatures across rewrites that add or
+    /// remove join tables (e.g. IN-subquery ↔ join).
+    pub table_row_ids: Vec<(String, Vec<u32>)>,
+}
+
+/// Executes a query against a database.
+///
+/// # Errors
+/// Name-resolution failures, unsupported shapes, or blowing the
+/// intermediate-size cap.
+pub fn execute(db: &Database, q: &Query) -> Result<QueryResult, ExecError> {
+    let mut result = execute_select(db, &q.body)?;
+    if !q.unions.is_empty() {
+        // UNION has set semantics: duplicates are removed across *and*
+        // within branches.
+        let mut seen: HashSet<String> = HashSet::new();
+        result.rows.retain(|r| seen.insert(row_key(r)));
+        let mut ids: HashSet<u32> = result.base_row_ids.iter().copied().collect();
+        let mut by_table: HashMap<String, HashSet<u32>> = result
+            .table_row_ids
+            .drain(..)
+            .map(|(t, v)| (t, v.into_iter().collect()))
+            .collect();
+        for u in &q.unions {
+            let part = execute_select(db, u)?;
+            result.join_cardinality += part.join_cardinality;
+            result.step_cardinalities.extend(part.step_cardinalities);
+            for row in part.rows {
+                if seen.insert(row_key(&row)) {
+                    result.rows.push(row);
+                }
+            }
+            ids.extend(part.base_row_ids);
+            for (t, v) in part.table_row_ids {
+                by_table.entry(t).or_default().extend(v);
+            }
+        }
+        let mut ids: Vec<u32> = ids.into_iter().collect();
+        ids.sort_unstable();
+        result.base_row_ids = ids;
+        let mut merged: Vec<(String, Vec<u32>)> = by_table
+            .into_iter()
+            .map(|(t, set)| {
+                let mut v: Vec<u32> = set.into_iter().collect();
+                v.sort_unstable();
+                (t, v)
+            })
+            .collect();
+        merged.sort();
+        result.table_row_ids = merged;
+    }
+    Ok(result)
+}
+
+fn row_key(row: &[Datum]) -> String {
+    let mut s = String::new();
+    for d in row {
+        s.push_str(&d.to_string());
+        s.push('\u{1f}');
+    }
+    s
+}
+
+/// The joined intermediate relation: per bound table, aligned row ids.
+struct Intermediate {
+    /// `cols[t][i]` = row id of binding `t` in intermediate row `i`.
+    cols: Vec<Vec<u32>>,
+    bound: Vec<bool>,
+    len: usize,
+}
+
+fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<QueryResult, ExecError> {
+    let bindings = Bindings::of(stmt, db.schema())?;
+    if bindings.is_empty() {
+        return Err(ExecError::Unsupported("SELECT without FROM".to_string()));
+    }
+
+    // Partition predicates.
+    let mut table_preds: Vec<Vec<Expr>> = vec![Vec::new(); bindings.len()];
+    let mut join_preds: Vec<(BoundColumn, BoundColumn)> = Vec::new();
+    let mut residual: Vec<Expr> = Vec::new();
+    let mut conjuncts: Vec<Expr> = Vec::new();
+    if let Some(w) = &stmt.where_clause {
+        conjuncts.extend(w.conjuncts().into_iter().cloned());
+    }
+    for j in &stmt.joins {
+        conjuncts.extend(j.on.conjuncts().into_iter().cloned());
+    }
+    for c in conjuncts {
+        classify_conjunct(db, &bindings, c, &mut table_preds, &mut join_preds, &mut residual)?;
+    }
+
+    // Filter base tables.
+    let mut filtered: Vec<Vec<u32>> = Vec::with_capacity(bindings.len());
+    for t in 0..bindings.len() {
+        let table = db
+            .table(bindings.table_name(t))
+            .ok_or_else(|| ExecError::UnknownTable(bindings.table_name(t).to_string()))?;
+        if table_preds[t].is_empty() {
+            filtered.push((0..table.row_count() as u32).collect());
+        } else {
+            let expr = Expr::and_all(table_preds[t].clone());
+            let pred = compile(&expr, t, &bindings, db)?;
+            filtered.push(filter_rows(table, &pred));
+        }
+    }
+    let mut steps: Vec<u64> = filtered.iter().map(|f| f.len() as u64).collect();
+
+    // Join. Start from the first FROM table, then greedily attach tables
+    // connected by an equi-join predicate; cross join as a last resort.
+    let mut inter = Intermediate {
+        cols: vec![Vec::new(); bindings.len()],
+        bound: vec![false; bindings.len()],
+        len: filtered[0].len(),
+    };
+    inter.cols[0] = filtered[0].clone();
+    inter.bound[0] = true;
+    let mut used_joins = vec![false; join_preds.len()];
+    while inter.bound.iter().any(|b| !b) {
+        // Find a join predicate connecting a bound and an unbound table.
+        let next = join_preds.iter().enumerate().find(|(i, (a, b))| {
+            !used_joins[*i] && (inter.bound[a.table] != inter.bound[b.table])
+        });
+        match next {
+            Some((i, &(a, b))) => {
+                used_joins[i] = true;
+                let (bound_side, new_side) = if inter.bound[a.table] { (a, b) } else { (b, a) };
+                hash_join(db, &bindings, &mut inter, &filtered, bound_side, new_side)?;
+                // Apply any other join predicates that became checkable.
+                for (j, &(x, y)) in join_preds.iter().enumerate() {
+                    if !used_joins[j] && inter.bound[x.table] && inter.bound[y.table] {
+                        used_joins[j] = true;
+                        apply_bound_join_filter(db, &bindings, &mut inter, x, y);
+                    }
+                }
+                steps.push(inter.len as u64);
+            }
+            None => {
+                // Cross join the first unbound table.
+                let t = inter.bound.iter().position(|b| !b).expect("unbound table exists");
+                cross_join(&mut inter, &filtered, t)?;
+                // Join predicates among now-bound tables.
+                for (j, &(x, y)) in join_preds.iter().enumerate() {
+                    if !used_joins[j] && inter.bound[x.table] && inter.bound[y.table] {
+                        used_joins[j] = true;
+                        apply_bound_join_filter(db, &bindings, &mut inter, x, y);
+                    }
+                }
+                steps.push(inter.len as u64);
+            }
+        }
+        if inter.len as u64 > MAX_INTERMEDIATE {
+            return Err(ExecError::TooLarge(inter.len as u64));
+        }
+    }
+
+    // Residual predicates (IN subqueries, cross-table non-equi).
+    for r in &residual {
+        apply_residual(db, &bindings, &mut inter, r)?;
+    }
+
+    let join_cardinality = inter.len as u64;
+
+    // Base row ids: distinct surviving rows of the *canonical* base table
+    // — the lexicographically-smallest table name among the bound tables.
+    // Using a canonical table (rather than FROM order) makes the result
+    // signature invariant under semantics-preserving FROM reordering,
+    // which the CH clustering ground truth relies on.
+    let base_t = (0..bindings.len())
+        .min_by_key(|&t| bindings.table_name(t))
+        .expect("at least one table");
+    let mut base: Vec<u32> = inter.cols[base_t].clone();
+    base.sort_unstable();
+    base.dedup();
+    // Per-table surviving ids (first binding wins when a table is bound
+    // twice under different aliases).
+    let mut table_row_ids: Vec<(String, Vec<u32>)> = Vec::with_capacity(bindings.len());
+    for t in 0..bindings.len() {
+        let name = bindings.table_name(t).to_string();
+        if table_row_ids.iter().any(|(n, _)| *n == name) {
+            continue;
+        }
+        let mut v = inter.cols[t].clone();
+        v.sort_unstable();
+        v.dedup();
+        table_row_ids.push((name, v));
+    }
+    table_row_ids.sort();
+
+    // Projection and aggregation.
+    let rows = project(db, &bindings, stmt, &inter)?;
+
+    Ok(QueryResult {
+        rows,
+        join_cardinality,
+        step_cardinalities: steps,
+        base_row_ids: base,
+        table_row_ids,
+    })
+}
+
+fn classify_conjunct(
+    db: &Database,
+    bindings: &Bindings,
+    c: Expr,
+    table_preds: &mut [Vec<Expr>],
+    join_preds: &mut Vec<(BoundColumn, BoundColumn)>,
+    residual: &mut Vec<Expr>,
+) -> Result<(), ExecError> {
+    // Equi-join predicate?
+    if let Expr::Cmp {
+        left: Scalar::Column(a),
+        op: preqr_sql::ast::CmpOp::Eq,
+        right: Scalar::Column(b),
+    } = &c
+    {
+        let ba = bindings.resolve(a, db.schema())?;
+        let bb = bindings.resolve(b, db.schema())?;
+        if ba.table != bb.table {
+            join_preds.push((ba, bb));
+            return Ok(());
+        }
+    }
+    if matches!(c, Expr::InSubquery { .. }) {
+        residual.push(c);
+        return Ok(());
+    }
+    // Single-table if every column resolves to one binding.
+    let mut tables: Vec<usize> = Vec::new();
+    for col in c.columns() {
+        let bc = bindings.resolve(col, db.schema())?;
+        if !tables.contains(&bc.table) {
+            tables.push(bc.table);
+        }
+    }
+    match tables.len() {
+        0 | 1 => {
+            let t = tables.first().copied().unwrap_or(0);
+            table_preds[t].push(c);
+            Ok(())
+        }
+        _ => {
+            residual.push(c);
+            Ok(())
+        }
+    }
+}
+
+fn datum_at(db: &Database, bindings: &Bindings, bc: BoundColumn, row: u32) -> Datum {
+    let table = db.table(bindings.table_name(bc.table)).expect("bound table exists");
+    table.columns[bc.column].get(row as usize)
+}
+
+fn column_of<'a>(db: &'a Database, bindings: &Bindings, bc: BoundColumn) -> &'a ColumnData {
+    &db.table(bindings.table_name(bc.table)).expect("bound table exists").columns[bc.column]
+}
+
+fn hash_join(
+    db: &Database,
+    bindings: &Bindings,
+    inter: &mut Intermediate,
+    filtered: &[Vec<u32>],
+    bound_side: BoundColumn,
+    new_side: BoundColumn,
+) -> Result<(), ExecError> {
+    let new_t = new_side.table;
+    let new_col = column_of(db, bindings, new_side);
+    // Build: key → row ids of the new table.
+    let mut build: HashMap<Key, Vec<u32>> = HashMap::with_capacity(filtered[new_t].len());
+    for &rid in &filtered[new_t] {
+        let key = Key::of(&new_col.get(rid as usize));
+        build.entry(key).or_default().push(rid);
+    }
+    // Probe.
+    let bound_col = column_of(db, bindings, bound_side);
+    let bound_rows = &inter.cols[bound_side.table];
+    let mut out_cols: Vec<Vec<u32>> = vec![Vec::new(); inter.cols.len()];
+    let mut out_len: u64 = 0;
+    for i in 0..inter.len {
+        let key = Key::of(&bound_col.get(bound_rows[i] as usize));
+        if let Some(matches) = build.get(&key) {
+            out_len += matches.len() as u64;
+            if out_len > MAX_INTERMEDIATE {
+                return Err(ExecError::TooLarge(out_len));
+            }
+            for &m in matches {
+                for (t, col) in out_cols.iter_mut().enumerate() {
+                    if t == new_t {
+                        col.push(m);
+                    } else if inter.bound[t] {
+                        col.push(inter.cols[t][i]);
+                    }
+                }
+            }
+        }
+    }
+    inter.cols = out_cols;
+    inter.bound[new_t] = true;
+    inter.len = inter.cols[bound_side.table].len();
+    Ok(())
+}
+
+fn cross_join(
+    inter: &mut Intermediate,
+    filtered: &[Vec<u32>],
+    new_t: usize,
+) -> Result<(), ExecError> {
+    let new_rows = &filtered[new_t];
+    let total = inter.len as u64 * new_rows.len() as u64;
+    if total > MAX_INTERMEDIATE {
+        return Err(ExecError::TooLarge(total));
+    }
+    let mut out_cols: Vec<Vec<u32>> = vec![Vec::new(); inter.cols.len()];
+    for i in 0..inter.len {
+        for &m in new_rows {
+            for (t, col) in out_cols.iter_mut().enumerate() {
+                if t == new_t {
+                    col.push(m);
+                } else if inter.bound[t] {
+                    col.push(inter.cols[t][i]);
+                }
+            }
+        }
+    }
+    inter.cols = out_cols;
+    inter.bound[new_t] = true;
+    inter.len = total as usize;
+    Ok(())
+}
+
+fn apply_bound_join_filter(
+    db: &Database,
+    bindings: &Bindings,
+    inter: &mut Intermediate,
+    x: BoundColumn,
+    y: BoundColumn,
+) {
+    let cx = column_of(db, bindings, x);
+    let cy = column_of(db, bindings, y);
+    let keep: Vec<usize> = (0..inter.len)
+        .filter(|&i| {
+            Key::of(&cx.get(inter.cols[x.table][i] as usize))
+                == Key::of(&cy.get(inter.cols[y.table][i] as usize))
+        })
+        .collect();
+    retain_rows(inter, &keep);
+}
+
+fn retain_rows(inter: &mut Intermediate, keep: &[usize]) {
+    for (t, col) in inter.cols.iter_mut().enumerate() {
+        if inter.bound[t] {
+            *col = keep.iter().map(|&i| col[i]).collect();
+        }
+    }
+    inter.len = keep.len();
+}
+
+fn apply_residual(
+    db: &Database,
+    bindings: &Bindings,
+    inter: &mut Intermediate,
+    expr: &Expr,
+) -> Result<(), ExecError> {
+    match expr {
+        Expr::InSubquery { col, subquery, negated } => {
+            let bc = bindings.resolve(col, db.schema())?;
+            let sub = execute(db, subquery)?;
+            let set: HashSet<Key> = sub
+                .rows
+                .iter()
+                .filter_map(|r| r.first())
+                .map(Key::of)
+                .collect();
+            let column = column_of(db, bindings, bc);
+            let keep: Vec<usize> = (0..inter.len)
+                .filter(|&i| {
+                    let k = Key::of(&column.get(inter.cols[bc.table][i] as usize));
+                    set.contains(&k) != *negated
+                })
+                .collect();
+            retain_rows(inter, &keep);
+            Ok(())
+        }
+        Expr::Cmp { left: Scalar::Column(a), op, right: Scalar::Column(b) } => {
+            let ba = bindings.resolve(a, db.schema())?;
+            let bb = bindings.resolve(b, db.schema())?;
+            let ca = column_of(db, bindings, ba);
+            let cb = column_of(db, bindings, bb);
+            let keep: Vec<usize> = (0..inter.len)
+                .filter(|&i| {
+                    let va = ca.get_f64(inter.cols[ba.table][i] as usize);
+                    let vb = cb.get_f64(inter.cols[bb.table][i] as usize);
+                    match (va, vb) {
+                        (Some(x), Some(y)) => match op {
+                            preqr_sql::ast::CmpOp::Eq => x == y,
+                            preqr_sql::ast::CmpOp::Ne => x != y,
+                            preqr_sql::ast::CmpOp::Lt => x < y,
+                            preqr_sql::ast::CmpOp::Le => x <= y,
+                            preqr_sql::ast::CmpOp::Gt => x > y,
+                            preqr_sql::ast::CmpOp::Ge => x >= y,
+                        },
+                        _ => false,
+                    }
+                })
+                .collect();
+            retain_rows(inter, &keep);
+            Ok(())
+        }
+        other => Err(ExecError::Unsupported(format!("residual predicate {other}"))),
+    }
+}
+
+/// Aggregate accumulator.
+#[derive(Clone, Debug)]
+enum AggState {
+    Count(u64),
+    CountDistinct(HashSet<Key>),
+    Sum(f64),
+    Avg(f64, u64),
+    Min(Option<Datum>),
+    Max(Option<Datum>),
+}
+
+impl AggState {
+    fn new(func: AggFunc, distinct: bool) -> Self {
+        match (func, distinct) {
+            (AggFunc::Count, true) => AggState::CountDistinct(HashSet::new()),
+            (AggFunc::Count, false) => AggState::Count(0),
+            (AggFunc::Sum, _) => AggState::Sum(0.0),
+            (AggFunc::Avg, _) => AggState::Avg(0.0, 0),
+            (AggFunc::Min, _) => AggState::Min(None),
+            (AggFunc::Max, _) => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, value: Option<&Datum>) {
+        match self {
+            AggState::Count(c) => *c += 1,
+            AggState::CountDistinct(set) => {
+                if let Some(v) = value {
+                    set.insert(Key::of(v));
+                }
+            }
+            AggState::Sum(s) => {
+                if let Some(v) = value.and_then(Datum::as_f64) {
+                    *s += v;
+                }
+            }
+            AggState::Avg(s, n) => {
+                if let Some(v) = value.and_then(Datum::as_f64) {
+                    *s += v;
+                    *n += 1;
+                }
+            }
+            AggState::Min(m) => {
+                if let Some(v) = value {
+                    let replace = m.as_ref().is_none_or(|cur| datum_lt(v, cur));
+                    if replace {
+                        *m = Some(v.clone());
+                    }
+                }
+            }
+            AggState::Max(m) => {
+                if let Some(v) = value {
+                    let replace = m.as_ref().is_none_or(|cur| datum_lt(cur, v));
+                    if replace {
+                        *m = Some(v.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Datum {
+        match self {
+            AggState::Count(c) => Datum::Int(c as i64),
+            AggState::CountDistinct(set) => Datum::Int(set.len() as i64),
+            AggState::Sum(s) => Datum::Float(s),
+            AggState::Avg(s, n) => Datum::Float(if n == 0 { 0.0 } else { s / n as f64 }),
+            AggState::Min(m) => m.unwrap_or(Datum::Int(0)),
+            AggState::Max(m) => m.unwrap_or(Datum::Int(0)),
+        }
+    }
+}
+
+fn datum_lt(a: &Datum, b: &Datum) -> bool {
+    match (a, b) {
+        (Datum::Str(x), Datum::Str(y)) => x < y,
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => x < y,
+            _ => false,
+        },
+    }
+}
+
+fn project(
+    db: &Database,
+    bindings: &Bindings,
+    stmt: &SelectStmt,
+    inter: &Intermediate,
+) -> Result<Vec<Vec<Datum>>, ExecError> {
+    let has_agg = stmt
+        .projections
+        .iter()
+        .any(|p| matches!(p, SelectItem::Aggregate { .. }));
+    let mut rows: Vec<Vec<Datum>>;
+    if has_agg || !stmt.group_by.is_empty() {
+        rows = aggregate(db, bindings, stmt, inter)?;
+    } else {
+        rows = Vec::with_capacity(inter.len);
+        let cols: Vec<Option<BoundColumn>> = stmt
+            .projections
+            .iter()
+            .map(|p| match p {
+                SelectItem::Column(c) => bindings.resolve(c, db.schema()).map(Some),
+                SelectItem::Star => Ok(None),
+                SelectItem::Aggregate { .. } => unreachable!("no aggregates on this path"),
+            })
+            .collect::<Result<_, _>>()?;
+        for i in 0..inter.len {
+            let mut row = Vec::new();
+            for c in &cols {
+                match c {
+                    Some(bc) => row.push(datum_at(db, bindings, *bc, inter.cols[bc.table][i])),
+                    None => {
+                        // `*`: expand to all columns of all bound tables.
+                        for t in 0..bindings.len() {
+                            let table =
+                                db.table(bindings.table_name(t)).expect("bound table exists");
+                            for col in &table.columns {
+                                row.push(col.get(inter.cols[t][i] as usize));
+                            }
+                        }
+                    }
+                }
+            }
+            rows.push(row);
+        }
+    }
+
+    // ORDER BY over projected/grouping columns.
+    if !stmt.order_by.is_empty() {
+        let sort_cols: Vec<(usize, bool)> = stmt
+            .order_by
+            .iter()
+            .map(|(c, desc)| {
+                let idx = stmt
+                    .projections
+                    .iter()
+                    .position(|p| matches!(p, SelectItem::Column(pc) if pc.column == c.column))
+                    .or_else(|| {
+                        stmt.group_by.iter().position(|g| g.column == c.column)
+                    })
+                    .ok_or_else(|| {
+                        ExecError::Unsupported(format!("ORDER BY on unprojected column {c}"))
+                    })?;
+                Ok((idx, *desc))
+            })
+            .collect::<Result<_, ExecError>>()?;
+        rows.sort_by(|a, b| {
+            for &(idx, desc) in &sort_cols {
+                let ord = a[idx]
+                    .partial_cmp(&b[idx])
+                    .unwrap_or(std::cmp::Ordering::Equal);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    if let Some(limit) = stmt.limit {
+        rows.truncate(limit as usize);
+    }
+    Ok(rows)
+}
+
+fn aggregate(
+    db: &Database,
+    bindings: &Bindings,
+    stmt: &SelectStmt,
+    inter: &Intermediate,
+) -> Result<Vec<Vec<Datum>>, ExecError> {
+    let group_cols: Vec<BoundColumn> = stmt
+        .group_by
+        .iter()
+        .map(|c| bindings.resolve(c, db.schema()))
+        .collect::<Result<_, _>>()?;
+    // Resolve projection plan: either a group column or an aggregate.
+    enum Proj {
+        Group(usize),
+        Agg { func: AggFunc, arg: Option<BoundColumn>, distinct: bool },
+    }
+    let plan: Vec<Proj> = stmt
+        .projections
+        .iter()
+        .map(|p| match p {
+            SelectItem::Column(c) => {
+                let bc = bindings.resolve(c, db.schema())?;
+                let gi = group_cols.iter().position(|g| *g == bc).ok_or_else(|| {
+                    ExecError::Unsupported(format!("non-grouped column {c} in aggregate query"))
+                })?;
+                Ok(Proj::Group(gi))
+            }
+            SelectItem::Aggregate { func, arg, distinct } => {
+                let arg = match arg {
+                    Some(c) => Some(bindings.resolve(c, db.schema())?),
+                    None => None,
+                };
+                Ok(Proj::Agg { func: *func, arg, distinct: *distinct })
+            }
+            SelectItem::Star => {
+                Err(ExecError::Unsupported("* in aggregate query".to_string()))
+            }
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut groups: HashMap<Vec<Key>, (Vec<Datum>, Vec<AggState>)> = HashMap::new();
+    for i in 0..inter.len {
+        let key: Vec<Key> = group_cols
+            .iter()
+            .map(|bc| Key::of(&datum_at(db, bindings, *bc, inter.cols[bc.table][i])))
+            .collect();
+        let entry = groups.entry(key).or_insert_with(|| {
+            let reprs = group_cols
+                .iter()
+                .map(|bc| datum_at(db, bindings, *bc, inter.cols[bc.table][i]))
+                .collect();
+            let states = plan
+                .iter()
+                .filter_map(|p| match p {
+                    Proj::Agg { func, distinct, .. } => Some(AggState::new(*func, *distinct)),
+                    Proj::Group(_) => None,
+                })
+                .collect();
+            (reprs, states)
+        });
+        let mut agg_idx = 0;
+        for p in &plan {
+            if let Proj::Agg { arg, .. } = p {
+                let value = arg.map(|bc| datum_at(db, bindings, bc, inter.cols[bc.table][i]));
+                entry.1[agg_idx].update(value.as_ref());
+                agg_idx += 1;
+            }
+        }
+    }
+    // Aggregate without GROUP BY over an empty input still yields one row.
+    if groups.is_empty() && group_cols.is_empty() {
+        let states: Vec<AggState> = plan
+            .iter()
+            .filter_map(|p| match p {
+                Proj::Agg { func, distinct, .. } => Some(AggState::new(*func, *distinct)),
+                Proj::Group(_) => None,
+            })
+            .collect();
+        groups.insert(Vec::new(), (Vec::new(), states));
+    }
+
+    if stmt.having.is_some() {
+        // No workload in this repository executes HAVING; the parser keeps
+        // it for the clustering datasets, which never reach the engine.
+        return Err(ExecError::Unsupported("HAVING is not executed".to_string()));
+    }
+
+    let mut rows: Vec<Vec<Datum>> = groups
+        .into_values()
+        .map(|(reprs, mut states)| {
+            let mut agg_idx = 0;
+            plan.iter()
+                .map(|p| match p {
+                    Proj::Group(gi) => reprs[*gi].clone(),
+                    Proj::Agg { .. } => {
+                        let d = std::mem::replace(&mut states[agg_idx], AggState::Count(0))
+                            .finish();
+                        agg_idx += 1;
+                        d
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    // Deterministic order for grouped output (ORDER BY may re-sort later).
+    rows.sort_by_key(|a| row_key(a));
+    Ok(rows)
+}

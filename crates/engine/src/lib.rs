@@ -1,0 +1,341 @@
+//! `preqr-engine` — a mini columnar relational engine.
+//!
+//! The PreQR paper evaluates on real databases (IMDB) with PostgreSQL as
+//! both a baseline estimator and the source of ground truth. This crate
+//! provides the equivalent substrate: columnar [`storage`], a hash-join
+//! [`exec`]utor that yields true cardinalities / per-step intermediate
+//! sizes / result row-id signatures, per-column [`stats`], a
+//! PostgreSQL-style analytic [`estimator`] (the `PG` rows of Tables 7–11),
+//! a plan [`cost`] model, and materialized-sample [`sample`] bitmaps (the
+//! MSCN/LSTM optimization of §4.3.2).
+//!
+//! ```
+//! use preqr_engine::{Database, Datum, execute};
+//! use preqr_schema::{Column, ColumnType, Schema, Table};
+//! use preqr_sql::parser::parse;
+//!
+//! let mut schema = Schema::new();
+//! schema.add_table(Table::new("t", vec![Column::primary("id", ColumnType::Int)]));
+//! let mut db = Database::new(schema);
+//! for i in 0..10 {
+//!     db.insert("t", &[Datum::Int(i)]);
+//! }
+//! let q = parse("SELECT COUNT(*) FROM t WHERE t.id < 3").unwrap();
+//! let r = execute(&db, &q).unwrap();
+//! assert_eq!(r.join_cardinality, 3);
+//! assert_eq!(r.rows[0][0], Datum::Int(3));
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index-heavy numeric kernels read clearer with explicit indices
+pub mod bind;
+pub mod cost;
+pub mod estimator;
+pub mod exec;
+pub mod filter;
+pub mod sample;
+pub mod stats;
+pub mod storage;
+
+pub use bind::ExecError;
+pub use cost::CostModel;
+pub use estimator::PgEstimator;
+pub use exec::{execute, QueryResult};
+pub use sample::BitmapSampler;
+pub use stats::TableStats;
+pub use storage::{ColumnData, Database, Datum, TableData};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preqr_schema::{Column, ColumnType, ForeignKey, Schema, Table};
+    use preqr_sql::parser::parse;
+
+    /// A small correlated two-table database: 100 movies, each with
+    /// 0–3 company rows; company_id correlates with production year.
+    fn movie_db() -> Database {
+        let mut s = Schema::new();
+        s.add_table(Table::new(
+            "title",
+            vec![
+                Column::primary("id", ColumnType::Int),
+                Column::new("production_year", ColumnType::Int),
+                Column::new("kind_id", ColumnType::Int),
+            ],
+        ));
+        s.add_table(Table::new(
+            "movie_companies",
+            vec![
+                Column::primary("id", ColumnType::Int),
+                Column::new("movie_id", ColumnType::Int),
+                Column::new("company_id", ColumnType::Int),
+            ],
+        ));
+        s.add_foreign_key(ForeignKey {
+            from_table: "movie_companies".into(),
+            from_column: "movie_id".into(),
+            to_table: "title".into(),
+            to_column: "id".into(),
+        });
+        let mut db = Database::new(s);
+        let mut mc_id = 0i64;
+        for i in 0..100i64 {
+            let year = 1980 + (i % 40);
+            db.insert("title", &[Datum::Int(i), Datum::Int(year), Datum::Int(i % 5)]);
+            let companies = (i % 4) as usize; // 0..=3 companies per movie
+            for c in 0..companies {
+                db.insert("movie_companies", &[
+                    Datum::Int(mc_id),
+                    Datum::Int(i),
+                    Datum::Int((year % 10) * 10 + c as i64),
+                ]);
+                mc_id += 1;
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn count_star_single_table() {
+        let db = movie_db();
+        let q = parse("SELECT COUNT(*) FROM title WHERE title.production_year > 2009").unwrap();
+        let r = execute(&db, &q).unwrap();
+        // Years 2010..2019 inclusive: those year offsets (30..39) occur
+        // twice each among i in 0..100 → 20 movies.
+        assert_eq!(r.join_cardinality, 20);
+        assert_eq!(r.rows, vec![vec![Datum::Int(20)]]);
+    }
+
+    #[test]
+    fn fk_join_cardinality_matches_manual_count() {
+        let db = movie_db();
+        let q = parse(
+            "SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id",
+        )
+        .unwrap();
+        let r = execute(&db, &q).unwrap();
+        // Σ over movies of company count: i%4 summed over 0..100 = 150.
+        assert_eq!(r.join_cardinality, 150);
+        assert_eq!(r.step_cardinalities.len(), 3); // two filters + one join
+    }
+
+    #[test]
+    fn join_with_filters_on_both_sides() {
+        let db = movie_db();
+        let q = parse(
+            "SELECT COUNT(*) FROM title t, movie_companies mc \
+             WHERE t.id = mc.movie_id AND t.production_year > 2009 AND mc.company_id = 5",
+        )
+        .unwrap();
+        let r = execute(&db, &q).unwrap();
+        // Verify against a brute-force count.
+        let mut expected = 0u64;
+        for i in 0..100i64 {
+            let year = 1980 + (i % 40);
+            if year <= 2009 {
+                continue;
+            }
+            for c in 0..(i % 4) {
+                if (year % 10) * 10 + c == 5 {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(r.join_cardinality, expected);
+    }
+
+    #[test]
+    fn explicit_join_syntax_matches_implicit() {
+        let db = movie_db();
+        let a = parse(
+            "SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id",
+        )
+        .unwrap();
+        let b = parse(
+            "SELECT COUNT(*) FROM title t JOIN movie_companies mc ON t.id = mc.movie_id",
+        )
+        .unwrap();
+        assert_eq!(
+            execute(&db, &a).unwrap().join_cardinality,
+            execute(&db, &b).unwrap().join_cardinality
+        );
+    }
+
+    #[test]
+    fn group_by_and_order_by() {
+        let db = movie_db();
+        let q = parse(
+            "SELECT kind_id, COUNT(*) FROM title GROUP BY kind_id ORDER BY kind_id",
+        )
+        .unwrap();
+        let r = execute(&db, &q).unwrap();
+        assert_eq!(r.rows.len(), 5);
+        assert_eq!(r.rows[0], vec![Datum::Int(0), Datum::Int(20)]);
+        assert_eq!(r.rows[4], vec![Datum::Int(4), Datum::Int(20)]);
+    }
+
+    #[test]
+    fn order_by_desc_and_limit() {
+        let db = movie_db();
+        let q = parse("SELECT kind_id, COUNT(*) FROM title GROUP BY kind_id ORDER BY kind_id DESC LIMIT 2")
+            .unwrap();
+        let r = execute(&db, &q).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], Datum::Int(4));
+    }
+
+    #[test]
+    fn union_deduplicates_and_merges_row_ids() {
+        let db = movie_db();
+        let q = parse(
+            "SELECT production_year FROM title WHERE kind_id = 0 \
+             UNION SELECT production_year FROM title WHERE kind_id = 0",
+        )
+        .unwrap();
+        let r = execute(&db, &q).unwrap();
+        // Same branch twice: dedup keeps distinct years of the 20 movies.
+        let distinct_years: std::collections::HashSet<i64> = (0..100i64)
+            .filter(|i| i % 5 == 0)
+            .map(|i| 1980 + (i % 40))
+            .collect();
+        assert_eq!(r.rows.len(), distinct_years.len());
+        assert_eq!(r.base_row_ids.len(), 20);
+    }
+
+    #[test]
+    fn in_subquery_filters_outer() {
+        let db = movie_db();
+        let q = parse(
+            "SELECT COUNT(*) FROM movie_companies WHERE movie_companies.movie_id IN \
+             (SELECT id FROM title WHERE title.production_year > 2009)",
+        )
+        .unwrap();
+        let r = execute(&db, &q).unwrap();
+        let mut expected = 0u64;
+        for i in 0..100i64 {
+            if 1980 + (i % 40) > 2009 {
+                expected += (i % 4) as u64;
+            }
+        }
+        assert_eq!(r.join_cardinality, expected);
+    }
+
+    #[test]
+    fn logically_equivalent_forms_agree() {
+        // Figure 2's point: IN-subquery vs explicit join produce the same
+        // answer (per distinct movie).
+        let db = movie_db();
+        let sub = parse(
+            "SELECT COUNT(DISTINCT movie_id) FROM movie_companies WHERE movie_id IN \
+             (SELECT id FROM title WHERE production_year > 2009)",
+        )
+        .unwrap();
+        let join = parse(
+            "SELECT COUNT(DISTINCT mc.movie_id) FROM movie_companies mc, title t \
+             WHERE mc.movie_id = t.id AND t.production_year > 2009",
+        )
+        .unwrap();
+        assert_eq!(execute(&db, &sub).unwrap().rows, execute(&db, &join).unwrap().rows);
+    }
+
+    #[test]
+    fn aggregates_compute_correct_values() {
+        let db = movie_db();
+        let q = parse(
+            "SELECT MIN(production_year), MAX(production_year), AVG(production_year), \
+             SUM(kind_id) FROM title",
+        )
+        .unwrap();
+        let r = execute(&db, &q).unwrap();
+        assert_eq!(r.rows[0][0], Datum::Int(1980));
+        assert_eq!(r.rows[0][1], Datum::Int(2019));
+        match r.rows[0][2] {
+            Datum::Float(avg) => assert!((avg - 1997.5).abs() < 0.5, "avg {avg}"),
+            ref other => panic!("expected float avg, got {other:?}"),
+        }
+        assert_eq!(r.rows[0][3], Datum::Float(200.0));
+    }
+
+    #[test]
+    fn empty_result_count_is_zero_row() {
+        let db = movie_db();
+        let q = parse("SELECT COUNT(*) FROM title WHERE title.production_year > 9999").unwrap();
+        let r = execute(&db, &q).unwrap();
+        assert_eq!(r.join_cardinality, 0);
+        assert_eq!(r.rows, vec![vec![Datum::Int(0)]]);
+    }
+
+    #[test]
+    fn pg_estimator_is_exactish_on_independent_single_table() {
+        let db = movie_db();
+        let stats = TableStats::analyze(&db);
+        let est = PgEstimator::new(&db, &stats);
+        let q = parse("SELECT COUNT(*) FROM title WHERE title.production_year > 2009").unwrap();
+        let truth = execute(&db, &q).unwrap().join_cardinality as f64;
+        let guess = est.estimate(&q).unwrap();
+        let qerr = (guess / truth).max(truth / guess);
+        assert!(qerr < 1.6, "single-table q-error {qerr} (guess {guess}, truth {truth})");
+    }
+
+    #[test]
+    fn pg_estimator_underestimates_correlated_join() {
+        // company_id is derived from production_year, so the independence
+        // assumption must misestimate the conjunction — the paper's core
+        // motivation for learned estimators.
+        let db = movie_db();
+        let stats = TableStats::analyze(&db);
+        let est = PgEstimator::new(&db, &stats);
+        let q = parse(
+            "SELECT COUNT(*) FROM title t, movie_companies mc \
+             WHERE t.id = mc.movie_id AND t.production_year = 1985 AND mc.company_id = 50",
+        )
+        .unwrap();
+        let truth = execute(&db, &q).unwrap().join_cardinality.max(1) as f64;
+        let guess = est.estimate(&q).unwrap();
+        let qerr = (guess / truth).max(truth / guess);
+        assert!(qerr > 2.0, "correlated join should be misestimated, q-error {qerr}");
+    }
+
+    #[test]
+    fn estimator_plan_shape_matches_executor() {
+        let db = movie_db();
+        let stats = TableStats::analyze(&db);
+        let est = PgEstimator::new(&db, &stats);
+        let q = parse(
+            "SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id",
+        )
+        .unwrap();
+        let plan = est.estimate_plan(&q.body).unwrap();
+        assert_eq!(plan.filtered.len(), 2);
+        assert_eq!(plan.joins.len(), 1);
+        let truth = execute(&db, &q).unwrap();
+        let qerr = (plan.total / truth.join_cardinality as f64)
+            .max(truth.join_cardinality as f64 / plan.total);
+        // Pure PK-FK join without predicates: nearly exact.
+        assert!(qerr < 1.5, "fk join q-error {qerr}");
+    }
+
+    #[test]
+    fn executor_rejects_unknown_names() {
+        let db = movie_db();
+        assert!(matches!(
+            execute(&db, &parse("SELECT * FROM nope").unwrap()),
+            Err(ExecError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            execute(&db, &parse("SELECT nope FROM title").unwrap()),
+            Err(ExecError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn cross_join_without_predicate_works() {
+        let db = movie_db();
+        let q = parse(
+            "SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.kind_id = 0",
+        )
+        .unwrap();
+        let r = execute(&db, &q).unwrap();
+        assert_eq!(r.join_cardinality, 20 * 150);
+    }
+}

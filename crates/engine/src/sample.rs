@@ -1,0 +1,211 @@
+//! Bitmap sampling (the MSCN/LSTM optimization trick of §4.3.2, also
+//! ablated in Figure 8 as the "NS" variants).
+//!
+//! For each table a fixed random sample of rows is materialized. A query's
+//! bitmap feature for a table marks which sample rows satisfy the query's
+//! single-table predicates on that table — a cheap, learned-model-friendly
+//! signal of per-table selectivity that also carries correlation
+//! information.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use preqr_sql::ast::{Expr, Query};
+
+use crate::bind::{Bindings, ExecError};
+use crate::filter::compile;
+use crate::storage::Database;
+
+/// Per-table materialized sample row ids.
+#[derive(Clone, Debug)]
+pub struct BitmapSampler {
+    sample_size: usize,
+    samples: Vec<(String, Vec<u32>)>,
+}
+
+impl BitmapSampler {
+    /// Draws a sample of up to `sample_size` rows per table (seeded, so
+    /// features are reproducible).
+    pub fn new(db: &Database, sample_size: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = db
+            .schema()
+            .tables()
+            .iter()
+            .map(|t| {
+                let n = db.row_count(&t.name);
+                let mut ids: Vec<u32> = (0..n as u32).collect();
+                ids.shuffle(&mut rng);
+                ids.truncate(sample_size);
+                ids.sort_unstable();
+                (t.name.clone(), ids)
+            })
+            .collect();
+        Self { sample_size, samples }
+    }
+
+    /// The per-table sample width.
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+
+    /// Sample row ids of a table.
+    pub fn sample(&self, table: &str) -> Option<&[u32]> {
+        self.samples.iter().find(|(t, _)| t == table).map(|(_, s)| s.as_slice())
+    }
+
+    /// Bitmap of one table under a query's single-table predicates:
+    /// `sample_size` floats in {0, 1} (short samples zero-padded).
+    ///
+    /// # Errors
+    /// Name-resolution failures.
+    pub fn bitmap_for(
+        &self,
+        db: &Database,
+        q: &Query,
+        binding_idx: usize,
+    ) -> Result<Vec<f32>, ExecError> {
+        let stmt = &q.body;
+        let bindings = Bindings::of(stmt, db.schema())?;
+        let table_name = bindings.table_name(binding_idx).to_string();
+        let table = db
+            .table(&table_name)
+            .ok_or_else(|| ExecError::UnknownTable(table_name.clone()))?;
+        // Collect this table's single-table conjuncts.
+        let mut preds: Vec<Expr> = Vec::new();
+        if let Some(w) = &stmt.where_clause {
+            for c in w.conjuncts() {
+                if matches!(c, Expr::InSubquery { .. }) {
+                    continue;
+                }
+                let cols = c.columns();
+                if cols.is_empty() {
+                    continue;
+                }
+                let all_here = cols.iter().try_fold(true, |acc, col| {
+                    bindings.resolve(col, db.schema()).map(|bc| acc && bc.table == binding_idx)
+                })?;
+                // Skip join predicates (column-to-column across tables are
+                // filtered out by all_here; same-table col-col remain).
+                if all_here && !is_join_shape(c) {
+                    preds.push(c.clone());
+                }
+            }
+        }
+        let sample = self.sample(&table_name).unwrap_or(&[]);
+        let mut bits = vec![0.0f32; self.sample_size];
+        if preds.is_empty() {
+            for (i, _) in sample.iter().enumerate() {
+                bits[i] = 1.0;
+            }
+            return Ok(bits);
+        }
+        let compiled = compile(&Expr::and_all(preds), binding_idx, &bindings, db)?;
+        for (i, &rid) in sample.iter().enumerate() {
+            if compiled.eval(table, rid as usize) {
+                bits[i] = 1.0;
+            }
+        }
+        Ok(bits)
+    }
+
+    /// Fraction of sample rows surviving (a cheap selectivity estimate).
+    ///
+    /// # Errors
+    /// Name-resolution failures.
+    pub fn selectivity(
+        &self,
+        db: &Database,
+        q: &Query,
+        binding_idx: usize,
+    ) -> Result<f64, ExecError> {
+        let bits = self.bitmap_for(db, q, binding_idx)?;
+        let table = {
+            let bindings = Bindings::of(&q.body, db.schema())?;
+            bindings.table_name(binding_idx).to_string()
+        };
+        let n = self.sample(&table).map_or(0, <[u32]>::len);
+        if n == 0 {
+            return Ok(0.0);
+        }
+        Ok(bits.iter().filter(|&&b| b > 0.0).count() as f64 / n as f64)
+    }
+}
+
+fn is_join_shape(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Cmp {
+            left: preqr_sql::ast::Scalar::Column(_),
+            right: preqr_sql::ast::Scalar::Column(_),
+            ..
+        }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::Datum;
+    use preqr_sql::parser::parse;
+    use preqr_schema::{Column, ColumnType, Schema, Table};
+
+    fn db() -> Database {
+        let mut s = Schema::new();
+        s.add_table(Table::new(
+            "t",
+            vec![Column::primary("id", ColumnType::Int), Column::new("year", ColumnType::Int)],
+        ));
+        let mut db = Database::new(s);
+        for i in 0..1000i64 {
+            db.insert("t", &[Datum::Int(i), Datum::Int(1900 + (i % 100))]);
+        }
+        db
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_bounded() {
+        let db = db();
+        let a = BitmapSampler::new(&db, 64, 7);
+        let b = BitmapSampler::new(&db, 64, 7);
+        assert_eq!(a.sample("t"), b.sample("t"));
+        assert_eq!(a.sample("t").unwrap().len(), 64);
+        let c = BitmapSampler::new(&db, 64, 8);
+        assert_ne!(a.sample("t"), c.sample("t"));
+    }
+
+    #[test]
+    fn bitmap_tracks_predicate_selectivity() {
+        let db = db();
+        let s = BitmapSampler::new(&db, 200, 7);
+        // year > 1949 selects half the rows.
+        let q = parse("SELECT COUNT(*) FROM t WHERE t.year > 1949").unwrap();
+        let sel = s.selectivity(&db, &q, 0).unwrap();
+        assert!((sel - 0.5).abs() < 0.12, "sample selectivity {sel}");
+    }
+
+    #[test]
+    fn no_predicates_gives_all_ones() {
+        let db = db();
+        let s = BitmapSampler::new(&db, 32, 7);
+        let q = parse("SELECT COUNT(*) FROM t").unwrap();
+        let bits = s.bitmap_for(&db, &q, 0).unwrap();
+        assert!(bits.iter().all(|&b| b == 1.0));
+    }
+
+    #[test]
+    fn small_table_pads_with_zeros() {
+        let mut schema = Schema::new();
+        schema.add_table(Table::new("small", vec![Column::primary("id", ColumnType::Int)]));
+        let mut db2 = Database::new(schema);
+        for i in 0..5 {
+            db2.insert("small", &[Datum::Int(i)]);
+        }
+        let s = BitmapSampler::new(&db2, 16, 1);
+        let q = parse("SELECT COUNT(*) FROM small").unwrap();
+        let bits = s.bitmap_for(&db2, &q, 0).unwrap();
+        assert_eq!(bits.len(), 16);
+        assert_eq!(bits.iter().filter(|&&b| b == 1.0).count(), 5);
+    }
+}

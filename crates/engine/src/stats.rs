@@ -1,0 +1,265 @@
+//! Per-column statistics: equi-depth histograms, most-common values,
+//! distinct counts — the inputs of the PostgreSQL-style estimator and of
+//! the value-range bucketing of §3.3.2.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::storage::{ColumnData, Database};
+
+/// Number of histogram buckets.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+/// Number of most-common values tracked.
+pub const MCV_COUNT: usize = 16;
+
+/// Statistics for one column.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Row count.
+    pub rows: u64,
+    /// Distinct-value count.
+    pub n_distinct: u64,
+    /// Min value (numeric columns).
+    pub min: Option<f64>,
+    /// Max value (numeric columns).
+    pub max: Option<f64>,
+    /// Equi-depth histogram boundaries (numeric columns):
+    /// `boundaries[i]` is the upper edge of bucket `i`.
+    pub histogram: Vec<f64>,
+    /// Most common values with frequencies (fraction of rows). Numeric
+    /// values are stored as f64; strings use their dictionary code.
+    pub mcv: Vec<(f64, f64)>,
+    /// For string columns: the dictionary size.
+    pub dict_size: Option<u64>,
+}
+
+impl ColumnStats {
+    /// Computes statistics for a column.
+    pub fn compute(col: &ColumnData) -> Self {
+        match col {
+            ColumnData::Int(v) => {
+                Self::numeric(v.iter().map(|&x| x as f64).collect::<Vec<f64>>())
+            }
+            ColumnData::Float(v) => Self::numeric(v.clone()),
+            ColumnData::Str { codes, dict } => {
+                let rows = codes.len() as u64;
+                let mut freq: HashMap<u32, u64> = HashMap::new();
+                for &c in codes {
+                    *freq.entry(c).or_default() += 1;
+                }
+                let mut mcv: Vec<(f64, f64)> = freq
+                    .iter()
+                    .map(|(&c, &n)| (c as f64, n as f64 / rows.max(1) as f64))
+                    .collect();
+                mcv.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite freq"));
+                mcv.truncate(MCV_COUNT);
+                Self {
+                    rows,
+                    n_distinct: freq.len() as u64,
+                    min: None,
+                    max: None,
+                    histogram: Vec::new(),
+                    mcv,
+                    dict_size: Some(dict.len() as u64),
+                }
+            }
+        }
+    }
+
+    fn numeric(mut values: Vec<f64>) -> Self {
+        let rows = values.len() as u64;
+        let mut freq: HashMap<u64, u64> = HashMap::new();
+        for &v in &values {
+            *freq.entry(v.to_bits()).or_default() += 1;
+        }
+        let n_distinct = freq.len() as u64;
+        let mut mcv: Vec<(f64, f64)> = freq
+            .iter()
+            .map(|(&bits, &n)| (f64::from_bits(bits), n as f64 / rows.max(1) as f64))
+            .collect();
+        mcv.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite freq").then(
+            a.0.partial_cmp(&b.0).expect("finite value"),
+        ));
+        mcv.truncate(MCV_COUNT);
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let (min, max) = match (values.first(), values.last()) {
+            (Some(&a), Some(&b)) => (Some(a), Some(b)),
+            _ => (None, None),
+        };
+        let mut histogram = Vec::with_capacity(HISTOGRAM_BUCKETS);
+        if !values.is_empty() {
+            for i in 1..=HISTOGRAM_BUCKETS {
+                let idx = (i * values.len() / HISTOGRAM_BUCKETS).saturating_sub(1);
+                histogram.push(values[idx.min(values.len() - 1)]);
+            }
+        }
+        Self { rows, n_distinct, min, max, histogram, mcv, dict_size: None }
+    }
+
+    /// Estimated fraction of rows with value `<= v` from the histogram,
+    /// with linear interpolation inside a bucket.
+    pub fn fraction_le(&self, v: f64) -> f64 {
+        if self.histogram.is_empty() {
+            return 0.5;
+        }
+        let (min, max) = (self.min.unwrap_or(0.0), self.max.unwrap_or(0.0));
+        if v < min {
+            return 0.0;
+        }
+        if v >= max {
+            return 1.0;
+        }
+        let k = self.histogram.len();
+        let mut lower = min;
+        for (i, &edge) in self.histogram.iter().enumerate() {
+            if v <= edge {
+                let within = if edge > lower { (v - lower) / (edge - lower) } else { 1.0 };
+                return (i as f64 + within.clamp(0.0, 1.0)) / k as f64;
+            }
+            lower = edge;
+        }
+        1.0
+    }
+
+    /// Estimated selectivity of an equality predicate against `v`.
+    pub fn eq_selectivity(&self, v: f64) -> f64 {
+        for &(val, f) in &self.mcv {
+            if val == v {
+                return f;
+            }
+        }
+        if self.n_distinct == 0 {
+            return 0.0;
+        }
+        // Mass not covered by MCVs spread over the remaining distinct values.
+        let mcv_mass: f64 = self.mcv.iter().map(|(_, f)| f).sum();
+        let rest = (self.n_distinct as f64 - self.mcv.len() as f64).max(1.0);
+        ((1.0 - mcv_mass) / rest).clamp(1e-9, 1.0)
+    }
+}
+
+/// Statistics for every column of a database.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TableStats {
+    columns: HashMap<(String, String), ColumnStats>,
+    row_counts: HashMap<String, u64>,
+}
+
+impl TableStats {
+    /// Analyzes the whole database.
+    pub fn analyze(db: &Database) -> Self {
+        let mut columns = HashMap::new();
+        let mut row_counts = HashMap::new();
+        for t in db.schema().tables() {
+            row_counts.insert(t.name.clone(), db.row_count(&t.name) as u64);
+            for c in &t.columns {
+                let col = db.column(&t.name, &c.name).expect("schema column has data");
+                columns.insert((t.name.clone(), c.name.clone()), ColumnStats::compute(col));
+            }
+        }
+        Self { columns, row_counts }
+    }
+
+    /// Stats for one column.
+    pub fn column(&self, table: &str, column: &str) -> Option<&ColumnStats> {
+        self.columns.get(&(table.to_string(), column.to_string()))
+    }
+
+    /// Row count of a table.
+    pub fn row_count(&self, table: &str) -> u64 {
+        self.row_counts.get(table).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::Datum;
+    use preqr_schema::{Column, ColumnType, Schema, Table};
+
+    fn db() -> Database {
+        let mut s = Schema::new();
+        s.add_table(Table::new(
+            "t",
+            vec![
+                Column::primary("id", ColumnType::Int),
+                Column::new("skewed", ColumnType::Int),
+                Column::new("name", ColumnType::Varchar),
+            ],
+        ));
+        let mut db = Database::new(s);
+        for i in 0..1000i64 {
+            // `skewed`: value 7 half the time, else uniform 0..100.
+            let sk = if i % 2 == 0 { 7 } else { i % 100 };
+            db.insert("t", &[
+                Datum::Int(i),
+                Datum::Int(sk),
+                Datum::Str(format!("n{}", i % 10)),
+            ]);
+        }
+        db
+    }
+
+    #[test]
+    fn analyze_covers_all_columns() {
+        let stats = TableStats::analyze(&db());
+        assert_eq!(stats.row_count("t"), 1000);
+        assert!(stats.column("t", "id").is_some());
+        assert!(stats.column("t", "name").is_some());
+        assert!(stats.column("t", "missing").is_none());
+    }
+
+    #[test]
+    fn uniform_column_histogram_fractions() {
+        let stats = TableStats::analyze(&db());
+        let id = stats.column("t", "id").unwrap();
+        assert_eq!(id.n_distinct, 1000);
+        assert_eq!(id.min, Some(0.0));
+        assert_eq!(id.max, Some(999.0));
+        let f = id.fraction_le(499.0);
+        assert!((f - 0.5).abs() < 0.05, "fraction_le(499)={f}");
+        assert_eq!(id.fraction_le(-5.0), 0.0);
+        assert_eq!(id.fraction_le(2000.0), 1.0);
+    }
+
+    #[test]
+    fn mcv_catches_heavy_hitter() {
+        let stats = TableStats::analyze(&db());
+        let sk = stats.column("t", "skewed").unwrap();
+        let sel = sk.eq_selectivity(7.0);
+        assert!(sel > 0.45 && sel < 0.60, "heavy hitter selectivity {sel}");
+        let rare = sk.eq_selectivity(99.0);
+        assert!(rare < 0.02, "rare value selectivity {rare}");
+    }
+
+    #[test]
+    fn string_stats_have_dict_size() {
+        let stats = TableStats::analyze(&db());
+        let name = stats.column("t", "name").unwrap();
+        assert_eq!(name.n_distinct, 10);
+        assert_eq!(name.dict_size, Some(10));
+        // Every value occurs with frequency 0.1.
+        assert!((name.mcv[0].1 - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq_selectivity_unseen_value_is_small_but_positive() {
+        let stats = TableStats::analyze(&db());
+        let id = stats.column("t", "id").unwrap();
+        let sel = id.eq_selectivity(123456.0);
+        assert!(sel > 0.0 && sel < 0.01);
+    }
+
+    #[test]
+    fn empty_column_stats_are_sane() {
+        let mut s = Schema::new();
+        s.add_table(Table::new("e", vec![Column::new("x", ColumnType::Int)]));
+        let db = Database::new(s);
+        let stats = TableStats::analyze(&db);
+        let x = stats.column("e", "x").unwrap();
+        assert_eq!(x.rows, 0);
+        assert_eq!(x.fraction_le(1.0), 0.5);
+        assert_eq!(x.eq_selectivity(1.0), 0.0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Columnar in-memory storage.
+//!
+//! Tables are stored column-major: integers and floats as plain vectors,
+//! strings dictionary-encoded. The executor works with row-id vectors over
+//! these columns, so scans and joins never materialize row tuples until
+//! projection.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use preqr_schema::{ColumnType, Schema};
+
+/// A runtime value.
+#[derive(Clone, Debug, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub enum Datum {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+}
+
+impl Datum {
+    /// Numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Datum::Int(v) => Some(*v as f64),
+            Datum::Float(v) => Some(*v),
+            Datum::Str(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Datum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Datum::Int(v) => write!(f, "{v}"),
+            Datum::Float(v) => write!(f, "{v}"),
+            Datum::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Per-column string dictionary.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StringDict {
+    strings: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, u32>,
+}
+
+impl StringDict {
+    /// Interns a string, returning its code.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&c) = self.index.get(s) {
+            return c;
+        }
+        let c = self.strings.len() as u32;
+        self.strings.push(s.to_string());
+        self.index.insert(s.to_string(), c);
+        c
+    }
+
+    /// Code of a string if interned.
+    pub fn code(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// String for a code.
+    pub fn string(&self, code: u32) -> &str {
+        &self.strings[code as usize]
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates `(code, string)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.strings.iter().enumerate().map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+/// One column of data.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum ColumnData {
+    /// Integer column.
+    Int(Vec<i64>),
+    /// Float column.
+    Float(Vec<f64>),
+    /// Dictionary-encoded string column.
+    Str {
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+        /// The dictionary.
+        dict: StringDict,
+    },
+}
+
+impl ColumnData {
+    /// Creates an empty column of the given type.
+    pub fn empty(ty: ColumnType) -> Self {
+        match ty {
+            ColumnType::Int | ColumnType::Bool => ColumnData::Int(Vec::new()),
+            ColumnType::Float => ColumnData::Float(Vec::new()),
+            ColumnType::Varchar => {
+                ColumnData::Str { codes: Vec::new(), dict: StringDict::default() }
+            }
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a datum.
+    ///
+    /// # Panics
+    /// Panics on a type mismatch.
+    pub fn push(&mut self, d: &Datum) {
+        match (self, d) {
+            (ColumnData::Int(v), Datum::Int(x)) => v.push(*x),
+            (ColumnData::Float(v), Datum::Float(x)) => v.push(*x),
+            (ColumnData::Float(v), Datum::Int(x)) => v.push(*x as f64),
+            (ColumnData::Str { codes, dict }, Datum::Str(s)) => codes.push(dict.intern(s)),
+            (col, d) => panic!("type mismatch pushing {d:?} into {}", col.type_name()),
+        }
+    }
+
+    /// Value at a row.
+    pub fn get(&self, row: usize) -> Datum {
+        match self {
+            ColumnData::Int(v) => Datum::Int(v[row]),
+            ColumnData::Float(v) => Datum::Float(v[row]),
+            ColumnData::Str { codes, dict } => {
+                Datum::Str(dict.string(codes[row]).to_string())
+            }
+        }
+    }
+
+    /// Numeric value at a row (`None` for strings).
+    pub fn get_f64(&self, row: usize) -> Option<f64> {
+        match self {
+            ColumnData::Int(v) => Some(v[row] as f64),
+            ColumnData::Float(v) => Some(v[row]),
+            ColumnData::Str { .. } => None,
+        }
+    }
+
+    /// Short type name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            ColumnData::Int(_) => "int",
+            ColumnData::Float(_) => "float",
+            ColumnData::Str { .. } => "str",
+        }
+    }
+}
+
+/// One table's data (columns parallel the schema definition order).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TableData {
+    /// Table name.
+    pub name: String,
+    /// Columns, parallel to the schema's column order.
+    pub columns: Vec<ColumnData>,
+}
+
+impl TableData {
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.columns.first().map_or(0, ColumnData::len)
+    }
+}
+
+/// A database: a schema plus table data.
+#[derive(Clone, Debug)]
+pub struct Database {
+    schema: Schema,
+    tables: HashMap<String, TableData>,
+}
+
+impl Database {
+    /// Creates a database with empty tables for every schema table.
+    pub fn new(schema: Schema) -> Self {
+        let tables = schema
+            .tables()
+            .iter()
+            .map(|t| {
+                let columns = t.columns.iter().map(|c| ColumnData::empty(c.ty)).collect();
+                (t.name.clone(), TableData { name: t.name.clone(), columns })
+            })
+            .collect();
+        Self { schema, tables }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Table data by name.
+    pub fn table(&self, name: &str) -> Option<&TableData> {
+        self.tables.get(name)
+    }
+
+    /// Appends a row to a table.
+    ///
+    /// # Panics
+    /// Panics on unknown table or arity/type mismatch.
+    pub fn insert(&mut self, table: &str, row: &[Datum]) {
+        let t = self.tables.get_mut(table).unwrap_or_else(|| panic!("unknown table `{table}`"));
+        assert_eq!(row.len(), t.columns.len(), "arity mismatch inserting into `{table}`");
+        for (col, d) in t.columns.iter_mut().zip(row.iter()) {
+            col.push(d);
+        }
+    }
+
+    /// Bulk-append rows produced by a generator function (avoids building
+    /// intermediate `Vec<Vec<Datum>>`).
+    pub fn insert_many(&mut self, table: &str, n: usize, mut gen: impl FnMut(usize) -> Vec<Datum>) {
+        for i in 0..n {
+            let row = gen(i);
+            self.insert(table, &row);
+        }
+    }
+
+    /// Column data by table and column name.
+    pub fn column(&self, table: &str, column: &str) -> Option<&ColumnData> {
+        let idx = self.schema.table(table)?.column_index(column)?;
+        self.tables.get(table).map(|t| &t.columns[idx])
+    }
+
+    /// Row count of a table (0 for unknown tables).
+    pub fn row_count(&self, table: &str) -> usize {
+        self.tables.get(table).map_or(0, TableData::row_count)
+    }
+
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(TableData::row_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preqr_schema::{Column, Table};
+
+    fn db() -> Database {
+        let mut s = Schema::new();
+        s.add_table(Table::new(
+            "t",
+            vec![
+                Column::primary("id", ColumnType::Int),
+                Column::new("score", ColumnType::Float),
+                Column::new("name", ColumnType::Varchar),
+            ],
+        ));
+        Database::new(s)
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut db = db();
+        db.insert("t", &[Datum::Int(1), Datum::Float(0.5), Datum::Str("a".into())]);
+        db.insert("t", &[Datum::Int(2), Datum::Float(1.5), Datum::Str("b".into())]);
+        assert_eq!(db.row_count("t"), 2);
+        assert_eq!(db.column("t", "name").unwrap().get(1), Datum::Str("b".into()));
+        assert_eq!(db.column("t", "score").unwrap().get_f64(0), Some(0.5));
+        assert_eq!(db.total_rows(), 2);
+    }
+
+    #[test]
+    fn dictionary_reuses_codes() {
+        let mut db = db();
+        for i in 0..4 {
+            db.insert("t", &[
+                Datum::Int(i),
+                Datum::Float(0.0),
+                Datum::Str(if i % 2 == 0 { "x" } else { "y" }.into()),
+            ]);
+        }
+        match db.column("t", "name").unwrap() {
+            ColumnData::Str { dict, codes } => {
+                assert_eq!(dict.len(), 2);
+                assert_eq!(codes[0], codes[2]);
+            }
+            _ => panic!("expected string column"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn rejects_wrong_arity() {
+        let mut db = db();
+        db.insert("t", &[Datum::Int(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn rejects_wrong_type() {
+        let mut db = db();
+        db.insert("t", &[Datum::Str("no".into()), Datum::Float(0.0), Datum::Str("a".into())]);
+    }
+
+    #[test]
+    fn int_coerces_into_float_column() {
+        let mut db = db();
+        db.insert("t", &[Datum::Int(1), Datum::Int(3), Datum::Str("a".into())]);
+        assert_eq!(db.column("t", "score").unwrap().get_f64(0), Some(3.0));
+    }
+
+    #[test]
+    fn insert_many_generates_rows() {
+        let mut db = db();
+        db.insert_many("t", 10, |i| {
+            vec![Datum::Int(i as i64), Datum::Float(i as f64), Datum::Str(format!("s{i}"))]
+        });
+        assert_eq!(db.row_count("t"), 10);
+        assert_eq!(db.column("t", "id").unwrap().get(9), Datum::Int(9));
+    }
+
+    #[test]
+    fn string_dict_round_trip() {
+        let mut d = StringDict::default();
+        let a = d.intern("alpha");
+        let b = d.intern("beta");
+        assert_eq!(d.intern("alpha"), a);
+        assert_eq!(d.string(b), "beta");
+        assert_eq!(d.code("beta"), Some(b));
+        assert_eq!(d.code("missing"), None);
+        assert_eq!(d.iter().count(), 2);
+    }
+}

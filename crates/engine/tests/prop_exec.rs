@@ -1,0 +1,145 @@
+//! Property-based tests: the hash-join executor agrees with a brute-force
+//! nested-loop evaluation on randomized data and predicates, and the
+//! estimator produces bounded selectivities.
+
+use proptest::prelude::*;
+
+use preqr_engine::{execute, Database, Datum, PgEstimator, TableStats};
+use preqr_schema::{Column, ColumnType, ForeignKey, Schema, Table};
+use preqr_sql::parser::parse;
+
+fn two_table_db(a_vals: &[(i64, i64)], b_vals: &[(i64, i64)]) -> Database {
+    let mut s = Schema::new();
+    s.add_table(Table::new(
+        "ta",
+        vec![Column::primary("id", ColumnType::Int), Column::new("x", ColumnType::Int)],
+    ));
+    s.add_table(Table::new(
+        "tb",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("a_id", ColumnType::Int),
+            Column::new("y", ColumnType::Int),
+        ],
+    ));
+    s.add_foreign_key(ForeignKey {
+        from_table: "tb".into(),
+        from_column: "a_id".into(),
+        to_table: "ta".into(),
+        to_column: "id".into(),
+    });
+    let mut db = Database::new(s);
+    for &(id, x) in a_vals {
+        db.insert("ta", &[Datum::Int(id), Datum::Int(x)]);
+    }
+    for (i, &(a_id, y)) in b_vals.iter().enumerate() {
+        db.insert("tb", &[Datum::Int(i as i64), Datum::Int(a_id), Datum::Int(y)]);
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Join cardinality from the executor equals brute-force counting.
+    #[test]
+    fn join_count_matches_brute_force(
+        a in proptest::collection::vec((0i64..30, -5i64..5), 1..40),
+        b in proptest::collection::vec((0i64..30, -5i64..5), 1..60),
+        x_lo in -5i64..5,
+        y_eq in -5i64..5,
+    ) {
+        // De-duplicate primary keys.
+        let mut seen = std::collections::HashSet::new();
+        let a: Vec<(i64, i64)> = a.into_iter().filter(|(id, _)| seen.insert(*id)).collect();
+        let db = two_table_db(&a, &b);
+        let sql = format!(
+            "SELECT COUNT(*) FROM ta, tb WHERE ta.id = tb.a_id AND ta.x > {x_lo} AND tb.y = {y_eq}"
+        );
+        let q = parse(&sql).unwrap();
+        let got = execute(&db, &q).unwrap().join_cardinality;
+        let mut expected = 0u64;
+        for &(id, x) in &a {
+            if x <= x_lo {
+                continue;
+            }
+            for &(a_id, y) in &b {
+                if a_id == id && y == y_eq {
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(got, expected, "query: {}", sql);
+    }
+
+    /// Single-table filters equal brute-force counting for arbitrary
+    /// conjunctions of range predicates.
+    #[test]
+    fn filter_count_matches_brute_force(
+        vals in proptest::collection::vec(-50i64..50, 1..120),
+        lo in -50i64..50,
+        hi in -50i64..50,
+    ) {
+        let a: Vec<(i64, i64)> = vals.iter().enumerate().map(|(i, &v)| (i as i64, v)).collect();
+        let db = two_table_db(&a, &[(0, 0)]);
+        let q = parse(&format!(
+            "SELECT COUNT(*) FROM ta WHERE ta.x >= {lo} AND ta.x <= {hi}"
+        ))
+        .unwrap();
+        let got = execute(&db, &q).unwrap().join_cardinality;
+        let expected = vals.iter().filter(|&&v| v >= lo && v <= hi).count() as u64;
+        prop_assert_eq!(got, expected);
+        // BETWEEN is equivalent.
+        let q2 = parse(&format!(
+            "SELECT COUNT(*) FROM ta WHERE ta.x BETWEEN {lo} AND {hi}"
+        ))
+        .unwrap();
+        prop_assert_eq!(execute(&db, &q2).unwrap().join_cardinality, expected);
+    }
+
+    /// UNION result sizes: |A ∪ B| ≤ |A| + |B| and ≥ max(|A|, |B|).
+    #[test]
+    fn union_bounds(
+        vals in proptest::collection::vec(-10i64..10, 1..60),
+        t1 in -10i64..10,
+        t2 in -10i64..10,
+    ) {
+        let a: Vec<(i64, i64)> = vals.iter().enumerate().map(|(i, &v)| (i as i64, v)).collect();
+        let db = two_table_db(&a, &[(0, 0)]);
+        let qa = parse(&format!("SELECT id FROM ta WHERE ta.x > {t1}")).unwrap();
+        let qb = parse(&format!("SELECT id FROM ta WHERE ta.x < {t2}")).unwrap();
+        let qu = parse(&format!(
+            "SELECT id FROM ta WHERE ta.x > {t1} UNION SELECT id FROM ta WHERE ta.x < {t2}"
+        ))
+        .unwrap();
+        let na = execute(&db, &qa).unwrap().rows.len();
+        let nb = execute(&db, &qb).unwrap().rows.len();
+        let nu = execute(&db, &qu).unwrap().rows.len();
+        prop_assert!(nu <= na + nb);
+        prop_assert!(nu >= na.max(nb));
+    }
+
+    /// The PG estimator's estimate is always ≥ 1 and finite, and its
+    /// per-table filtered estimates never exceed the table sizes.
+    #[test]
+    fn estimator_bounds(
+        a in proptest::collection::vec((0i64..20, -5i64..5), 1..30),
+        b in proptest::collection::vec((0i64..20, -5i64..5), 1..40),
+        thr in -5i64..5,
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let a: Vec<(i64, i64)> = a.into_iter().filter(|(id, _)| seen.insert(*id)).collect();
+        let db = two_table_db(&a, &b);
+        let stats = TableStats::analyze(&db);
+        let est = PgEstimator::new(&db, &stats);
+        let q = parse(&format!(
+            "SELECT COUNT(*) FROM ta, tb WHERE ta.id = tb.a_id AND ta.x > {thr}"
+        ))
+        .unwrap();
+        let e = est.estimate(&q).unwrap();
+        prop_assert!(e.is_finite() && e >= 1.0);
+        let plan = est.estimate_plan(&q.body).unwrap();
+        prop_assert!(plan.filtered[0] <= a.len().max(1) as f64 + 0.5);
+        prop_assert!(plan.filtered[1] <= b.len() as f64 + 0.5);
+    }
+}

@@ -1,0 +1,59 @@
+//! Weight initialization helpers.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-a..a))
+}
+
+/// Normal initialization with the given standard deviation (Box–Muller).
+pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| {
+        let u1: f32 = rng.random_range(1e-7..1.0f32);
+        let u2: f32 = rng.random::<f32>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * std
+    })
+}
+
+/// Uniform initialization in `[-a, a]`.
+pub fn uniform(rows: usize, cols: usize, a: f32, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-a..a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = xavier_uniform(10, 20, &mut rng);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(m.data().iter().all(|&x| x.abs() <= a));
+    }
+
+    #[test]
+    fn normal_has_roughly_right_std() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = normal(100, 100, 0.5, &mut rng);
+        let mean = m.mean();
+        let var = m.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+            / m.len() as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn initializers_are_deterministic_for_fixed_seed() {
+        let a = xavier_uniform(3, 3, &mut StdRng::seed_from_u64(9));
+        let b = xavier_uniform(3, 3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

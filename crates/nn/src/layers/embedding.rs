@@ -1,0 +1,94 @@
+//! Token embedding table.
+
+use rand::Rng;
+
+use crate::init;
+use crate::layers::{join, Module};
+use crate::ops;
+use crate::tensor::Tensor;
+
+/// A lookup table mapping integer ids to learned `dim`-dimensional rows.
+pub struct Embedding {
+    table: Tensor,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Creates a `vocab × dim` embedding table initialized N(0, 0.02) as in
+    /// BERT.
+    pub fn new(vocab: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        Self { table: Tensor::param(init::normal(vocab, dim, 0.02, rng)), vocab, dim }
+    }
+
+    /// Looks up a sequence of ids, producing an `ids.len() × dim` tensor.
+    ///
+    /// # Panics
+    /// Panics if any id is out of range.
+    pub fn forward(&self, ids: &[usize]) -> Tensor {
+        for &id in ids {
+            assert!(id < self.vocab, "embedding id {id} out of range ({})", self.vocab);
+        }
+        ops::gather_rows(&self.table, ids)
+    }
+
+    /// The raw table tensor (used for weight tying with output projections).
+    pub fn table(&self) -> &Tensor {
+        &self.table
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Module for Embedding {
+    fn collect_params(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        out.push((join(prefix, "table"), self.table.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_shape_and_repeat() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let e = Embedding::new(10, 4, &mut rng);
+        let out = e.forward(&[3, 3, 7]);
+        assert_eq!(out.shape(), (3, 4));
+        let v = out.value_clone();
+        assert_eq!(v.row(0), v.row(1));
+        assert_ne!(v.row(0), v.row(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lookup_rejects_out_of_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let e = Embedding::new(4, 2, &mut rng);
+        let _ = e.forward(&[4]);
+    }
+
+    #[test]
+    fn gradient_flows_only_to_looked_up_rows() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let e = Embedding::new(5, 2, &mut rng);
+        let out = e.forward(&[1, 3]);
+        ops::sum_all(&out).backward();
+        let g = e.table().grad().unwrap();
+        assert_eq!(g.row(0), &[0.0, 0.0]);
+        assert_eq!(g.row(1), &[1.0, 1.0]);
+        assert_eq!(g.row(2), &[0.0, 0.0]);
+        assert_eq!(g.row(3), &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,238 @@
+//! LSTM cell and bidirectional LSTM (used by Schema2Graph to encode table
+//! and column names, Eq. 1–2 of the paper, and by the LSTM baseline
+//! estimator).
+
+use rand::Rng;
+
+use crate::init;
+use crate::layers::{join, Module};
+use crate::matrix::Matrix;
+use crate::ops;
+use crate::tensor::Tensor;
+
+/// A single LSTM cell with combined gate weights.
+///
+/// Gate layout along the `4 × hidden` axis is `[i, f, g, o]`.
+pub struct LstmCell {
+    wx: Tensor,
+    wh: Tensor,
+    b: Tensor,
+    hidden: usize,
+}
+
+impl LstmCell {
+    /// Creates a cell mapping `input`-dim rows to `hidden`-dim states.
+    /// The forget-gate bias is initialized to 1 (standard trick).
+    pub fn new(input: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        let mut b = Matrix::zeros(1, 4 * hidden);
+        for c in hidden..2 * hidden {
+            b.set(0, c, 1.0);
+        }
+        Self {
+            wx: Tensor::param(init::xavier_uniform(input, 4 * hidden, rng)),
+            wh: Tensor::param(init::xavier_uniform(hidden, 4 * hidden, rng)),
+            b: Tensor::param(b),
+            hidden,
+        }
+    }
+
+    /// One step: consumes a `1 × input` row and the previous `(h, c)` state,
+    /// returns the next `(h, c)`.
+    pub fn step(&self, x: &Tensor, h: &Tensor, c: &Tensor) -> (Tensor, Tensor) {
+        let gates = ops::add_row(
+            &ops::add(&ops::matmul(x, &self.wx), &ops::matmul(h, &self.wh)),
+            &self.b,
+        );
+        let d = self.hidden;
+        let i = ops::sigmoid(&ops::slice_cols(&gates, 0, d));
+        let f = ops::sigmoid(&ops::slice_cols(&gates, d, 2 * d));
+        let g = ops::tanh(&ops::slice_cols(&gates, 2 * d, 3 * d));
+        let o = ops::sigmoid(&ops::slice_cols(&gates, 3 * d, 4 * d));
+        let c_next = ops::add(&ops::mul(&f, c), &ops::mul(&i, &g));
+        let h_next = ops::mul(&o, &ops::tanh(&c_next));
+        (h_next, c_next)
+    }
+
+    /// Runs the cell over an `n × input` sequence, returning all hidden
+    /// states as an `n × hidden` tensor plus the final `(h, c)`.
+    pub fn run(&self, seq: &Tensor) -> (Vec<Tensor>, Tensor, Tensor) {
+        let n = seq.value().rows();
+        let mut h = Tensor::constant(Matrix::zeros(1, self.hidden));
+        let mut c = Tensor::constant(Matrix::zeros(1, self.hidden));
+        let mut outputs = Vec::with_capacity(n);
+        for t in 0..n {
+            let x = ops::gather_rows(seq, &[t]);
+            let (h2, c2) = self.step(&x, &h, &c);
+            outputs.push(h2.clone());
+            h = h2;
+            c = c2;
+        }
+        (outputs, h, c)
+    }
+
+    /// Hidden state width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+}
+
+impl Module for LstmCell {
+    fn collect_params(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        out.push((join(prefix, "wx"), self.wx.clone()));
+        out.push((join(prefix, "wh"), self.wh.clone()));
+        out.push((join(prefix, "b"), self.b.clone()));
+    }
+}
+
+/// Bidirectional LSTM.
+///
+/// As in Eq. 2 of the paper, [`BiLstm::encode`] concatenates the *last*
+/// forward hidden state with the *first-position* reverse hidden state
+/// (i.e. the reverse state that has consumed the entire sequence),
+/// producing a `1 × 2·hidden` summary of a name's token sequence.
+pub struct BiLstm {
+    fwd: LstmCell,
+    rev: LstmCell,
+}
+
+impl BiLstm {
+    /// Creates forward and reverse cells.
+    pub fn new(input: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        Self { fwd: LstmCell::new(input, hidden, rng), rev: LstmCell::new(input, hidden, rng) }
+    }
+
+    /// Encodes an `n × input` sequence to a `1 × 2·hidden` vector.
+    ///
+    /// # Panics
+    /// Panics on an empty sequence.
+    pub fn encode(&self, seq: &Tensor) -> Tensor {
+        let n = seq.value().rows();
+        assert!(n > 0, "BiLstm::encode requires a non-empty sequence");
+        let (_, h_fwd, _) = self.fwd.run(seq);
+        let reversed_idx: Vec<usize> = (0..n).rev().collect();
+        let rev_seq = ops::gather_rows(seq, &reversed_idx);
+        let (_, h_rev, _) = self.rev.run(&rev_seq);
+        ops::concat_cols(&h_fwd, &h_rev)
+    }
+
+    /// Per-position outputs `n × 2·hidden` (forward state at t concatenated
+    /// with reverse state at t), used by sequence encoders.
+    pub fn outputs(&self, seq: &Tensor) -> Tensor {
+        let n = seq.value().rows();
+        assert!(n > 0, "BiLstm::outputs requires a non-empty sequence");
+        let (fwd_states, _, _) = self.fwd.run(seq);
+        let reversed_idx: Vec<usize> = (0..n).rev().collect();
+        let rev_seq = ops::gather_rows(seq, &reversed_idx);
+        let (rev_states, _, _) = self.rev.run(&rev_seq);
+        let mut rows: Option<Tensor> = None;
+        for t in 0..n {
+            let row = ops::concat_cols(&fwd_states[t], &rev_states[n - 1 - t]);
+            rows = Some(match rows {
+                Some(acc) => ops::concat_rows(&acc, &row),
+                None => row,
+            });
+        }
+        rows.expect("non-empty sequence")
+    }
+
+    /// Output width of [`BiLstm::encode`].
+    pub fn out_dim(&self) -> usize {
+        2 * self.fwd.hidden()
+    }
+}
+
+impl Module for BiLstm {
+    fn collect_params(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        self.fwd.collect_params(&join(prefix, "fwd"), out);
+        self.rev.collect_params(&join(prefix, "rev"), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cell_step_shapes() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let cell = LstmCell::new(3, 5, &mut rng);
+        let x = Tensor::constant(Matrix::zeros(1, 3));
+        let h = Tensor::constant(Matrix::zeros(1, 5));
+        let c = Tensor::constant(Matrix::zeros(1, 5));
+        let (h2, c2) = cell.step(&x, &h, &c);
+        assert_eq!(h2.shape(), (1, 5));
+        assert_eq!(c2.shape(), (1, 5));
+    }
+
+    #[test]
+    fn bilstm_encode_shape() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let bi = BiLstm::new(4, 3, &mut rng);
+        let seq = Tensor::constant(Matrix::from_fn(6, 4, |r, c| (r + c) as f32 * 0.1));
+        assert_eq!(bi.encode(&seq).shape(), (1, 6));
+        assert_eq!(bi.out_dim(), 6);
+    }
+
+    #[test]
+    fn bilstm_outputs_shape() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let bi = BiLstm::new(4, 3, &mut rng);
+        let seq = Tensor::constant(Matrix::from_fn(5, 4, |r, c| (r * c) as f32 * 0.1));
+        assert_eq!(bi.outputs(&seq).shape(), (5, 6));
+    }
+
+    #[test]
+    fn encode_is_order_sensitive() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let bi = BiLstm::new(2, 4, &mut rng);
+        let a = Tensor::constant(Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]));
+        let b = Tensor::constant(Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]));
+        let ea = bi.encode(&a).value_clone();
+        let eb = bi.encode(&b).value_clone();
+        assert_ne!(ea, eb, "BiLSTM should distinguish token order");
+    }
+
+    #[test]
+    fn lstm_learns_sequence_sum_sign() {
+        // Classify whether the sum of a ±1 sequence is positive: requires
+        // integrating over time, a real recurrence test.
+        let mut rng = StdRng::seed_from_u64(77);
+        let cell = LstmCell::new(1, 8, &mut rng);
+        let head =
+            crate::layers::Linear::new(8, 2, &mut rng);
+        let mut params = cell.params();
+        params.extend(head.params());
+        let mut opt = Adam::new(params, 0.02);
+        let seqs: Vec<(Vec<f32>, usize)> = (0..24)
+            .map(|i| {
+                let vals: Vec<f32> =
+                    (0..5).map(|j| if (i >> j) & 1 == 1 { 1.0 } else { -1.0 }).collect();
+                let label = usize::from(vals.iter().sum::<f32>() > 0.0);
+                (vals, label)
+            })
+            .collect();
+        let mut correct = 0;
+        for epoch in 0..60 {
+            correct = 0;
+            for (vals, label) in &seqs {
+                let seq = Tensor::constant(Matrix::from_fn(vals.len(), 1, |r, _| vals[r]));
+                let (_, h, _) = cell.run(&seq);
+                let logits = head.forward(&h);
+                let v = logits.value_clone();
+                let pred = usize::from(v.get(0, 1) > v.get(0, 0));
+                if pred == *label {
+                    correct += 1;
+                }
+                if epoch < 59 {
+                    let loss = ops::cross_entropy_logits(&logits, &[*label]);
+                    loss.backward();
+                    opt.step();
+                }
+            }
+        }
+        assert!(correct >= 22, "LSTM failed to learn sign-of-sum: {correct}/24");
+    }
+}

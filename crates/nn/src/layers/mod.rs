@@ -1,0 +1,56 @@
+//! Neural network layers built on the autograd [`crate::tensor::Tensor`].
+//!
+//! Every layer exposes its trainable parameters through the [`Module`]
+//! trait so that optimizers and the checkpoint format can enumerate them by
+//! stable, hierarchical names.
+
+mod attention;
+mod embedding;
+mod linear;
+mod lstm;
+mod norm;
+mod rgcn;
+mod transformer;
+
+pub use attention::MultiHeadAttention;
+pub use embedding::Embedding;
+pub use linear::{Linear, Mlp};
+pub use lstm::{BiLstm, LstmCell};
+pub use norm::LayerNorm;
+pub use rgcn::{RelAdjacency, RgcnLayer};
+pub use transformer::{FeedForward, TransformerLayer};
+
+use crate::tensor::Tensor;
+
+/// A container of trainable parameters.
+pub trait Module {
+    /// Appends `(name, tensor)` pairs for every trainable parameter,
+    /// prefixing names with `prefix` (e.g. `"encoder.layer0.attn.wq"`).
+    fn collect_params(&self, prefix: &str, out: &mut Vec<(String, Tensor)>);
+
+    /// Convenience: all parameters with names.
+    fn named_params(&self, prefix: &str) -> Vec<(String, Tensor)> {
+        let mut out = Vec::new();
+        self.collect_params(prefix, &mut out);
+        out
+    }
+
+    /// Convenience: just the parameter tensors.
+    fn params(&self) -> Vec<Tensor> {
+        self.named_params("").into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Total number of scalar parameters.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.value().len()).sum()
+    }
+}
+
+/// Joins a parameter-name prefix with a component name (`"a.b"`).
+pub fn join(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}

@@ -1,0 +1,60 @@
+//! Layer normalization.
+
+use crate::layers::{join, Module};
+use crate::matrix::Matrix;
+use crate::ops;
+use crate::tensor::Tensor;
+
+/// Layer normalization with learned per-feature scale and shift (Ba et al.,
+/// cited by the paper for the post-sublayer normalization of `Trm_g`).
+pub struct LayerNorm {
+    gamma: Tensor,
+    beta: Tensor,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Creates a layer-norm over `dim` features (γ=1, β=0).
+    pub fn new(dim: usize) -> Self {
+        Self {
+            gamma: Tensor::param(Matrix::full(1, dim, 1.0)),
+            beta: Tensor::param(Matrix::zeros(1, dim)),
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalizes each row of `x`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        ops::layer_norm(x, &self.gamma, &self.beta, self.eps)
+    }
+}
+
+impl Module for LayerNorm {
+    fn collect_params(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        out.push((join(prefix, "gamma"), self.gamma.clone()));
+        out.push((join(prefix, "beta"), self.beta.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_standardized_at_init() {
+        let ln = LayerNorm::new(4);
+        let x = Tensor::constant(Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]));
+        let y = ln.forward(&x).value_clone();
+        let mean: f32 = y.row(0).iter().sum::<f32>() / 4.0;
+        let var: f32 = y.row(0).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn has_two_params() {
+        let ln = LayerNorm::new(8);
+        assert_eq!(ln.named_params("ln").len(), 2);
+        assert_eq!(ln.param_count(), 16);
+    }
+}

@@ -1,0 +1,131 @@
+//! Standard transformer encoder building blocks (the `Trm` part of the
+//! paper's `Trm_g`; the query-aware sub-graph part lives in the `preqr`
+//! crate because it needs the schema graph).
+
+use rand::Rng;
+
+use crate::layers::{join, LayerNorm, Linear, Module, MultiHeadAttention};
+use crate::ops;
+use crate::tensor::Tensor;
+
+/// Position-wise feed-forward network with GELU activation.
+pub struct FeedForward {
+    l1: Linear,
+    l2: Linear,
+}
+
+impl FeedForward {
+    /// Creates a two-layer FFN `dim → hidden → dim`.
+    pub fn new(dim: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        Self { l1: Linear::new(dim, hidden, rng), l2: Linear::new(hidden, dim, rng) }
+    }
+
+    /// Applies the FFN to each row independently.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.l2.forward(&ops::gelu(&self.l1.forward(x)))
+    }
+}
+
+impl Module for FeedForward {
+    fn collect_params(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        self.l1.collect_params(&join(prefix, "l1"), out);
+        self.l2.collect_params(&join(prefix, "l2"), out);
+    }
+}
+
+/// A post-norm transformer encoder layer:
+/// `x = LN(x + SelfAttn(x)); x = LN(x + FFN(x))` — Eq. 6 of the paper.
+pub struct TransformerLayer {
+    attn: MultiHeadAttention,
+    ln1: LayerNorm,
+    ffn: FeedForward,
+    ln2: LayerNorm,
+}
+
+impl TransformerLayer {
+    /// Creates an encoder layer with `heads`-head attention and a
+    /// `4 × dim` FFN hidden size (the standard ratio).
+    pub fn new(dim: usize, heads: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            attn: MultiHeadAttention::new(dim, heads, rng),
+            ln1: LayerNorm::new(dim),
+            ffn: FeedForward::new(dim, dim * 4, rng),
+            ln2: LayerNorm::new(dim),
+        }
+    }
+
+    /// Encodes an `n × dim` sequence.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let attended = self.attn.forward_self(x);
+        let x = self.ln1.forward(&ops::add(x, &attended));
+        let ff = self.ffn.forward(&x);
+        self.ln2.forward(&ops::add(&x, &ff))
+    }
+
+    /// The self-attention sub-layer (exposed for `Trm_g` composition).
+    pub fn attention(&self) -> &MultiHeadAttention {
+        &self.attn
+    }
+}
+
+impl Module for TransformerLayer {
+    fn collect_params(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        self.attn.collect_params(&join(prefix, "attn"), out);
+        self.ln1.collect_params(&join(prefix, "ln1"), out);
+        self.ffn.collect_params(&join(prefix, "ffn"), out);
+        self.ln2.collect_params(&join(prefix, "ln2"), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn layer_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let layer = TransformerLayer::new(8, 2, &mut rng);
+        let x = Tensor::constant(Matrix::from_fn(6, 8, |r, c| ((r * c) % 5) as f32 * 0.1));
+        assert_eq!(layer.forward(&x).shape(), (6, 8));
+    }
+
+    #[test]
+    fn output_is_row_normalized() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let layer = TransformerLayer::new(8, 2, &mut rng);
+        let x = Tensor::constant(Matrix::from_fn(3, 8, |r, c| (r + c) as f32));
+        let y = layer.forward(&x).value_clone();
+        for r in 0..3 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-3, "row {r} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn all_params_receive_gradients() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let layer = TransformerLayer::new(4, 2, &mut rng);
+        let x = Tensor::constant(Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 * 0.07));
+        ops::sum_all(&layer.forward(&x)).backward();
+        for (name, p) in layer.named_params("t") {
+            assert!(p.grad().is_some(), "missing grad for {name}");
+        }
+    }
+
+    #[test]
+    fn param_count_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let dim = 8;
+        let layer = TransformerLayer::new(dim, 2, &mut rng);
+        // attn: 4 linear layers (dim*dim + dim); ffn: dim*4dim+4dim + 4dim*dim+dim;
+        // two layer norms: 2*2*dim.
+        let expected = 4 * (dim * dim + dim)
+            + (dim * 4 * dim + 4 * dim)
+            + (4 * dim * dim + dim)
+            + 2 * 2 * dim;
+        assert_eq!(layer.param_count(), expected);
+    }
+}

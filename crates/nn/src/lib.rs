@@ -1,0 +1,44 @@
+//! `preqr-nn` — the neural substrate of the PreQR reproduction.
+//!
+//! A small, dependency-light deep-learning library: dense [`Matrix`]
+//! storage, a reverse-mode autograd [`Tensor`] graph, the layers required
+//! by the PreQR model family (linear, embedding, layer-norm, multi-head
+//! attention, transformer encoder, LSTM/BiLSTM, relational GCN), Adam/SGD
+//! optimizers, and a binary checkpoint format.
+//!
+//! Everything runs on a single CPU core; hidden sizes in this reproduction
+//! are small (32–256), so the straightforward dense kernels in
+//! [`matrix`] are adequate.
+//!
+//! # Example
+//!
+//! ```
+//! use preqr_nn::layers::{Mlp, Module};
+//! use preqr_nn::optim::Adam;
+//! use preqr_nn::{ops, Matrix, Tensor};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mlp = Mlp::new(&[2, 8, 1], &mut rng);
+//! let mut opt = Adam::new(mlp.params(), 1e-2);
+//! let x = Tensor::constant(Matrix::from_vec(1, 2, vec![0.5, -0.5]));
+//! let target = Matrix::from_vec(1, 1, vec![1.0]);
+//! for _ in 0..10 {
+//!     let loss = ops::mse_loss(&mlp.forward(&x), &target);
+//!     loss.backward();
+//!     opt.step();
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index-heavy numeric kernels read clearer with explicit indices
+pub mod init;
+pub mod layers;
+pub mod matrix;
+pub mod ops;
+pub mod optim;
+pub mod serialize;
+pub mod tensor;
+
+pub use matrix::Matrix;
+pub use tensor::Tensor;

@@ -1,0 +1,483 @@
+//! Dense row-major `f32` matrix used as the storage type of the autograd
+//! tensor.
+//!
+//! Everything in the PreQR reproduction is small enough (hidden sizes of
+//! 32–256, sequence lengths below ~128) that a straightforward cache-friendly
+//! `ikj` matmul is sufficient on a single CPU core.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f32` values.
+///
+/// Vectors are represented as `1 × n` (row) matrices throughout the crate.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix filled with a constant.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a `1 × n` row vector from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every cell.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self @ other` using the cache-friendly `ikj` ordering.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not agree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ other^T` without materializing the transpose.
+    pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose_b shape mismatch: {}x{} @ ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                *o = dot(a_row, b_row);
+            }
+        }
+        out
+    }
+
+    /// `self^T @ other` without materializing the transpose.
+    pub fn transpose_a_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "transpose_a_matmul shape mismatch: ({}x{})^T @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        let n = other.cols;
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = &other.data[k * n..(k + 1) * n];
+            for (i, &a_ki) in a_row.iter().enumerate() {
+                if a_ki == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ki * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise addition in place.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise `self += scale * other` in place.
+    pub fn add_scaled_assign(&mut self, other: &Matrix, scale: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += scale * b;
+        }
+    }
+
+    /// Elementwise binary map producing a new matrix.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Elementwise unary map producing a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| f(a)).collect(),
+        }
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in self.data.iter_mut() {
+            *a *= s;
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements. Returns 0 for an empty matrix.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&a| a * a).sum::<f32>().sqrt()
+    }
+
+    /// Concatenates two matrices with equal row counts along the column axis.
+    pub fn concat_cols(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "concat_cols row mismatch");
+        let cols = self.cols + other.cols;
+        let mut out = Matrix::zeros(self.rows, cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Concatenates two matrices with equal column counts along the row axis.
+    pub fn concat_rows(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "concat_rows col mismatch");
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// Copy of columns `c0..c1` of every row.
+    pub fn slice_cols(&self, c0: usize, c1: usize) -> Matrix {
+        assert!(c0 <= c1 && c1 <= self.cols, "slice_cols out of range");
+        let mut out = Matrix::zeros(self.rows, c1 - c0);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[c0..c1]);
+        }
+        out
+    }
+
+    /// Copy of the given rows, in order (rows may repeat).
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < self.rows, "gather_rows index {idx} out of range ({})", self.rows);
+            out.row_mut(i).copy_from_slice(self.row(idx));
+        }
+        out
+    }
+
+    /// Row-wise softmax in place.
+    pub fn softmax_rows_inplace(&mut self) {
+        for r in 0..self.rows {
+            softmax_slice(self.row_mut(r));
+        }
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// Numerically-stable softmax over a mutable slice.
+pub fn softmax_slice(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_contents() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_vec_round_trips() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.clone().into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+        let b = Matrix::from_fn(5, 4, |r, c| (r + c) as f32 * 0.5);
+        assert_eq!(a.matmul_transpose_b(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transpose_a_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32 - 5.0);
+        let b = Matrix::from_fn(4, 2, |r, c| (r + 2 * c) as f32);
+        assert_eq!(a.transpose_a_matmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 7 + c) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn concat_cols_layout() {
+        let a = Matrix::from_vec(2, 1, vec![1.0, 3.0]);
+        let b = Matrix::from_vec(2, 2, vec![10.0, 11.0, 30.0, 31.0]);
+        let c = a.concat_cols(&b);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.row(0), &[1.0, 10.0, 11.0]);
+        assert_eq!(c.row(1), &[3.0, 30.0, 31.0]);
+    }
+
+    #[test]
+    fn concat_rows_layout() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let c = a.concat_rows(&b);
+        assert_eq!(c.shape(), (3, 2));
+        assert_eq!(c.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn slice_cols_extracts_range() {
+        let a = Matrix::from_fn(2, 4, |r, c| (r * 4 + c) as f32);
+        let s = a.slice_cols(1, 3);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.row(0), &[1.0, 2.0]);
+        assert_eq!(s.row(1), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn gather_rows_with_repeats() {
+        let a = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.row(0), &[4.0, 5.0]);
+        assert_eq!(g.row(1), &[0.0, 1.0]);
+        assert_eq!(g.row(2), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        m.softmax_rows_inplace();
+        for r in 0..2 {
+            let s: f32 = m.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert!(m.get(0, 2) > m.get(0, 1));
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_inputs() {
+        let mut xs = [1000.0, 1000.0, 1000.0];
+        softmax_slice(&mut xs);
+        for x in xs {
+            assert!((x - 1.0 / 3.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sum_mean_norm() {
+        let m = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.sum(), 10.0);
+        assert_eq!(m.mean(), 2.5);
+        assert!((m.norm() - 30.0_f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_scaled_assign_accumulates() {
+        let mut a = Matrix::zeros(1, 2);
+        let b = Matrix::from_vec(1, 2, vec![2.0, 4.0]);
+        a.add_scaled_assign(&b, 0.5);
+        a.add_scaled_assign(&b, 0.5);
+        assert_eq!(a.data(), &[2.0, 4.0]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Checkpoint format: named parameter matrices in a small binary container.
+//!
+//! Layout: magic `PRQR`, version u32, count u32, then per entry
+//! `name_len u32 | name bytes | rows u32 | cols u32 | f32 LE data`.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::matrix::Matrix;
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"PRQR";
+const VERSION: u32 = 1;
+
+/// Writes named parameters to `w`.
+pub fn write_params<W: Write>(w: &mut W, params: &[(String, Tensor)]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for (name, t) in params {
+        let bytes = name.as_bytes();
+        w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        w.write_all(bytes)?;
+        let v = t.value();
+        w.write_all(&(v.rows() as u32).to_le_bytes())?;
+        w.write_all(&(v.cols() as u32).to_le_bytes())?;
+        for &x in v.data() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads named matrices from `r`.
+pub fn read_params<R: Read>(r: &mut R) -> io::Result<HashMap<String, Matrix>> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint magic"));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported checkpoint version {version}"),
+        ));
+    }
+    let count = read_u32(r)? as usize;
+    let mut out = HashMap::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(r)? as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let rows = read_u32(r)? as usize;
+        let cols = read_u32(r)? as usize;
+        let mut data = vec![0f32; rows * cols];
+        let mut buf = [0u8; 4];
+        for x in data.iter_mut() {
+            r.read_exact(&mut buf)?;
+            *x = f32::from_le_bytes(buf);
+        }
+        out.insert(name, Matrix::from_vec(rows, cols, data));
+    }
+    Ok(out)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Saves named parameters to a file.
+pub fn save_to_file(path: impl AsRef<Path>, params: &[(String, Tensor)]) -> io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_params(&mut f, params)
+}
+
+/// Loads named matrices from a file.
+pub fn load_from_file(path: impl AsRef<Path>) -> io::Result<HashMap<String, Matrix>> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    read_params(&mut f)
+}
+
+/// Copies loaded matrices into matching parameters.
+///
+/// Returns the number of applied parameters. Errors if a named parameter is
+/// missing from the checkpoint or has a mismatched shape.
+pub fn apply_params(
+    params: &[(String, Tensor)],
+    loaded: &HashMap<String, Matrix>,
+) -> Result<usize, String> {
+    for (name, t) in params {
+        let m = loaded
+            .get(name)
+            .ok_or_else(|| format!("checkpoint is missing parameter `{name}`"))?;
+        if m.shape() != t.shape() {
+            return Err(format!(
+                "shape mismatch for `{name}`: checkpoint {:?} vs model {:?}",
+                m.shape(),
+                t.shape()
+            ));
+        }
+        t.set_value(m.clone());
+    }
+    Ok(params.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_params() -> Vec<(String, Tensor)> {
+        vec![
+            ("a.w".to_string(), Tensor::param(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]))),
+            ("a.b".to_string(), Tensor::param(Matrix::from_vec(1, 2, vec![-0.5, 0.25]))),
+        ]
+    }
+
+    #[test]
+    fn round_trip_in_memory() {
+        let params = sample_params();
+        let mut buf = Vec::new();
+        write_params(&mut buf, &params).unwrap();
+        let loaded = read_params(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded["a.w"], params[0].1.value_clone());
+        assert_eq!(loaded["a.b"], params[1].1.value_clone());
+    }
+
+    #[test]
+    fn apply_restores_values() {
+        let params = sample_params();
+        let mut buf = Vec::new();
+        write_params(&mut buf, &params).unwrap();
+        // Perturb, then restore.
+        params[0].1.set_value(Matrix::zeros(2, 2));
+        let loaded = read_params(&mut buf.as_slice()).unwrap();
+        let n = apply_params(&params, &loaded).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(params[0].1.value_clone().data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn apply_rejects_missing_and_mismatched() {
+        let params = sample_params();
+        let mut loaded = HashMap::new();
+        loaded.insert("a.w".to_string(), Matrix::zeros(2, 2));
+        assert!(apply_params(&params, &loaded).unwrap_err().contains("missing"));
+        loaded.insert("a.b".to_string(), Matrix::zeros(3, 3));
+        assert!(apply_params(&params, &loaded).unwrap_err().contains("shape mismatch"));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let bytes = b"NOPE\0\0\0\0";
+        assert!(read_params(&mut &bytes[..]).is_err());
+    }
+}

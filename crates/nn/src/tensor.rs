@@ -1,0 +1,290 @@
+//! Reverse-mode automatic differentiation over [`Matrix`] values.
+//!
+//! A [`Tensor`] is a reference-counted node in a dynamically-built
+//! computation graph. Operations (defined in [`crate::ops`]) create new
+//! nodes whose backward closures scatter gradients into their parents.
+//! Calling [`Tensor::backward`] on a scalar output performs a topological
+//! sweep and accumulates gradients into every parameter that participated
+//! in the computation.
+//!
+//! The graph is built per forward pass and dropped afterwards; parameters
+//! ([`Tensor::param`]) are the only long-lived nodes and keep their
+//! accumulated gradient until the optimizer consumes it.
+
+use std::cell::{Cell, Ref, RefCell};
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use crate::matrix::Matrix;
+
+thread_local! {
+    static NEXT_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+fn next_id() -> u64 {
+    NEXT_ID.with(|c| {
+        let id = c.get();
+        c.set(id + 1);
+        id
+    })
+}
+
+/// Context passed to an op's backward closure.
+pub struct BackwardCtx<'a> {
+    /// Gradient of the loss w.r.t. this node's output.
+    pub grad_out: &'a Matrix,
+    /// The node's forward output value.
+    pub value_out: &'a Matrix,
+    /// The node's parent tensors, in the order they were passed to
+    /// [`Tensor::from_op`].
+    pub parents: &'a [Tensor],
+}
+
+type BackwardFn = Box<dyn Fn(&BackwardCtx<'_>)>;
+
+pub(crate) struct TensorData {
+    id: u64,
+    value: RefCell<Matrix>,
+    grad: RefCell<Option<Matrix>>,
+    requires_grad: bool,
+    parents: Vec<Tensor>,
+    backward: Option<BackwardFn>,
+}
+
+/// A node in the autograd graph holding a [`Matrix`] value.
+///
+/// Cloning a `Tensor` is cheap (it clones an `Rc`).
+#[derive(Clone)]
+pub struct Tensor(Rc<TensorData>);
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let v = self.0.value.borrow();
+        f.debug_struct("Tensor")
+            .field("id", &self.0.id)
+            .field("shape", &v.shape())
+            .field("requires_grad", &self.0.requires_grad)
+            .finish()
+    }
+}
+
+impl Tensor {
+    /// Creates a constant leaf tensor (no gradient is tracked through it).
+    pub fn constant(value: Matrix) -> Self {
+        Tensor(Rc::new(TensorData {
+            id: next_id(),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            requires_grad: false,
+            parents: Vec::new(),
+            backward: None,
+        }))
+    }
+
+    /// Creates a trainable parameter leaf. Gradients accumulate into it
+    /// across [`Tensor::backward`] calls until cleared by the optimizer.
+    pub fn param(value: Matrix) -> Self {
+        Tensor(Rc::new(TensorData {
+            id: next_id(),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            requires_grad: true,
+            parents: Vec::new(),
+            backward: None,
+        }))
+    }
+
+    /// Creates an interior node produced by an op.
+    ///
+    /// `backward` receives the upstream gradient and must accumulate into
+    /// the parents via [`Tensor::accumulate_grad`]. It is only invoked when
+    /// at least one parent requires a gradient.
+    pub fn from_op(value: Matrix, parents: Vec<Tensor>, backward: BackwardFn) -> Self {
+        let requires_grad = parents.iter().any(|p| p.0.requires_grad);
+        Tensor(Rc::new(TensorData {
+            id: next_id(),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            requires_grad,
+            parents,
+            backward: Some(backward),
+        }))
+    }
+
+    /// Unique node id (process-local, monotonically increasing).
+    pub fn id(&self) -> u64 {
+        self.0.id
+    }
+
+    /// Whether gradients flow through this node.
+    pub fn requires_grad(&self) -> bool {
+        self.0.requires_grad
+    }
+
+    /// Borrow of the forward value.
+    pub fn value(&self) -> Ref<'_, Matrix> {
+        self.0.value.borrow()
+    }
+
+    /// Owned copy of the forward value.
+    pub fn value_clone(&self) -> Matrix {
+        self.0.value.borrow().clone()
+    }
+
+    /// `(rows, cols)` of the forward value.
+    pub fn shape(&self) -> (usize, usize) {
+        self.0.value.borrow().shape()
+    }
+
+    /// Overwrites the stored value in place (used by optimizers and by
+    /// parameter loading). Shape must match.
+    pub fn set_value(&self, value: Matrix) {
+        let mut v = self.0.value.borrow_mut();
+        assert_eq!(v.shape(), value.shape(), "set_value shape mismatch");
+        *v = value;
+    }
+
+    /// Applies `f` to the stored value in place.
+    pub fn update_value(&self, f: impl FnOnce(&mut Matrix)) {
+        f(&mut self.0.value.borrow_mut());
+    }
+
+    /// Owned copy of the accumulated gradient, if any.
+    pub fn grad(&self) -> Option<Matrix> {
+        self.0.grad.borrow().clone()
+    }
+
+    /// Removes and returns the accumulated gradient.
+    pub fn take_grad(&self) -> Option<Matrix> {
+        self.0.grad.borrow_mut().take()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        *self.0.grad.borrow_mut() = None;
+    }
+
+    /// Adds `g` into this node's gradient buffer (no-op when the node does
+    /// not require gradients).
+    pub fn accumulate_grad(&self, g: &Matrix) {
+        if !self.0.requires_grad {
+            return;
+        }
+        let mut slot = self.0.grad.borrow_mut();
+        match slot.as_mut() {
+            Some(acc) => acc.add_assign(g),
+            None => *slot = Some(g.clone()),
+        }
+    }
+
+    /// Returns a gradient-detached view of this tensor's value.
+    pub fn detach(&self) -> Tensor {
+        Tensor::constant(self.value_clone())
+    }
+
+    /// Runs reverse-mode differentiation from this node.
+    ///
+    /// The node must hold a `1 × 1` scalar (a loss). Gradients accumulate
+    /// into every reachable node with `requires_grad`.
+    ///
+    /// # Panics
+    /// Panics if the node is not a scalar.
+    pub fn backward(&self) {
+        let (r, c) = self.shape();
+        assert_eq!((r, c), (1, 1), "backward() requires a scalar tensor, got {r}x{c}");
+        self.backward_with(Matrix::full(1, 1, 1.0));
+    }
+
+    /// Runs reverse-mode differentiation seeding this node's gradient with
+    /// `seed` (same shape as the value). Useful for Jacobian-vector products
+    /// in tests.
+    pub fn backward_with(&self, seed: Matrix) {
+        assert_eq!(self.shape(), seed.shape(), "backward seed shape mismatch");
+        if !self.0.requires_grad {
+            return;
+        }
+        // Topological order via iterative post-order DFS over nodes that
+        // require gradients.
+        let mut topo: Vec<Tensor> = Vec::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut stack: Vec<(Tensor, bool)> = vec![(self.clone(), false)];
+        while let Some((node, processed)) = stack.pop() {
+            if processed {
+                topo.push(node);
+                continue;
+            }
+            if !visited.insert(node.0.id) {
+                continue;
+            }
+            stack.push((node.clone(), true));
+            for p in &node.0.parents {
+                if p.0.requires_grad && !visited.contains(&p.0.id) {
+                    stack.push((p.clone(), false));
+                }
+            }
+        }
+
+        self.accumulate_grad(&seed);
+        // Interior nodes receive their gradient exactly once all children
+        // have contributed because children appear later in `topo`.
+        for node in topo.iter().rev() {
+            let Some(backward) = node.0.backward.as_ref() else { continue };
+            let grad = node.0.grad.borrow().clone();
+            let Some(grad) = grad else { continue };
+            let value = node.0.value.borrow();
+            let ctx = BackwardCtx { grad_out: &grad, value_out: &value, parents: &node.0.parents };
+            backward(&ctx);
+            drop(value);
+            // Interior gradients are transient; free them eagerly so long
+            // graphs don't hold every intermediate gradient at once.
+            *node.0.grad.borrow_mut() = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_does_not_track_grad() {
+        let t = Tensor::constant(Matrix::zeros(2, 2));
+        assert!(!t.requires_grad());
+        t.accumulate_grad(&Matrix::full(2, 2, 1.0));
+        assert!(t.grad().is_none());
+    }
+
+    #[test]
+    fn param_accumulates_grad() {
+        let t = Tensor::param(Matrix::zeros(1, 3));
+        t.accumulate_grad(&Matrix::full(1, 3, 2.0));
+        t.accumulate_grad(&Matrix::full(1, 3, 3.0));
+        assert_eq!(t.grad().unwrap().data(), &[5.0, 5.0, 5.0]);
+        t.zero_grad();
+        assert!(t.grad().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a scalar")]
+    fn backward_rejects_non_scalar() {
+        let t = Tensor::param(Matrix::zeros(1, 2));
+        t.backward();
+    }
+
+    #[test]
+    fn backward_through_shared_node_counts_both_paths() {
+        // y = x + x; dy/dx = 2.
+        let x = Tensor::param(Matrix::full(1, 1, 3.0));
+        let y = crate::ops::add(&x, &x);
+        y.backward();
+        assert_eq!(x.grad().unwrap().get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn detach_blocks_gradient() {
+        let x = Tensor::param(Matrix::full(1, 1, 3.0));
+        let d = x.detach();
+        let y = crate::ops::mul(&d, &d);
+        assert!(!y.requires_grad());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests over the autograd ops: algebraic identities and
+//! randomized gradient checks.
+
+use proptest::prelude::*;
+
+use preqr_nn::{ops, Matrix, Tensor};
+
+fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-3.0f32..3.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ and the fused kernels agree with explicit
+    /// transposes.
+    #[test]
+    fn matmul_transpose_identities(
+        a in matrix(1..5, 1..5),
+        bcols in 1usize..5,
+        extra in proptest::collection::vec(-3.0f32..3.0, 0..25),
+    ) {
+        let k = a.cols();
+        prop_assume!(extra.len() >= k * bcols);
+        let b = Matrix::from_vec(k, bcols, extra[..k * bcols].to_vec());
+        let ab = a.matmul(&b);
+        prop_assert_eq!(ab.transpose(), b.transpose().matmul(&a.transpose()));
+        prop_assert_eq!(a.matmul_transpose_b(&b.transpose()), a.matmul(&b));
+        prop_assert_eq!(a.transpose().transpose_a_matmul(&b), ab);
+    }
+
+    /// Softmax rows are probability distributions and argmax-invariant
+    /// under constant shifts.
+    #[test]
+    fn softmax_rows_properties(m in matrix(1..5, 1..6), shift in -5.0f32..5.0) {
+        let x = Tensor::constant(m.clone());
+        let y = ops::softmax_rows(&x).value_clone();
+        for r in 0..y.rows() {
+            let s: f32 = y.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(y.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        let shifted = Tensor::constant(m.map(|v| v + shift));
+        let y2 = ops::softmax_rows(&shifted).value_clone();
+        for (a, b) in y.data().iter().zip(y2.data()) {
+            prop_assert!((a - b).abs() < 1e-4, "shift invariance violated");
+        }
+    }
+
+    /// Layer norm output rows have ~zero mean and ~unit variance at
+    /// default parameters.
+    #[test]
+    fn layer_norm_standardizes(m in matrix(1..4, 4..8)) {
+        let ln = preqr_nn::layers::LayerNorm::new(m.cols());
+        let y = ln.forward(&Tensor::constant(m)).value_clone();
+        for r in 0..y.rows() {
+            let d = y.cols() as f32;
+            let mean: f32 = y.row(r).iter().sum::<f32>() / d;
+            let var: f32 = y.row(r).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d;
+            prop_assert!(mean.abs() < 1e-3, "mean {mean}");
+            prop_assert!((var - 1.0).abs() < 0.05, "var {var}");
+        }
+    }
+
+    /// Randomized gradient check: d/dx Σ f(x) matches central differences
+    /// for a composite expression.
+    #[test]
+    fn random_gradient_check(m in matrix(2..4, 2..4), w in matrix(2..4, 2..4)) {
+        prop_assume!(m.cols() == w.rows());
+        let f = |mat: &Matrix| -> f32 {
+            let x = Tensor::param(mat.clone());
+            let prod = ops::matmul(&x, &Tensor::constant(w.clone()));
+            ops::sum_all(&ops::tanh(&prod)).value_clone().get(0, 0)
+        };
+        let x = Tensor::param(m.clone());
+        let prod = ops::matmul(&x, &Tensor::constant(w.clone()));
+        ops::sum_all(&ops::tanh(&prod)).backward();
+        let g = x.grad().expect("grad");
+        let eps = 2e-2f32;
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                let mut plus = m.clone();
+                plus.set(r, c, m.get(r, c) + eps);
+                let mut minus = m.clone();
+                minus.set(r, c, m.get(r, c) - eps);
+                let numeric = (f(&plus) - f(&minus)) / (2.0 * eps);
+                let a = g.get(r, c);
+                let denom = a.abs().max(numeric.abs()).max(1.0);
+                prop_assert!(
+                    (a - numeric).abs() / denom < 0.08,
+                    "grad mismatch at ({r},{c}): {a} vs {numeric}"
+                );
+            }
+        }
+    }
+
+    /// Adam with clipping keeps parameters finite under adversarial
+    /// gradients.
+    #[test]
+    fn adam_stays_finite(grads in proptest::collection::vec(-1e6f32..1e6, 8)) {
+        let p = Tensor::param(Matrix::zeros(1, 8));
+        let mut opt = preqr_nn::optim::Adam::new(vec![p.clone()], 0.01);
+        for chunk in grads.chunks(2) {
+            let mut g = Matrix::zeros(1, 8);
+            for (i, &x) in chunk.iter().enumerate() {
+                g.set(0, i, x);
+            }
+            p.accumulate_grad(&g);
+            opt.step();
+        }
+        prop_assert!(p.value_clone().data().iter().all(|v| v.is_finite()));
+    }
+
+    /// Bucketizers are monotone: larger values never map to smaller
+    /// buckets.
+    #[test]
+    fn bucketizer_monotone(
+        mut samples in proptest::collection::vec(-1e4f64..1e4, 2..200),
+        k in 1usize..12,
+        probes in proptest::collection::vec(-2e4f64..2e4, 2..20),
+    ) {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let b = preqr_sql::vocab::Bucketizer::from_samples(samples, k);
+        let mut sorted = probes.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let buckets: Vec<usize> = sorted.iter().map(|&v| b.bucket(v)).collect();
+        prop_assert!(buckets.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(buckets.iter().all(|&x| x < b.buckets()));
+    }
+}

@@ -1,0 +1,372 @@
+//! The directed labelled schema graph `G_s = {V, E, R}` of §3.4.1.
+//!
+//! Vertices are tables and columns; edges carry one of the ten labels of
+//! Table 4. Self-connections are *not* stored here — the R-GCN layer adds
+//! the `W_self` term itself, matching the paper's "we also intentionally
+//! create a self-connection edge for each vertex".
+
+use serde::{Deserialize, Serialize};
+
+use crate::Schema;
+
+/// The ten edge labels of Table 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeLabel {
+    /// (Column, Column): both belong to the same table.
+    SameTable,
+    /// (Column, Column): `v_x` is a foreign key for `v_y`.
+    ForeignKeyColumnLeft,
+    /// (Column, Column): `v_y` is a foreign key for `v_x`.
+    ForeignKeyColumnRight,
+    /// (Column, Table): `v_x` is the primary key of `v_y`.
+    PrimaryKeyLeft,
+    /// (Column, Table): `v_x` is a non-PK column of `v_y`.
+    BelongsToLeft,
+    /// (Table, Column): `v_y` is the primary key of `v_x`.
+    PrimaryKeyRight,
+    /// (Table, Column): `v_y` is a non-PK column of `v_x`.
+    BelongsToRight,
+    /// (Table, Table): `v_x` has a foreign key column referencing `v_y`.
+    ForeignKeyTableLeft,
+    /// (Table, Table): `v_y` has a foreign key column referencing `v_x`.
+    ForeignKeyTableRight,
+    /// (Table, Table): foreign keys exist in both directions.
+    ForeignKeyTableBoth,
+}
+
+impl EdgeLabel {
+    /// All ten labels in a stable order (the relation index used by the
+    /// R-GCN weight matrices).
+    pub const ALL: [EdgeLabel; 10] = [
+        EdgeLabel::SameTable,
+        EdgeLabel::ForeignKeyColumnLeft,
+        EdgeLabel::ForeignKeyColumnRight,
+        EdgeLabel::PrimaryKeyLeft,
+        EdgeLabel::BelongsToLeft,
+        EdgeLabel::PrimaryKeyRight,
+        EdgeLabel::BelongsToRight,
+        EdgeLabel::ForeignKeyTableLeft,
+        EdgeLabel::ForeignKeyTableRight,
+        EdgeLabel::ForeignKeyTableBoth,
+    ];
+
+    /// Stable relation index in `0..10`.
+    pub fn index(&self) -> usize {
+        Self::ALL.iter().position(|l| l == self).expect("label in ALL")
+    }
+}
+
+/// Kind of a schema-graph vertex.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VertexKind {
+    /// A table vertex.
+    Table {
+        /// Table name.
+        table: String,
+    },
+    /// A column vertex.
+    Column {
+        /// Owning table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+}
+
+/// A schema-graph vertex with its name-token sequence (function ρ of
+/// §3.4.2; column vertices are prefixed with their type token).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Vertex {
+    /// Table or column identity.
+    pub kind: VertexKind,
+    /// Name tokens fed to the BiLSTM name encoder.
+    pub name_tokens: Vec<String>,
+}
+
+/// The schema graph.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SchemaGraph {
+    vertices: Vec<Vertex>,
+    edges: Vec<(usize, EdgeLabel, usize)>,
+}
+
+impl SchemaGraph {
+    /// Builds the graph from a schema following Table 4's rules.
+    pub fn build(schema: &Schema) -> Self {
+        let mut g = SchemaGraph::default();
+        // Each table vertex is immediately followed by its column vertices,
+        // so appending a new table (§3.6 Case 2) appends vertices and keeps
+        // all existing vertex ids stable.
+        for t in schema.tables() {
+            g.vertices.push(Vertex {
+                kind: VertexKind::Table { table: t.name.clone() },
+                name_tokens: Schema::name_tokens(&t.name),
+            });
+            for c in &t.columns {
+                let mut toks = vec![c.ty.token().to_string()];
+                toks.extend(Schema::name_tokens(&c.name));
+                g.vertices.push(Vertex {
+                    kind: VertexKind::Column { table: t.name.clone(), column: c.name.clone() },
+                    name_tokens: toks,
+                });
+            }
+        }
+
+        // (Column, Column) Same-Table: all ordered pairs within a table.
+        for t in schema.tables() {
+            let cols: Vec<usize> = t
+                .columns
+                .iter()
+                .map(|c| g.column_vertex(&t.name, &c.name).expect("column vertex"))
+                .collect();
+            for &a in &cols {
+                for &b in &cols {
+                    if a != b {
+                        g.edges.push((a, EdgeLabel::SameTable, b));
+                    }
+                }
+            }
+        }
+
+        // Column↔Table membership edges.
+        for t in schema.tables() {
+            let tv = g.table_vertex(&t.name).expect("table vertex");
+            for c in &t.columns {
+                let cv = g.column_vertex(&t.name, &c.name).expect("column vertex");
+                if c.primary {
+                    g.edges.push((cv, EdgeLabel::PrimaryKeyLeft, tv));
+                    g.edges.push((tv, EdgeLabel::PrimaryKeyRight, cv));
+                } else {
+                    g.edges.push((cv, EdgeLabel::BelongsToLeft, tv));
+                    g.edges.push((tv, EdgeLabel::BelongsToRight, cv));
+                }
+            }
+        }
+
+        // (Column, Column) foreign-key edges.
+        for fk in schema.foreign_keys() {
+            let from = g.column_vertex(&fk.from_table, &fk.from_column).expect("fk source");
+            let to = g.column_vertex(&fk.to_table, &fk.to_column).expect("fk target");
+            g.edges.push((from, EdgeLabel::ForeignKeyColumnLeft, to));
+            g.edges.push((to, EdgeLabel::ForeignKeyColumnRight, from));
+        }
+
+        // (Table, Table) foreign-key edges, with Both when bidirectional.
+        let names: Vec<&str> = schema.tables().iter().map(|t| t.name.as_str()).collect();
+        for (i, &a) in names.iter().enumerate() {
+            for &b in names.iter().skip(i + 1) {
+                let a_to_b = schema
+                    .foreign_keys()
+                    .iter()
+                    .any(|fk| fk.from_table == a && fk.to_table == b);
+                let b_to_a = schema
+                    .foreign_keys()
+                    .iter()
+                    .any(|fk| fk.from_table == b && fk.to_table == a);
+                let va = g.table_vertex(a).expect("table vertex");
+                let vb = g.table_vertex(b).expect("table vertex");
+                match (a_to_b, b_to_a) {
+                    (true, true) => {
+                        g.edges.push((va, EdgeLabel::ForeignKeyTableBoth, vb));
+                        g.edges.push((vb, EdgeLabel::ForeignKeyTableBoth, va));
+                    }
+                    (true, false) => {
+                        g.edges.push((va, EdgeLabel::ForeignKeyTableLeft, vb));
+                        g.edges.push((vb, EdgeLabel::ForeignKeyTableRight, va));
+                    }
+                    (false, true) => {
+                        g.edges.push((vb, EdgeLabel::ForeignKeyTableLeft, va));
+                        g.edges.push((va, EdgeLabel::ForeignKeyTableRight, vb));
+                    }
+                    (false, false) => {}
+                }
+            }
+        }
+        g
+    }
+
+    /// All vertices.
+    pub fn vertices(&self) -> &[Vertex] {
+        &self.vertices
+    }
+
+    /// All labelled edges `(src, label, dst)`.
+    pub fn edges(&self) -> &[(usize, EdgeLabel, usize)] {
+        &self.edges
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True for a graph with no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Vertex id of a table.
+    pub fn table_vertex(&self, table: &str) -> Option<usize> {
+        self.vertices.iter().position(
+            |v| matches!(&v.kind, VertexKind::Table { table: t } if t == table),
+        )
+    }
+
+    /// Vertex id of a column.
+    pub fn column_vertex(&self, table: &str, column: &str) -> Option<usize> {
+        self.vertices.iter().position(|v| {
+            matches!(&v.kind, VertexKind::Column { table: t, column: c }
+                if t == table && c == column)
+        })
+    }
+
+    /// Directed edges with a given label, as `(src, dst)` pairs.
+    pub fn edges_with_label(&self, label: EdgeLabel) -> Vec<(usize, usize)> {
+        self.edges
+            .iter()
+            .filter(|(_, l, _)| *l == label)
+            .map(|(s, _, d)| (*s, *d))
+            .collect()
+    }
+
+    /// Per-relation edge lists indexed by [`EdgeLabel::index`] (input to
+    /// the R-GCN adjacency construction).
+    pub fn edges_by_relation(&self) -> Vec<Vec<(usize, usize)>> {
+        let mut out = vec![Vec::new(); EdgeLabel::ALL.len()];
+        for (s, l, d) in &self.edges {
+            out[l.index()].push((*s, *d));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Column, ColumnType, ForeignKey, Table};
+
+    fn imdb_fragment() -> Schema {
+        let mut s = Schema::new();
+        s.add_table(Table::new(
+            "title",
+            vec![
+                Column::primary("id", ColumnType::Int),
+                Column::new("title", ColumnType::Varchar),
+                Column::new("production_year", ColumnType::Int),
+            ],
+        ));
+        s.add_table(Table::new(
+            "movie_companies",
+            vec![
+                Column::primary("id", ColumnType::Int),
+                Column::new("movie_id", ColumnType::Int),
+                Column::new("company_id", ColumnType::Int),
+            ],
+        ));
+        s.add_foreign_key(ForeignKey {
+            from_table: "movie_companies".into(),
+            from_column: "movie_id".into(),
+            to_table: "title".into(),
+            to_column: "id".into(),
+        });
+        s
+    }
+
+    #[test]
+    fn vertex_counts_tables_plus_columns() {
+        let g = SchemaGraph::build(&imdb_fragment());
+        assert_eq!(g.len(), 2 + 6);
+        assert!(g.table_vertex("title").is_some());
+        assert!(g.column_vertex("movie_companies", "movie_id").is_some());
+        assert!(g.column_vertex("title", "movie_id").is_none());
+    }
+
+    #[test]
+    fn column_vertices_start_with_type_token() {
+        let g = SchemaGraph::build(&imdb_fragment());
+        let v = &g.vertices()[g.column_vertex("title", "production_year").unwrap()];
+        assert_eq!(v.name_tokens, vec!["int", "production", "year"]);
+    }
+
+    #[test]
+    fn same_table_edges_are_complete_within_table() {
+        let g = SchemaGraph::build(&imdb_fragment());
+        // 3 columns per table → 3·2 ordered pairs per table, two tables.
+        assert_eq!(g.edges_with_label(EdgeLabel::SameTable).len(), 12);
+    }
+
+    #[test]
+    fn membership_edges_distinguish_pk() {
+        let g = SchemaGraph::build(&imdb_fragment());
+        assert_eq!(g.edges_with_label(EdgeLabel::PrimaryKeyLeft).len(), 2);
+        assert_eq!(g.edges_with_label(EdgeLabel::PrimaryKeyRight).len(), 2);
+        assert_eq!(g.edges_with_label(EdgeLabel::BelongsToLeft).len(), 4);
+        assert_eq!(g.edges_with_label(EdgeLabel::BelongsToRight).len(), 4);
+    }
+
+    #[test]
+    fn fk_column_edges_point_both_ways() {
+        let g = SchemaGraph::build(&imdb_fragment());
+        let from = g.column_vertex("movie_companies", "movie_id").unwrap();
+        let to = g.column_vertex("title", "id").unwrap();
+        assert_eq!(g.edges_with_label(EdgeLabel::ForeignKeyColumnLeft), vec![(from, to)]);
+        assert_eq!(g.edges_with_label(EdgeLabel::ForeignKeyColumnRight), vec![(to, from)]);
+    }
+
+    #[test]
+    fn fk_table_edges_have_direction() {
+        let g = SchemaGraph::build(&imdb_fragment());
+        let mc = g.table_vertex("movie_companies").unwrap();
+        let t = g.table_vertex("title").unwrap();
+        assert_eq!(g.edges_with_label(EdgeLabel::ForeignKeyTableLeft), vec![(mc, t)]);
+        assert_eq!(g.edges_with_label(EdgeLabel::ForeignKeyTableRight), vec![(t, mc)]);
+        assert!(g.edges_with_label(EdgeLabel::ForeignKeyTableBoth).is_empty());
+    }
+
+    #[test]
+    fn bidirectional_fks_get_both_label() {
+        let mut s = imdb_fragment();
+        // Add a reverse FK title.id → movie_companies.id to force Both.
+        s.add_foreign_key(ForeignKey {
+            from_table: "title".into(),
+            from_column: "id".into(),
+            to_table: "movie_companies".into(),
+            to_column: "id".into(),
+        });
+        let g = SchemaGraph::build(&s);
+        assert_eq!(g.edges_with_label(EdgeLabel::ForeignKeyTableBoth).len(), 2);
+        assert!(g.edges_with_label(EdgeLabel::ForeignKeyTableLeft).is_empty());
+    }
+
+    #[test]
+    fn edges_by_relation_covers_all_edges() {
+        let g = SchemaGraph::build(&imdb_fragment());
+        let by_rel = g.edges_by_relation();
+        assert_eq!(by_rel.len(), 10);
+        let total: usize = by_rel.iter().map(Vec::len).sum();
+        assert_eq!(total, g.edges().len());
+    }
+
+    #[test]
+    fn schema_update_appends_vertices_stably() {
+        let mut s = imdb_fragment();
+        let g1 = SchemaGraph::build(&s);
+        let title_v = g1.table_vertex("title").unwrap();
+        let mc_col = g1.column_vertex("movie_companies", "company_id").unwrap();
+        s.add_table(Table::new(
+            "movie_info",
+            vec![Column::primary("id", ColumnType::Int), Column::new("movie_id", ColumnType::Int)],
+        ));
+        let g2 = SchemaGraph::build(&s);
+        assert_eq!(g2.table_vertex("title").unwrap(), title_v);
+        assert_eq!(g2.column_vertex("movie_companies", "company_id").unwrap(), mc_col);
+        assert_eq!(g2.len(), g1.len() + 3);
+    }
+
+    #[test]
+    fn label_indices_are_stable_and_complete() {
+        for (i, l) in EdgeLabel::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i);
+        }
+    }
+}

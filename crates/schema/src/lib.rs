@@ -1,0 +1,303 @@
+//! `preqr-schema` — database schema model and the PreQR schema graph.
+//!
+//! [`Schema`] describes tables, typed columns, primary keys and foreign
+//! keys. [`graph::SchemaGraph`] converts a schema into the directed
+//! labelled graph of §3.4.1 with exactly the ten edge labels of Table 4
+//! (plus implicit self-connections added at the R-GCN layer).
+
+#![warn(missing_docs)]
+pub mod graph;
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// SQL column types used across the reproduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ColumnType {
+    Int,
+    Float,
+    Varchar,
+    Bool,
+}
+
+impl ColumnType {
+    /// Lower-case type token (the first name token of a column vertex,
+    /// §3.4.2).
+    pub fn token(&self) -> &'static str {
+        match self {
+            ColumnType::Int => "int",
+            ColumnType::Float => "float",
+            ColumnType::Varchar => "varchar",
+            ColumnType::Bool => "bool",
+        }
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.token().to_ascii_uppercase())
+    }
+}
+
+/// A column definition.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+    /// True for the table's primary key (single-column PKs only).
+    pub primary: bool,
+}
+
+impl Column {
+    /// Plain column.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        Self { name: name.into(), ty, primary: false }
+    }
+
+    /// Primary-key column.
+    pub fn primary(name: impl Into<String>, ty: ColumnType) -> Self {
+        Self { name: name.into(), ty, primary: true }
+    }
+}
+
+/// A table definition.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Columns in definition order.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates a table.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        Self { name: name.into(), columns }
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The primary-key column index, if declared.
+    pub fn primary_key(&self) -> Option<usize> {
+        self.columns.iter().position(|c| c.primary)
+    }
+}
+
+/// A foreign-key constraint `from_table.from_column → to_table.to_column`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ForeignKey {
+    /// Referencing table.
+    pub from_table: String,
+    /// Referencing column.
+    pub from_column: String,
+    /// Referenced table.
+    pub to_table: String,
+    /// Referenced column (normally the PK).
+    pub to_column: String,
+}
+
+/// A database schema.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    tables: Vec<Table>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl Schema {
+    /// Empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a table.
+    ///
+    /// # Panics
+    /// Panics if a table with the same name exists.
+    pub fn add_table(&mut self, table: Table) -> &mut Self {
+        assert!(
+            self.table(&table.name).is_none(),
+            "duplicate table `{}`",
+            table.name
+        );
+        self.tables.push(table);
+        self
+    }
+
+    /// Adds a foreign key.
+    ///
+    /// # Panics
+    /// Panics if either endpoint does not exist.
+    pub fn add_foreign_key(&mut self, fk: ForeignKey) -> &mut Self {
+        assert!(
+            self.column(&fk.from_table, &fk.from_column).is_some(),
+            "unknown fk source {}.{}",
+            fk.from_table,
+            fk.from_column
+        );
+        assert!(
+            self.column(&fk.to_table, &fk.to_column).is_some(),
+            "unknown fk target {}.{}",
+            fk.to_table,
+            fk.to_column
+        );
+        self.foreign_keys.push(fk);
+        self
+    }
+
+    /// Adds a column to an existing table (§3.6 Case 2 schema update).
+    ///
+    /// # Panics
+    /// Panics if the table does not exist or the column already does.
+    pub fn add_column(&mut self, table: &str, column: Column) {
+        let t = self
+            .tables
+            .iter_mut()
+            .find(|t| t.name == table)
+            .unwrap_or_else(|| panic!("unknown table `{table}`"));
+        assert!(
+            t.column_index(&column.name).is_none(),
+            "duplicate column `{}.{}`",
+            table,
+            column.name
+        );
+        t.columns.push(column);
+    }
+
+    /// All tables.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// All foreign keys.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// Table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Column by table and name.
+    pub fn column(&self, table: &str, column: &str) -> Option<&Column> {
+        self.table(table)?.columns.iter().find(|c| c.name == column)
+    }
+
+    /// Total number of columns across all tables.
+    pub fn column_count(&self) -> usize {
+        self.tables.iter().map(|t| t.columns.len()).sum()
+    }
+
+    /// Foreign keys joining two tables in either direction.
+    pub fn joins_between(&self, a: &str, b: &str) -> Vec<&ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .filter(|fk| {
+                (fk.from_table == a && fk.to_table == b)
+                    || (fk.from_table == b && fk.to_table == a)
+            })
+            .collect()
+    }
+
+    /// Splits a snake_case identifier into name tokens, e.g.
+    /// `production_year → ["production", "year"]`.
+    pub fn name_tokens(name: &str) -> Vec<String> {
+        name.split('_').filter(|p| !p.is_empty()).map(str::to_string).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_table(Table::new(
+            "title",
+            vec![
+                Column::primary("id", ColumnType::Int),
+                Column::new("production_year", ColumnType::Int),
+                Column::new("kind_id", ColumnType::Int),
+            ],
+        ));
+        s.add_table(Table::new(
+            "movie_companies",
+            vec![
+                Column::primary("id", ColumnType::Int),
+                Column::new("movie_id", ColumnType::Int),
+                Column::new("company_id", ColumnType::Int),
+            ],
+        ));
+        s.add_foreign_key(ForeignKey {
+            from_table: "movie_companies".into(),
+            from_column: "movie_id".into(),
+            to_table: "title".into(),
+            to_column: "id".into(),
+        });
+        s
+    }
+
+    #[test]
+    fn lookups() {
+        let s = tiny_schema();
+        assert!(s.table("title").is_some());
+        assert!(s.column("title", "production_year").is_some());
+        assert!(s.column("title", "nope").is_none());
+        assert_eq!(s.column_count(), 6);
+        assert_eq!(s.table("title").unwrap().primary_key(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate table")]
+    fn rejects_duplicate_table() {
+        let mut s = tiny_schema();
+        s.add_table(Table::new("title", vec![]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown fk source")]
+    fn rejects_dangling_fk() {
+        let mut s = tiny_schema();
+        s.add_foreign_key(ForeignKey {
+            from_table: "nope".into(),
+            from_column: "x".into(),
+            to_table: "title".into(),
+            to_column: "id".into(),
+        });
+    }
+
+    #[test]
+    fn joins_between_works_both_directions() {
+        let s = tiny_schema();
+        assert_eq!(s.joins_between("title", "movie_companies").len(), 1);
+        assert_eq!(s.joins_between("movie_companies", "title").len(), 1);
+        assert!(s.joins_between("title", "title").is_empty());
+    }
+
+    #[test]
+    fn add_column_extends_table() {
+        let mut s = tiny_schema();
+        s.add_column("title", Column::new("season_nr", ColumnType::Int));
+        assert!(s.column("title", "season_nr").is_some());
+    }
+
+    #[test]
+    fn name_tokens_split_snake_case() {
+        assert_eq!(Schema::name_tokens("production_year"), vec!["production", "year"]);
+        assert_eq!(Schema::name_tokens("id"), vec!["id"]);
+        assert_eq!(Schema::name_tokens("__x__"), vec!["x"]);
+    }
+
+    #[test]
+    fn column_type_tokens() {
+        assert_eq!(ColumnType::Int.token(), "int");
+        assert_eq!(ColumnType::Varchar.to_string(), "VARCHAR");
+    }
+}

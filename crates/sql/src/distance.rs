@@ -1,0 +1,229 @@
+//! String and clause-level similarity used for query-template clustering
+//! (§3.3.1: "a hybrid distance metric is adopted to perform the query
+//! clustering … compute the string similarities between the query clauses
+//! and merge the similarities as cosine distance").
+
+use std::collections::HashMap;
+
+use crate::ast::{Query, SelectItem};
+use crate::normalize::template_text;
+
+/// Levenshtein edit distance between two strings (by bytes).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a = a.as_bytes();
+    let b = b.as_bytes();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized edit similarity in `[0, 1]`.
+pub fn edit_similarity(a: &str, b: &str) -> f64 {
+    let max = a.len().max(b.len());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+/// Cosine similarity of two token multisets (term-frequency vectors).
+pub fn tf_cosine(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut fa: HashMap<&str, f64> = HashMap::new();
+    let mut fb: HashMap<&str, f64> = HashMap::new();
+    for t in a {
+        *fa.entry(t).or_default() += 1.0;
+    }
+    for t in b {
+        *fb.entry(t).or_default() += 1.0;
+    }
+    let dot: f64 = fa.iter().filter_map(|(k, va)| fb.get(k).map(|vb| va * vb)).sum();
+    let na: f64 = fa.values().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = fb.values().map(|v| v * v).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Jaccard similarity of two token sets.
+pub fn jaccard(a: &[String], b: &[String]) -> f64 {
+    use std::collections::HashSet;
+    let sa: HashSet<&str> = a.iter().map(String::as_str).collect();
+    let sb: HashSet<&str> = b.iter().map(String::as_str).collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+/// Clause-wise feature view of a query used by the hybrid metric: names
+/// are kept, literals abstracted (via [`template_text`]-style rendering of
+/// each clause).
+#[derive(Clone, Debug, Default)]
+pub struct ClauseFeatures {
+    /// Projection tokens.
+    pub select: Vec<String>,
+    /// Table names.
+    pub from: Vec<String>,
+    /// Predicate tokens (literals abstracted).
+    pub where_: Vec<String>,
+    /// Grouping columns.
+    pub group_by: Vec<String>,
+    /// Ordering columns.
+    pub order_by: Vec<String>,
+}
+
+impl ClauseFeatures {
+    /// Extracts clause features from a query (all member SELECTs pooled).
+    pub fn of(q: &Query) -> Self {
+        let mut f = Self::default();
+        for s in q.selects() {
+            for item in &s.projections {
+                match item {
+                    SelectItem::Star => f.select.push("*".into()),
+                    SelectItem::Column(c) => f.select.push(c.column.clone()),
+                    SelectItem::Aggregate { func, arg, .. } => {
+                        f.select.push(func.as_str().to_string());
+                        if let Some(c) = arg {
+                            f.select.push(c.column.clone());
+                        }
+                    }
+                }
+            }
+            for t in s.tables() {
+                f.from.push(t.table.clone());
+            }
+            if let Some(w) = &s.where_clause {
+                for c in w.columns() {
+                    f.where_.push(c.column.clone());
+                }
+            }
+            for c in &s.group_by {
+                f.group_by.push(c.column.clone());
+            }
+            for (c, _) in &s.order_by {
+                f.order_by.push(c.column.clone());
+            }
+        }
+        f
+    }
+}
+
+/// The paper's hybrid clause-merged similarity in `[0, 1]`.
+///
+/// Per-clause term-frequency cosine similarities are merged with fixed
+/// weights (selection and join/from clauses dominate, following Aligon et
+/// al.'s finding cited in the paper), plus an edit-similarity term over
+/// the normalized template text to stay sensitive to structure.
+pub fn hybrid_similarity(a: &Query, b: &Query) -> f64 {
+    let fa = ClauseFeatures::of(a);
+    let fb = ClauseFeatures::of(b);
+    let clause = 0.30 * tf_cosine(&fa.select, &fb.select)
+        + 0.30 * tf_cosine(&fa.from, &fb.from)
+        + 0.25 * tf_cosine(&fa.where_, &fb.where_)
+        + 0.10 * tf_cosine(&fa.group_by, &fb.group_by)
+        + 0.05 * tf_cosine(&fa.order_by, &fb.order_by);
+    let structural = edit_similarity(&template_text(a), &template_text(b));
+    0.6 * clause + 0.4 * structural
+}
+
+/// Hybrid distance `1 − similarity`.
+pub fn hybrid_distance(a: &Query, b: &Query) -> f64 {
+    1.0 - hybrid_similarity(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn edit_similarity_range() {
+        assert_eq!(edit_similarity("", ""), 1.0);
+        assert_eq!(edit_similarity("abc", "abc"), 1.0);
+        assert!(edit_similarity("abc", "xyz") < 0.01);
+    }
+
+    #[test]
+    fn tf_cosine_identical_and_disjoint() {
+        let a = vec!["x".to_string(), "y".to_string()];
+        let b = vec!["x".to_string(), "y".to_string()];
+        assert!((tf_cosine(&a, &b) - 1.0).abs() < 1e-12);
+        let c = vec!["z".to_string()];
+        assert_eq!(tf_cosine(&a, &c), 0.0);
+        assert_eq!(tf_cosine(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        let a = vec!["x".to_string(), "y".to_string()];
+        let b = vec!["y".to_string(), "z".to_string()];
+        assert!((jaccard(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_template_queries_are_close() {
+        let a = parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 2000").unwrap();
+        let b = parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 2011").unwrap();
+        assert!(hybrid_similarity(&a, &b) > 0.99);
+    }
+
+    #[test]
+    fn unrelated_queries_are_far() {
+        let a = parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 2000").unwrap();
+        let b = parse("SELECT name FROM company_name ORDER BY name DESC LIMIT 3").unwrap();
+        let rel = hybrid_similarity(&a, &a);
+        let unrel = hybrid_similarity(&a, &b);
+        assert!(rel - unrel > 0.4, "rel={rel} unrel={unrel}");
+    }
+
+    #[test]
+    fn hybrid_distance_is_one_minus_similarity() {
+        let a = parse("SELECT * FROM t").unwrap();
+        let b = parse("SELECT * FROM u").unwrap();
+        assert!((hybrid_distance(&a, &b) + hybrid_similarity(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clause_features_extracts_all_clauses() {
+        let q = parse(
+            "SELECT kind_id, COUNT(*) FROM title t, movie_companies mc \
+             WHERE t.id = mc.movie_id GROUP BY kind_id ORDER BY kind_id",
+        )
+        .unwrap();
+        let f = ClauseFeatures::of(&q);
+        assert!(f.select.contains(&"COUNT".to_string()));
+        assert_eq!(f.from, vec!["title".to_string(), "movie_companies".to_string()]);
+        assert_eq!(f.group_by, vec!["kind_id".to_string()]);
+        assert_eq!(f.order_by, vec!["kind_id".to_string()]);
+        assert_eq!(f.where_.len(), 2);
+    }
+}

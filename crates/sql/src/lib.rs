@@ -1,0 +1,33 @@
+//! `preqr-sql` — SQL front-end for the PreQR reproduction.
+//!
+//! Provides the lexer ([`token`]), a typed AST with a round-tripping
+//! pretty-printer ([`ast`]), a recursive-descent parser ([`parser`]) for
+//! the SQL subset used by every workload in the paper, query
+//! linearization into the canonical token stream with automaton state
+//! keys ([`normalize`]), the hybrid clause similarity metric and template
+//! clustering of §3.3.1 ([`distance`], [`template`]), and the two-
+//! dictionary vocabulary plus value-range bucketing of §3.3.2 ([`vocab`]).
+//!
+//! # Example
+//!
+//! ```
+//! use preqr_sql::parser::parse;
+//! use preqr_sql::normalize::linearize;
+//!
+//! let q = parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 2010").unwrap();
+//! let tokens = linearize(&q);
+//! assert_eq!(tokens.first().unwrap().text, "[CLS]");
+//! assert!(tokens.iter().any(|t| t.value.is_some())); // the literal 2010
+//! ```
+
+#![warn(missing_docs)]
+pub mod ast;
+pub mod distance;
+pub mod normalize;
+pub mod parser;
+pub mod template;
+pub mod token;
+pub mod vocab;
+
+pub use ast::Query;
+pub use parser::parse;

@@ -1,0 +1,441 @@
+//! Query linearization and normalization.
+//!
+//! [`linearize`] turns a parsed [`Query`] into the canonical token stream
+//! used by every encoder in this repository. Each linear token carries
+//!
+//! * its surface `text` (what the vocabulary encodes),
+//! * an abstract [`StateKey`] — the `(clause region, symbol class)` pair
+//!   that the SQL2Automaton module (crate `preqr-automaton`) uses as a
+//!   state identity, and
+//! * for literals, the column the value is compared against, so that the
+//!   composite-embedding stage can replace the literal with the right
+//!   per-column value-range token (§3.3.2 of the paper).
+//!
+//! [`template_text`] produces the normalized template string (literals
+//! replaced by typed placeholders) used for template clustering (§3.3.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::*;
+
+/// Symbol classes for automaton states — roughly the vocabulary of the
+/// automaton in Table 2 of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum SymbolClass {
+    Cls,
+    Select,
+    Agg,
+    Column,
+    Star,
+    From,
+    Table,
+    Where,
+    PredColumn,
+    CmpEq,
+    CmpRange,
+    InKw,
+    LikeKw,
+    BetweenKw,
+    IsNullKw,
+    Value,
+    AndSep,
+    OrSep,
+    NotKw,
+    GroupBy,
+    Having,
+    OrderBy,
+    SortDir,
+    Limit,
+    Union,
+    SubOpen,
+    SubClose,
+    End,
+}
+
+/// Clause regions for automaton states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ClauseRegion {
+    Start,
+    SelectList,
+    FromList,
+    WhereClause,
+    GroupByClause,
+    HavingClause,
+    OrderByClause,
+    LimitClause,
+    End,
+}
+
+/// An automaton state identity: clause region × symbol class × subquery
+/// nesting depth (capped at 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StateKey {
+    /// Clause the token sits in.
+    pub region: ClauseRegion,
+    /// Abstract class of the token.
+    pub symbol: SymbolClass,
+    /// Subquery nesting depth (0 = top level, capped at 2).
+    pub depth: u8,
+}
+
+impl StateKey {
+    /// Constructs a key at a given depth (clamped to 2).
+    pub fn new(region: ClauseRegion, symbol: SymbolClass, depth: u8) -> Self {
+        Self { region, symbol, depth: depth.min(2) }
+    }
+}
+
+/// One token of the canonical linearized query.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinToken {
+    /// Surface text (vocabulary unit).
+    pub text: String,
+    /// Automaton state identity.
+    pub key: StateKey,
+    /// For literal tokens, the column the literal applies to (for value
+    /// bucketing). `None` for everything else.
+    pub value_col: Option<ColumnRef>,
+    /// For literal tokens, the literal itself.
+    pub value: Option<Value>,
+}
+
+impl LinToken {
+    fn plain(text: impl Into<String>, key: StateKey) -> Self {
+        Self { text: text.into(), key, value_col: None, value: None }
+    }
+
+    fn literal(col: Option<ColumnRef>, value: Value, key: StateKey) -> Self {
+        Self { text: value.to_string(), key, value_col: col, value: Some(value) }
+    }
+}
+
+/// Linearizes a query into the canonical token stream, bracketed by
+/// `[CLS]` and `[END]` tokens.
+pub fn linearize(q: &Query) -> Vec<LinToken> {
+    let mut out = Vec::with_capacity(32);
+    out.push(LinToken::plain(
+        "[CLS]",
+        StateKey::new(ClauseRegion::Start, SymbolClass::Cls, 0),
+    ));
+    linearize_select(&q.body, 0, &mut out);
+    for u in &q.unions {
+        out.push(LinToken::plain(
+            "UNION",
+            StateKey::new(ClauseRegion::End, SymbolClass::Union, 0),
+        ));
+        linearize_select(u, 0, &mut out);
+    }
+    out.push(LinToken::plain("[END]", StateKey::new(ClauseRegion::End, SymbolClass::End, 0)));
+    out
+}
+
+fn linearize_select(s: &SelectStmt, depth: u8, out: &mut Vec<LinToken>) {
+    use ClauseRegion as R;
+    use SymbolClass as S;
+    let k = |r, sym| StateKey::new(r, sym, depth);
+    out.push(LinToken::plain("SELECT", k(R::SelectList, S::Select)));
+    for (i, item) in s.projections.iter().enumerate() {
+        if i > 0 {
+            out.push(LinToken::plain(",", k(R::SelectList, S::Column)));
+        }
+        match item {
+            SelectItem::Star => out.push(LinToken::plain("*", k(R::SelectList, S::Star))),
+            SelectItem::Column(c) => {
+                out.push(LinToken::plain(c.to_string(), k(R::SelectList, S::Column)))
+            }
+            SelectItem::Aggregate { .. } => {
+                out.push(LinToken::plain(item.to_string(), k(R::SelectList, S::Agg)))
+            }
+        }
+    }
+    if !s.from.is_empty() {
+        out.push(LinToken::plain("FROM", k(R::FromList, S::From)));
+        for (i, t) in s.from.iter().enumerate() {
+            if i > 0 {
+                out.push(LinToken::plain(",", k(R::FromList, S::Table)));
+            }
+            out.push(LinToken::plain(t.table.clone(), k(R::FromList, S::Table)));
+            if let Some(a) = &t.alias {
+                out.push(LinToken::plain(a.clone(), k(R::FromList, S::Table)));
+            }
+        }
+        for j in &s.joins {
+            out.push(LinToken::plain("JOIN", k(R::FromList, S::From)));
+            out.push(LinToken::plain(j.table.table.clone(), k(R::FromList, S::Table)));
+            if let Some(a) = &j.table.alias {
+                out.push(LinToken::plain(a.clone(), k(R::FromList, S::Table)));
+            }
+            out.push(LinToken::plain("ON", k(R::WhereClause, S::Where)));
+            linearize_expr(&j.on, R::WhereClause, depth, out);
+        }
+    }
+    if let Some(w) = &s.where_clause {
+        out.push(LinToken::plain("WHERE", k(R::WhereClause, S::Where)));
+        linearize_expr(w, R::WhereClause, depth, out);
+    }
+    if !s.group_by.is_empty() {
+        out.push(LinToken::plain("GROUP BY", k(R::GroupByClause, S::GroupBy)));
+        for (i, c) in s.group_by.iter().enumerate() {
+            if i > 0 {
+                out.push(LinToken::plain(",", k(R::GroupByClause, S::Column)));
+            }
+            out.push(LinToken::plain(c.to_string(), k(R::GroupByClause, S::Column)));
+        }
+    }
+    if let Some(h) = &s.having {
+        out.push(LinToken::plain("HAVING", k(R::HavingClause, S::Having)));
+        linearize_expr(h, R::HavingClause, depth, out);
+    }
+    if !s.order_by.is_empty() {
+        out.push(LinToken::plain("ORDER BY", k(R::OrderByClause, S::OrderBy)));
+        for (i, (c, desc)) in s.order_by.iter().enumerate() {
+            if i > 0 {
+                out.push(LinToken::plain(",", k(R::OrderByClause, S::Column)));
+            }
+            out.push(LinToken::plain(c.to_string(), k(R::OrderByClause, S::Column)));
+            if *desc {
+                out.push(LinToken::plain("DESC", k(R::OrderByClause, S::SortDir)));
+            }
+        }
+    }
+    if let Some(l) = s.limit {
+        out.push(LinToken::plain("LIMIT", k(R::LimitClause, S::Limit)));
+        out.push(LinToken::literal(
+            None,
+            Value::Int(l as i64),
+            k(R::LimitClause, S::Value),
+        ));
+    }
+}
+
+fn linearize_expr(e: &Expr, region: ClauseRegion, depth: u8, out: &mut Vec<LinToken>) {
+    use SymbolClass as S;
+    let k = |sym| StateKey::new(region, sym, depth);
+    match e {
+        Expr::And(a, b) => {
+            linearize_expr(a, region, depth, out);
+            out.push(LinToken::plain("AND", k(S::AndSep)));
+            linearize_expr(b, region, depth, out);
+        }
+        Expr::Or(a, b) => {
+            linearize_expr(a, region, depth, out);
+            out.push(LinToken::plain("OR", k(S::OrSep)));
+            linearize_expr(b, region, depth, out);
+        }
+        Expr::Not(a) => {
+            out.push(LinToken::plain("NOT", k(S::NotKw)));
+            linearize_expr(a, region, depth, out);
+        }
+        Expr::Cmp { left, op, right } => {
+            linearize_scalar(left, None, region, depth, out);
+            let sym = if *op == CmpOp::Eq { S::CmpEq } else { S::CmpRange };
+            out.push(LinToken::plain(op.as_str(), k(sym)));
+            let ctx = match left {
+                Scalar::Column(c) => Some(c.clone()),
+                Scalar::Value(_) => None,
+            };
+            linearize_scalar(right, ctx, region, depth, out);
+        }
+        Expr::Between { col, low, high } => {
+            out.push(LinToken::plain(col.to_string(), k(S::PredColumn)));
+            out.push(LinToken::plain("BETWEEN", k(S::BetweenKw)));
+            out.push(LinToken::literal(Some(col.clone()), low.clone(), k(S::Value)));
+            out.push(LinToken::plain("AND", k(S::BetweenKw)));
+            out.push(LinToken::literal(Some(col.clone()), high.clone(), k(S::Value)));
+        }
+        Expr::InList { col, values, negated } => {
+            out.push(LinToken::plain(col.to_string(), k(S::PredColumn)));
+            if *negated {
+                out.push(LinToken::plain("NOT", k(S::NotKw)));
+            }
+            out.push(LinToken::plain("IN", k(S::InKw)));
+            for v in values {
+                out.push(LinToken::literal(Some(col.clone()), v.clone(), k(S::Value)));
+            }
+        }
+        Expr::InSubquery { col, subquery, negated } => {
+            out.push(LinToken::plain(col.to_string(), k(S::PredColumn)));
+            if *negated {
+                out.push(LinToken::plain("NOT", k(S::NotKw)));
+            }
+            out.push(LinToken::plain("IN", k(S::InKw)));
+            out.push(LinToken::plain("(", k(S::SubOpen)));
+            linearize_select(&subquery.body, depth + 1, out);
+            for u in &subquery.unions {
+                out.push(LinToken::plain(
+                    "UNION",
+                    StateKey::new(ClauseRegion::End, S::Union, depth + 1),
+                ));
+                linearize_select(u, depth + 1, out);
+            }
+            out.push(LinToken::plain(")", k(S::SubClose)));
+        }
+        Expr::Like { col, pattern, negated } => {
+            out.push(LinToken::plain(col.to_string(), k(S::PredColumn)));
+            if *negated {
+                out.push(LinToken::plain("NOT", k(S::NotKw)));
+            }
+            out.push(LinToken::plain("LIKE", k(S::LikeKw)));
+            out.push(LinToken::literal(
+                Some(col.clone()),
+                Value::Str(pattern.clone()),
+                k(S::Value),
+            ));
+        }
+        Expr::IsNull { col, negated } => {
+            out.push(LinToken::plain(col.to_string(), k(S::PredColumn)));
+            let text = if *negated { "IS NOT NULL" } else { "IS NULL" };
+            out.push(LinToken::plain(text, k(S::IsNullKw)));
+        }
+    }
+}
+
+fn linearize_scalar(
+    s: &Scalar,
+    value_ctx: Option<ColumnRef>,
+    region: ClauseRegion,
+    depth: u8,
+    out: &mut Vec<LinToken>,
+) {
+    use SymbolClass as S;
+    match s {
+        Scalar::Column(c) => out.push(LinToken::plain(
+            c.to_string(),
+            StateKey::new(region, S::PredColumn, depth),
+        )),
+        Scalar::Value(v) => out.push(LinToken::literal(
+            value_ctx,
+            v.clone(),
+            StateKey::new(region, S::Value, depth),
+        )),
+    }
+}
+
+/// The abstract symbol sequence (automaton input) of a query.
+pub fn state_keys(q: &Query) -> Vec<StateKey> {
+    linearize(q).into_iter().map(|t| t.key).collect()
+}
+
+/// Normalized template text: literals replaced by typed placeholders,
+/// preserving structure. Queries with the same template text belong to
+/// the same template occurrence group.
+pub fn template_text(q: &Query) -> String {
+    let parts: Vec<String> = linearize(q)
+        .iter()
+        .map(|t| match (&t.value, &t.key.symbol) {
+            (Some(Value::Int(_)), _) => "<INT>".to_string(),
+            (Some(Value::Float(_)), _) => "<FLOAT>".to_string(),
+            (Some(Value::Str(_)), _) => "<STR>".to_string(),
+            _ => t.text.clone(),
+        })
+        .collect();
+    parts.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn linearize_brackets_with_cls_and_end() {
+        let q = parse("SELECT * FROM t").unwrap();
+        let toks = linearize(&q);
+        assert_eq!(toks.first().unwrap().text, "[CLS]");
+        assert_eq!(toks.last().unwrap().text, "[END]");
+    }
+
+    #[test]
+    fn from_list_tokens_share_the_table_state() {
+        // Mirrors Figure 4: "title t , movie_companies mc" all map to the
+        // same automaton state.
+        let q = parse("SELECT COUNT(*) FROM title t, movie_companies mc").unwrap();
+        let toks = linearize(&q);
+        let table_keys: Vec<&StateKey> = toks
+            .iter()
+            .filter(|t| {
+                ["title", "t", ",", "movie_companies", "mc"].contains(&t.text.as_str())
+            })
+            .map(|t| &t.key)
+            .collect();
+        assert_eq!(table_keys.len(), 5);
+        assert!(table_keys.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn eq_and_in_get_distinct_states() {
+        // Mirrors Table 2: '=' and 'IN' transition to different states.
+        let q1 = parse("SELECT name FROM user WHERE rank = 'adm'").unwrap();
+        let q2 = parse("SELECT name FROM user WHERE rank IN ('adm', 'sup')").unwrap();
+        let k1: Vec<SymbolClass> = state_keys(&q1).iter().map(|k| k.symbol).collect();
+        let k2: Vec<SymbolClass> = state_keys(&q2).iter().map(|k| k.symbol).collect();
+        assert!(k1.contains(&SymbolClass::CmpEq));
+        assert!(k2.contains(&SymbolClass::InKw));
+        // Shared prefix up to the operator (SELECT name FROM user WHERE rank).
+        let shared = k1.iter().zip(k2.iter()).take_while(|(a, b)| a == b).count();
+        assert!(shared >= 6, "expected a long shared prefix, got {shared}");
+    }
+
+    #[test]
+    fn union_queries_repeat_the_state_sequence() {
+        // q3 of Figure 2: UNION of two equal-shaped SELECTs gives a repeated
+        // state block, as in Table 2.
+        let q = parse(
+            "SELECT name FROM user WHERE rank = 'adm' \
+             UNION SELECT name FROM user WHERE rank = 'sup'",
+        )
+        .unwrap();
+        let keys = state_keys(&q);
+        let union_pos = linearize(&q).iter().position(|t| t.text == "UNION").unwrap();
+        let first = &keys[1..union_pos];
+        let second = &keys[union_pos + 1..keys.len() - 1];
+        assert_eq!(first, second, "both UNION branches should share state sequences");
+    }
+
+    #[test]
+    fn literal_tokens_carry_column_context() {
+        let q = parse("SELECT * FROM t WHERE t.year > 2010 AND t.kind = 'movie'").unwrap();
+        let toks = linearize(&q);
+        let lits: Vec<&LinToken> = toks.iter().filter(|t| t.value.is_some()).collect();
+        assert_eq!(lits.len(), 2);
+        assert_eq!(lits[0].value_col.as_ref().unwrap().column, "year");
+        assert_eq!(lits[1].value_col.as_ref().unwrap().column, "kind");
+    }
+
+    #[test]
+    fn subquery_tokens_are_at_deeper_depth() {
+        let q = parse(
+            "SELECT SUM(balance) FROM accounts WHERE user_id IN \
+             (SELECT user_id FROM user WHERE rank = 'adm')",
+        )
+        .unwrap();
+        let toks = linearize(&q);
+        let inner_select = toks
+            .iter()
+            .filter(|t| t.text == "SELECT")
+            .map(|t| t.key.depth)
+            .collect::<Vec<_>>();
+        assert_eq!(inner_select, vec![0, 1]);
+    }
+
+    #[test]
+    fn template_text_abstracts_literals() {
+        let a = parse("SELECT * FROM t WHERE x > 5").unwrap();
+        let b = parse("SELECT * FROM t WHERE x > 99").unwrap();
+        let c = parse("SELECT * FROM t WHERE x > 'abc'").unwrap();
+        assert_eq!(template_text(&a), template_text(&b));
+        assert_ne!(template_text(&a), template_text(&c), "typed placeholders differ");
+        assert!(template_text(&a).contains("<INT>"));
+    }
+
+    #[test]
+    fn between_produces_two_value_tokens_with_context() {
+        let q = parse("SELECT * FROM t WHERE y BETWEEN 1 AND 9").unwrap();
+        let lits: Vec<LinToken> =
+            linearize(&q).into_iter().filter(|t| t.value.is_some()).collect();
+        assert_eq!(lits.len(), 2);
+        assert!(lits.iter().all(|t| t.value_col.as_ref().unwrap().column == "y"));
+    }
+}

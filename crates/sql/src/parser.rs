@@ -1,0 +1,527 @@
+//! Recursive-descent parser for the SQL subset ([`crate::ast`]).
+
+use std::fmt;
+
+use crate::ast::*;
+use crate::token::{lex, Keyword, LexError, Token};
+
+/// Parsing error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Token index where the error occurred.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { position: 0, message: e.to_string() }
+    }
+}
+
+/// Parses a SQL string into a [`Query`].
+///
+/// # Errors
+/// Returns [`ParseError`] on lexing failures or grammar violations.
+pub fn parse(sql: &str) -> Result<Query, ParseError> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    // Allow a trailing semicolon.
+    if p.peek() == Some(&Token::Symbol(";")) {
+        p.pos += 1;
+    }
+    if p.pos != p.tokens.len() {
+        return Err(p.err("unexpected trailing tokens"));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { position: self.pos, message: msg.into() }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if self.peek() == Some(&Token::Keyword(k)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, k: Keyword) -> Result<(), ParseError> {
+        if self.eat_keyword(k) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {}", k.as_str())))
+        }
+    }
+
+    fn eat_symbol(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(sym)) if *sym == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        let body = self.select()?;
+        let mut unions = Vec::new();
+        while self.eat_keyword(Keyword::Union) {
+            // UNION ALL is accepted and treated as UNION.
+            let _ = self.eat_keyword(Keyword::All);
+            unions.push(self.select()?);
+        }
+        Ok(Query { body, unions })
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, ParseError> {
+        self.expect_keyword(Keyword::Select)?;
+        let mut projections = vec![self.select_item()?];
+        while self.eat_symbol(",") {
+            projections.push(self.select_item()?);
+        }
+        let mut stmt = SelectStmt { projections, ..Default::default() };
+        if self.eat_keyword(Keyword::From) {
+            stmt.from.push(self.table_ref()?);
+            while self.eat_symbol(",") {
+                stmt.from.push(self.table_ref()?);
+            }
+            loop {
+                let inner = self.peek() == Some(&Token::Keyword(Keyword::Inner));
+                if inner || self.peek() == Some(&Token::Keyword(Keyword::Join)) {
+                    if inner {
+                        self.pos += 1;
+                    }
+                    self.expect_keyword(Keyword::Join)?;
+                    let table = self.table_ref()?;
+                    self.expect_keyword(Keyword::On)?;
+                    let on = self.expr()?;
+                    stmt.joins.push(JoinClause { table, on });
+                } else {
+                    break;
+                }
+            }
+        }
+        if self.eat_keyword(Keyword::Where) {
+            stmt.where_clause = Some(self.expr()?);
+        }
+        if self.eat_keyword(Keyword::Group) {
+            self.expect_keyword(Keyword::By)?;
+            stmt.group_by.push(self.column_ref()?);
+            while self.eat_symbol(",") {
+                stmt.group_by.push(self.column_ref()?);
+            }
+        }
+        if self.eat_keyword(Keyword::Having) {
+            stmt.having = Some(self.expr()?);
+        }
+        if self.eat_keyword(Keyword::Order) {
+            self.expect_keyword(Keyword::By)?;
+            loop {
+                let col = self.column_ref()?;
+                let desc = if self.eat_keyword(Keyword::Desc) {
+                    true
+                } else {
+                    let _ = self.eat_keyword(Keyword::Asc);
+                    false
+                };
+                stmt.order_by.push((col, desc));
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+        if self.eat_keyword(Keyword::Limit) {
+            match self.next() {
+                Some(Token::Int(v)) if v >= 0 => stmt.limit = Some(v as u64),
+                _ => return Err(self.err("expected non-negative integer after LIMIT")),
+            }
+        }
+        Ok(stmt)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.eat_symbol("*") {
+            return Ok(SelectItem::Star);
+        }
+        let agg = match self.peek() {
+            Some(Token::Keyword(Keyword::Count)) => Some(AggFunc::Count),
+            Some(Token::Keyword(Keyword::Sum)) => Some(AggFunc::Sum),
+            Some(Token::Keyword(Keyword::Avg)) => Some(AggFunc::Avg),
+            Some(Token::Keyword(Keyword::Min)) => Some(AggFunc::Min),
+            Some(Token::Keyword(Keyword::Max)) => Some(AggFunc::Max),
+            _ => None,
+        };
+        if let Some(func) = agg {
+            self.pos += 1;
+            self.expect_symbol("(")?;
+            let distinct = self.eat_keyword(Keyword::Distinct);
+            let arg = if self.eat_symbol("*") {
+                if func != AggFunc::Count {
+                    return Err(self.err("only COUNT accepts *"));
+                }
+                None
+            } else {
+                Some(self.column_ref()?)
+            };
+            self.expect_symbol(")")?;
+            return Ok(SelectItem::Aggregate { func, arg, distinct });
+        }
+        Ok(SelectItem::Column(self.column_ref()?))
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let table = self.ident()?;
+        if self.eat_keyword(Keyword::As) {
+            let alias = self.ident()?;
+            return Ok(TableRef::aliased(table, alias));
+        }
+        if let Some(Token::Ident(_)) = self.peek() {
+            let alias = self.ident()?;
+            return Ok(TableRef::aliased(table, alias));
+        }
+        Ok(TableRef::new(table))
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, ParseError> {
+        let first = self.ident()?;
+        if self.peek() == Some(&Token::Symbol(".")) && matches!(self.peek2(), Some(Token::Ident(_)))
+        {
+            self.pos += 1;
+            let column = self.ident()?;
+            Ok(ColumnRef::qualified(first, column))
+        } else {
+            Ok(ColumnRef::bare(first))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Value::Int(v)),
+            Some(Token::Float(v)) => Ok(Value::Float(v)),
+            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            other => Err(self.err(format!("expected literal, got {other:?}"))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword(Keyword::Or) {
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary_expr()?;
+        while self.eat_keyword(Keyword::And) {
+            let right = self.unary_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_keyword(Keyword::Not) {
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        if self.peek() == Some(&Token::Symbol("(")) {
+            // Parenthesized boolean expression (never a bare subquery here:
+            // subqueries only appear after IN).
+            self.pos += 1;
+            let inner = self.expr()?;
+            self.expect_symbol(")")?;
+            return Ok(inner);
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> Result<Expr, ParseError> {
+        let left = match self.peek() {
+            Some(Token::Int(_)) | Some(Token::Float(_)) | Some(Token::Str(_)) => {
+                Scalar::Value(self.value()?)
+            }
+            _ => Scalar::Column(self.column_ref()?),
+        };
+        // Column-only predicate forms.
+        if let Scalar::Column(col) = &left {
+            let col = col.clone();
+            let negated = self.peek() == Some(&Token::Keyword(Keyword::Not));
+            let lookahead = if negated { self.peek2() } else { self.peek() };
+            match lookahead {
+                Some(Token::Keyword(Keyword::In)) => {
+                    if negated {
+                        self.pos += 1;
+                    }
+                    self.pos += 1; // IN
+                    self.expect_symbol("(")?;
+                    if self.peek() == Some(&Token::Keyword(Keyword::Select)) {
+                        let sub = self.query()?;
+                        self.expect_symbol(")")?;
+                        return Ok(Expr::InSubquery { col, subquery: Box::new(sub), negated });
+                    }
+                    let mut values = vec![self.value()?];
+                    while self.eat_symbol(",") {
+                        values.push(self.value()?);
+                    }
+                    self.expect_symbol(")")?;
+                    return Ok(Expr::InList { col, values, negated });
+                }
+                Some(Token::Keyword(Keyword::Like)) => {
+                    if negated {
+                        self.pos += 1;
+                    }
+                    self.pos += 1; // LIKE
+                    match self.next() {
+                        Some(Token::Str(pattern)) => {
+                            return Ok(Expr::Like { col, pattern, negated })
+                        }
+                        _ => return Err(self.err("expected string pattern after LIKE")),
+                    }
+                }
+                Some(Token::Keyword(Keyword::Between)) if !negated => {
+                    self.pos += 1;
+                    let low = self.value()?;
+                    self.expect_keyword(Keyword::And)?;
+                    let high = self.value()?;
+                    return Ok(Expr::Between { col, low, high });
+                }
+                Some(Token::Keyword(Keyword::Is)) if !negated => {
+                    self.pos += 1;
+                    let negated = self.eat_keyword(Keyword::Not);
+                    self.expect_keyword(Keyword::Null)?;
+                    return Ok(Expr::IsNull { col, negated });
+                }
+                _ => {}
+            }
+        }
+        // Binary comparison.
+        let op = match self.next() {
+            Some(Token::Symbol("=")) => CmpOp::Eq,
+            Some(Token::Symbol("!=")) => CmpOp::Ne,
+            Some(Token::Symbol("<")) => CmpOp::Lt,
+            Some(Token::Symbol("<=")) => CmpOp::Le,
+            Some(Token::Symbol(">")) => CmpOp::Gt,
+            Some(Token::Symbol(">=")) => CmpOp::Ge,
+            other => return Err(self.err(format!("expected comparison operator, got {other:?}"))),
+        };
+        let right = match self.peek() {
+            Some(Token::Int(_)) | Some(Token::Float(_)) | Some(Token::Str(_)) => {
+                Scalar::Value(self.value()?)
+            }
+            _ => Scalar::Column(self.column_ref()?),
+        };
+        Ok(Expr::Cmp { left, op, right })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_imdb_example_from_the_paper() {
+        let sql = "SELECT t.id FROM title t, movie_companies mc \
+                   WHERE t.id = mc.movie_id AND t.production_year > 2010 \
+                   AND mc.company_id = 5";
+        let q = parse(sql).unwrap();
+        assert_eq!(q.body.from.len(), 2);
+        let w = q.body.where_clause.as_ref().unwrap();
+        assert_eq!(w.conjuncts().len(), 3);
+        assert_eq!(q.sql(), sql);
+    }
+
+    #[test]
+    fn parses_count_star() {
+        let q = parse("SELECT COUNT(*) FROM title").unwrap();
+        assert_eq!(
+            q.body.projections[0],
+            SelectItem::Aggregate { func: AggFunc::Count, arg: None, distinct: false }
+        );
+    }
+
+    #[test]
+    fn parses_in_list_and_union_equivalents_from_fig2() {
+        let q1 = parse("SELECT name FROM user WHERE rank IN ('adm', 'sup')").unwrap();
+        assert!(matches!(
+            q1.body.where_clause,
+            Some(Expr::InList { ref values, negated: false, .. }) if values.len() == 2
+        ));
+        let q3 = parse(
+            "SELECT name FROM user WHERE rank = 'adm' \
+             UNION SELECT name FROM user WHERE rank = 'sup'",
+        )
+        .unwrap();
+        assert_eq!(q3.unions.len(), 1);
+    }
+
+    #[test]
+    fn parses_in_subquery_from_fig2() {
+        let q = parse(
+            "SELECT SUM(balance) FROM accounts WHERE user_id IN \
+             (SELECT user_id FROM user WHERE rank = 'adm')",
+        )
+        .unwrap();
+        match q.body.where_clause.as_ref().unwrap() {
+            Expr::InSubquery { subquery, .. } => {
+                assert_eq!(subquery.body.from[0].table, "user");
+            }
+            other => panic!("expected InSubquery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_between() {
+        let q = parse("SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b = 2").unwrap();
+        let conjs = q.body.where_clause.as_ref().unwrap().conjuncts().len();
+        assert_eq!(conjs, 2, "BETWEEN's AND must bind inside the predicate");
+    }
+
+    #[test]
+    fn parses_like_and_not_like() {
+        let q = parse("SELECT * FROM t WHERE name LIKE '%abc%' AND x NOT LIKE 'z%'").unwrap();
+        let w = q.body.where_clause.unwrap();
+        let c = w.conjuncts();
+        assert!(matches!(c[0], Expr::Like { negated: false, .. }));
+        assert!(matches!(c[1], Expr::Like { negated: true, .. }));
+    }
+
+    #[test]
+    fn parses_explicit_join() {
+        let q = parse("SELECT * FROM a JOIN b ON a.id = b.a_id WHERE a.x < 3").unwrap();
+        assert_eq!(q.body.joins.len(), 1);
+        assert_eq!(q.body.joins[0].table.table, "b");
+    }
+
+    #[test]
+    fn parses_group_order_limit() {
+        let q = parse(
+            "SELECT kind_id, COUNT(*) FROM title GROUP BY kind_id \
+             HAVING kind_id > 1 ORDER BY kind_id DESC LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(q.body.group_by.len(), 1);
+        assert!(q.body.having.is_some());
+        assert_eq!(q.body.order_by, vec![(ColumnRef::bare("kind_id"), true)]);
+        assert_eq!(q.body.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_or_and_not() {
+        let q = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND NOT (c = 3)").unwrap();
+        let w = q.body.where_clause.unwrap();
+        match w {
+            Expr::And(l, r) => {
+                assert!(matches!(*l, Expr::Or(..)));
+                assert!(matches!(*r, Expr::Not(..)));
+            }
+            other => panic!("expected AND, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_aliases_with_and_without_as() {
+        let q = parse("SELECT * FROM title AS t, movie_companies mc").unwrap();
+        assert_eq!(q.body.from[0].binding(), "t");
+        assert_eq!(q.body.from[1].binding(), "mc");
+    }
+
+    #[test]
+    fn parses_is_null() {
+        let q = parse("SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL").unwrap();
+        let w = q.body.where_clause.unwrap();
+        let c = w.conjuncts();
+        assert!(matches!(c[0], Expr::IsNull { negated: false, .. }));
+        assert!(matches!(c[1], Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("SELECT * FROM t WHERE a = 1 b").is_err());
+    }
+
+    #[test]
+    fn rejects_sum_star() {
+        assert!(parse("SELECT SUM(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn accepts_trailing_semicolon() {
+        assert!(parse("SELECT * FROM t;").is_ok());
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let cases = [
+            "SELECT COUNT(*) FROM title t, movie_companies mc \
+             WHERE t.id = mc.movie_id AND t.production_year > 2010 AND mc.company_id = 5",
+            "SELECT name FROM user WHERE rank IN ('adm', 'sup')",
+            "SELECT SUM(balance) FROM accounts WHERE user_id IN \
+             (SELECT user_id FROM user WHERE rank = 'adm')",
+            "SELECT a.x FROM a JOIN b ON a.id = b.a_id WHERE a.y BETWEEN 1 AND 2",
+            "SELECT kind_id, COUNT(DISTINCT id) FROM title GROUP BY kind_id \
+             ORDER BY kind_id DESC LIMIT 5",
+        ];
+        for sql in cases {
+            let q1 = parse(sql).unwrap();
+            let q2 = parse(&q1.sql()).unwrap();
+            assert_eq!(q1, q2, "round-trip failed for {sql}");
+        }
+    }
+}

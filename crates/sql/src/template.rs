@@ -1,0 +1,196 @@
+//! Query-template extraction (§3.3.1).
+//!
+//! Popular queries are clustered with the hybrid distance metric and one
+//! template is created per cluster. Two levels exist:
+//!
+//! * exact template *occurrence* groups — queries with identical
+//!   [`crate::normalize::template_text`] (literals abstracted), and
+//! * *clusters* of occurrence groups merged by hybrid distance; each
+//!   cluster yields one [`Template`] whose state-key sequence seeds a
+//!   sub-automaton.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::Query;
+use crate::distance::hybrid_distance;
+use crate::normalize::{state_keys, template_text, StateKey};
+
+/// One extracted query template.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Template {
+    /// Normalized template text of the representative query.
+    pub text: String,
+    /// State-key sequence of the representative query (automaton seed).
+    pub keys: Vec<StateKey>,
+    /// Number of corpus queries covered by this template.
+    pub support: usize,
+}
+
+/// A set of templates extracted from a workload.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TemplateSet {
+    templates: Vec<Template>,
+}
+
+impl TemplateSet {
+    /// Extracts templates from a query corpus.
+    ///
+    /// Queries are first grouped by exact normalized text; group
+    /// representatives are then greedily clustered: a representative joins
+    /// the first existing cluster whose centroid is within
+    /// `merge_threshold` hybrid distance, else it opens a new cluster.
+    ///
+    /// A `merge_threshold` of `0.0` keeps every distinct normalized shape
+    /// as its own template; the paper's semi-automatic procedure
+    /// corresponds to a small positive threshold (default `0.25` works
+    /// well for the workloads in this repository).
+    pub fn extract(queries: &[Query], merge_threshold: f64) -> Self {
+        // Phase 1: exact occurrence groups.
+        let mut groups: Vec<(String, &Query, usize)> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        for q in queries {
+            let text = template_text(q);
+            match index.get(&text) {
+                Some(&i) => groups[i].2 += 1,
+                None => {
+                    index.insert(text.clone(), groups.len());
+                    groups.push((text, q, 1));
+                }
+            }
+        }
+        // Deterministic order: by descending support, then text.
+        groups.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+
+        // Phase 2: greedy clustering of representatives.
+        let mut templates: Vec<Template> = Vec::new();
+        let mut reps: Vec<&Query> = Vec::new();
+        for (text, q, support) in groups {
+            let mut joined = false;
+            for (i, rep) in reps.iter().enumerate() {
+                if hybrid_distance(rep, q) <= merge_threshold {
+                    templates[i].support += support;
+                    joined = true;
+                    break;
+                }
+            }
+            if !joined {
+                templates.push(Template { text, keys: state_keys(q), support });
+                reps.push(q);
+            }
+        }
+        Self { templates }
+    }
+
+    /// Number of templates (compare Table 3 of the paper).
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// True when no templates were extracted.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// Iterates over the templates.
+    pub fn iter(&self) -> impl Iterator<Item = &Template> {
+        self.templates.iter()
+    }
+
+    /// Template by index.
+    pub fn get(&self, i: usize) -> Option<&Template> {
+        self.templates.get(i)
+    }
+
+    /// Total corpus queries covered.
+    pub fn total_support(&self) -> usize {
+        self.templates.iter().map(|t| t.support).sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a TemplateSet {
+    type Item = &'a Template;
+    type IntoIter = std::slice::Iter<'a, Template>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.templates.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn q(sql: &str) -> Query {
+        parse(sql).unwrap()
+    }
+
+    #[test]
+    fn identical_shapes_collapse_to_one_template() {
+        let queries = vec![
+            q("SELECT COUNT(*) FROM title t WHERE t.year > 2000"),
+            q("SELECT COUNT(*) FROM title t WHERE t.year > 2010"),
+            q("SELECT COUNT(*) FROM title t WHERE t.year > 1990"),
+        ];
+        let ts = TemplateSet::extract(&queries, 0.0);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.get(0).unwrap().support, 3);
+    }
+
+    #[test]
+    fn distinct_structures_stay_separate_at_zero_threshold() {
+        let queries = vec![
+            q("SELECT COUNT(*) FROM title t WHERE t.year > 2000"),
+            q("SELECT name FROM company_name ORDER BY name LIMIT 5"),
+        ];
+        let ts = TemplateSet::extract(&queries, 0.0);
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn close_variants_merge_with_positive_threshold() {
+        // Same shape except one extra predicate: close under the hybrid
+        // metric, so a modest threshold merges them.
+        let queries = vec![
+            q("SELECT COUNT(*) FROM title t WHERE t.year > 2000"),
+            q("SELECT COUNT(*) FROM title t WHERE t.year > 2000 AND t.kind_id = 1"),
+        ];
+        let strict = TemplateSet::extract(&queries, 0.0);
+        let loose = TemplateSet::extract(&queries, 0.3);
+        assert_eq!(strict.len(), 2);
+        assert_eq!(loose.len(), 1);
+        assert_eq!(loose.total_support(), 2);
+    }
+
+    #[test]
+    fn templates_record_state_keys() {
+        let queries = vec![q("SELECT * FROM t WHERE a = 1")];
+        let ts = TemplateSet::extract(&queries, 0.0);
+        let t = ts.get(0).unwrap();
+        assert!(t.keys.len() > 5);
+        assert_eq!(t.keys, state_keys(&queries[0]));
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let queries = vec![
+            q("SELECT * FROM a WHERE x = 1"),
+            q("SELECT * FROM b WHERE y = 2"),
+            q("SELECT * FROM a WHERE x = 3"),
+        ];
+        let a = TemplateSet::extract(&queries, 0.1);
+        let b = TemplateSet::extract(&queries, 0.1);
+        let texts_a: Vec<&str> = a.iter().map(|t| t.text.as_str()).collect();
+        let texts_b: Vec<&str> = b.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts_a, texts_b);
+    }
+
+    #[test]
+    fn empty_corpus_gives_empty_set() {
+        let ts = TemplateSet::extract(&[], 0.2);
+        assert!(ts.is_empty());
+        assert_eq!(ts.total_support(), 0);
+    }
+}

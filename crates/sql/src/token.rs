@@ -1,0 +1,483 @@
+//! SQL lexer.
+//!
+//! Produces the token stream consumed by both the parser and the PreQR
+//! input-embedding pipeline (token / position / automaton-state
+//! embeddings all index into this stream).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// SQL keywords recognized by the lexer (uppercased during scanning).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    And,
+    Or,
+    Not,
+    In,
+    Between,
+    Like,
+    Is,
+    Null,
+    Group,
+    Order,
+    By,
+    Having,
+    Limit,
+    Union,
+    All,
+    Distinct,
+    As,
+    Join,
+    Inner,
+    Left,
+    Right,
+    On,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Asc,
+    Desc,
+}
+
+impl Keyword {
+    /// Parses an identifier-shaped word into a keyword, case-insensitively.
+    pub fn parse(word: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match word.to_ascii_uppercase().as_str() {
+            "SELECT" => Select,
+            "FROM" => From,
+            "WHERE" => Where,
+            "AND" => And,
+            "OR" => Or,
+            "NOT" => Not,
+            "IN" => In,
+            "BETWEEN" => Between,
+            "LIKE" => Like,
+            "IS" => Is,
+            "NULL" => Null,
+            "GROUP" => Group,
+            "ORDER" => Order,
+            "BY" => By,
+            "HAVING" => Having,
+            "LIMIT" => Limit,
+            "UNION" => Union,
+            "ALL" => All,
+            "DISTINCT" => Distinct,
+            "AS" => As,
+            "JOIN" => Join,
+            "INNER" => Inner,
+            "LEFT" => Left,
+            "RIGHT" => Right,
+            "ON" => On,
+            "COUNT" => Count,
+            "SUM" => Sum,
+            "AVG" => Avg,
+            "MIN" => Min,
+            "MAX" => Max,
+            "ASC" => Asc,
+            "DESC" => Desc,
+            _ => return None,
+        })
+    }
+
+    /// Canonical upper-case spelling.
+    pub fn as_str(&self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Select => "SELECT",
+            From => "FROM",
+            Where => "WHERE",
+            And => "AND",
+            Or => "OR",
+            Not => "NOT",
+            In => "IN",
+            Between => "BETWEEN",
+            Like => "LIKE",
+            Is => "IS",
+            Null => "NULL",
+            Group => "GROUP",
+            Order => "ORDER",
+            By => "BY",
+            Having => "HAVING",
+            Limit => "LIMIT",
+            Union => "UNION",
+            All => "ALL",
+            Distinct => "DISTINCT",
+            As => "AS",
+            Join => "JOIN",
+            Inner => "INNER",
+            Left => "LEFT",
+            Right => "RIGHT",
+            On => "ON",
+            Count => "COUNT",
+            Sum => "SUM",
+            Avg => "AVG",
+            Min => "MIN",
+            Max => "MAX",
+            Asc => "ASC",
+            Desc => "DESC",
+        }
+    }
+}
+
+/// A lexed SQL token.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Token {
+    /// Recognized SQL keyword.
+    Keyword(Keyword),
+    /// Identifier (table, column, alias). Case is preserved.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Punctuation / operator: one of `( ) , . * = != <> < <= > >= ;`.
+    Symbol(&'static str),
+}
+
+impl Token {
+    /// Surface text of the token (used for vocabulary building).
+    pub fn text(&self) -> String {
+        match self {
+            Token::Keyword(k) => k.as_str().to_string(),
+            Token::Ident(s) => s.clone(),
+            Token::Int(v) => v.to_string(),
+            Token::Float(v) => format!("{v}"),
+            Token::Str(s) => format!("'{s}'"),
+            Token::Symbol(s) => (*s).to_string(),
+        }
+    }
+
+    /// True for value literals (numbers and strings).
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Token::Int(_) | Token::Float(_) | Token::Str(_))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.text())
+    }
+}
+
+/// Lexing error with byte position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Lexes a SQL string into tokens.
+///
+/// # Errors
+/// Returns [`LexError`] on unterminated strings, malformed numbers, or
+/// unrecognized characters.
+pub fn lex(sql: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'(' => {
+                tokens.push(Token::Symbol("("));
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token::Symbol(")"));
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token::Symbol(","));
+                i += 1;
+            }
+            b'.' => {
+                tokens.push(Token::Symbol("."));
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token::Symbol("*"));
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token::Symbol(";"));
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token::Symbol("="));
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol("!="));
+                    i += 2;
+                } else {
+                    return Err(LexError { position: i, message: "expected `!=`".into() });
+                }
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Token::Symbol("<="));
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Token::Symbol("!="));
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Symbol("<"));
+                    i += 1;
+                }
+            },
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(">="));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(">"));
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        Some(&b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&c) => {
+                            s.push(c as char);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(LexError {
+                                position: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &sql[start..i];
+                if is_float {
+                    let v = text.parse().map_err(|_| LexError {
+                        position: start,
+                        message: format!("bad float literal `{text}`"),
+                    })?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v = text.parse().map_err(|_| LexError {
+                        position: start,
+                        message: format!("bad integer literal `{text}`"),
+                    })?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            b'-' => {
+                // Negative literal (only valid immediately before digits).
+                if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let mut is_float = false;
+                    if i < bytes.len()
+                        && bytes[i] == b'.'
+                        && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                    {
+                        is_float = true;
+                        i += 1;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                    let text = &sql[start..i];
+                    if is_float {
+                        tokens.push(Token::Float(text.parse().map_err(|_| LexError {
+                            position: start,
+                            message: format!("bad float literal `{text}`"),
+                        })?));
+                    } else {
+                        tokens.push(Token::Int(text.parse().map_err(|_| LexError {
+                            position: start,
+                            message: format!("bad integer literal `{text}`"),
+                        })?));
+                    }
+                } else {
+                    return Err(LexError {
+                        position: i,
+                        message: "unexpected `-`".into(),
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &sql[start..i];
+                match Keyword::parse(word) {
+                    Some(k) => tokens.push(Token::Keyword(k)),
+                    None => tokens.push(Token::Ident(word.to_string())),
+                }
+            }
+            other => {
+                return Err(LexError {
+                    position: i,
+                    message: format!("unrecognized character `{}`", other as char),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_basic_select() {
+        let toks = lex("SELECT id FROM title WHERE x = 5").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Ident("id".into()),
+                Token::Keyword(Keyword::From),
+                Token::Ident("title".into()),
+                Token::Keyword(Keyword::Where),
+                Token::Ident("x".into()),
+                Token::Symbol("="),
+                Token::Int(5),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = lex("select FROM Where").unwrap();
+        assert!(matches!(toks[0], Token::Keyword(Keyword::Select)));
+        assert!(matches!(toks[2], Token::Keyword(Keyword::Where)));
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let toks = lex("a >= 1 AND b <> 2 AND c != 3 AND d <= 4").unwrap();
+        let symbols: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Symbol(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(symbols, vec![">=", "!=", "!=", "<="]);
+    }
+
+    #[test]
+    fn lexes_string_with_escaped_quote() {
+        let toks = lex("name = 'O''Brien'").unwrap();
+        assert_eq!(toks[2], Token::Str("O'Brien".into()));
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        let err = lex("x = 'oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn lexes_floats_and_negative_numbers() {
+        let toks = lex("a = 3.25 AND b = -7 AND c = -1.5").unwrap();
+        assert_eq!(toks[2], Token::Float(3.25));
+        assert_eq!(toks[6], Token::Int(-7));
+        assert_eq!(toks[10], Token::Float(-1.5));
+    }
+
+    #[test]
+    fn qualified_name_splits_on_dot() {
+        let toks = lex("t.production_year").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("t".into()),
+                Token::Symbol("."),
+                Token::Ident("production_year".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn count_star_tokens() {
+        let toks = lex("COUNT(*)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword(Keyword::Count),
+                Token::Symbol("("),
+                Token::Symbol("*"),
+                Token::Symbol(")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("SELECT #").is_err());
+        assert!(lex("a - b").is_err());
+    }
+
+    #[test]
+    fn literal_detection() {
+        assert!(Token::Int(1).is_literal());
+        assert!(Token::Str("x".into()).is_literal());
+        assert!(!Token::Ident("x".into()).is_literal());
+    }
+}

@@ -1,0 +1,328 @@
+//! Vocabularies and value bucketing (§3.3.2).
+//!
+//! The paper uses two dictionaries: a WordPiece-style sub-word vocabulary
+//! for input tokens and a database-specific vocabulary (schema tokens, SQL
+//! keywords, value-range tokens) for the MLM mask layer. [`Vocab`]
+//! implements the sub-word dictionary with greedy longest-match-first
+//! encoding; [`Bucketizer`] maps literals to per-column equi-depth
+//! value-range tokens (e.g. `2010 → year₃`).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Padding token id.
+pub const PAD: usize = 0;
+/// Unknown token id.
+pub const UNK: usize = 1;
+/// Classification token id (`[CLS]`).
+pub const CLS: usize = 2;
+/// End-of-query token id (`[END]`).
+pub const END: usize = 3;
+/// Mask token id (`[MASK]`).
+pub const MASK: usize = 4;
+
+const SPECIALS: [&str; 5] = ["[PAD]", "[UNK]", "[CLS]", "[END]", "[MASK]"];
+
+/// A sub-word vocabulary with special tokens.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Vocab {
+    token_to_id: HashMap<String, usize>,
+    id_to_token: Vec<String>,
+    /// Ids that the MLM head may be asked to predict (database-specific
+    /// dictionary: schema tokens, keywords, value-range tokens).
+    maskable: Vec<bool>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from a token corpus.
+    ///
+    /// Words occurring at least `min_freq` times become whole-word units;
+    /// every distinct character of the corpus additionally becomes a
+    /// continuation piece (`##c`) plus a word-initial piece (`c`) so that
+    /// unseen words decompose instead of collapsing to `[UNK]`.
+    pub fn build<'a>(corpus: impl IntoIterator<Item = &'a str>, min_freq: usize) -> Self {
+        let mut freq: HashMap<&str, usize> = HashMap::new();
+        let mut chars: Vec<char> = Vec::new();
+        for tok in corpus {
+            *freq.entry(tok).or_default() += 1;
+            for c in tok.chars() {
+                if !chars.contains(&c) {
+                    chars.push(c);
+                }
+            }
+        }
+        chars.sort_unstable();
+        let mut words: Vec<&str> =
+            freq.iter().filter(|(_, &c)| c >= min_freq).map(|(&w, _)| w).collect();
+        words.sort_unstable();
+
+        let mut v = Self {
+            token_to_id: HashMap::new(),
+            id_to_token: Vec::new(),
+            maskable: Vec::new(),
+        };
+        for s in SPECIALS {
+            v.push(s.to_string(), false);
+        }
+        for c in &chars {
+            v.push(c.to_string(), false);
+            v.push(format!("##{c}"), false);
+        }
+        for w in words {
+            if !v.token_to_id.contains_key(w) {
+                v.push(w.to_string(), false);
+            }
+        }
+        v
+    }
+
+    fn push(&mut self, token: String, maskable: bool) -> usize {
+        let id = self.id_to_token.len();
+        self.token_to_id.insert(token.clone(), id);
+        self.id_to_token.push(token);
+        self.maskable.push(maskable);
+        id
+    }
+
+    /// Adds a token (idempotent) and returns its id.
+    pub fn add(&mut self, token: &str) -> usize {
+        match self.token_to_id.get(token) {
+            Some(&id) => id,
+            None => self.push(token.to_string(), false),
+        }
+    }
+
+    /// Adds a token to the *mask* dictionary (idempotent): it becomes a
+    /// candidate output of the MLM softmax.
+    pub fn add_maskable(&mut self, token: &str) -> usize {
+        let id = self.add(token);
+        self.maskable[id] = true;
+        id
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// True when only the specials exist.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.len() <= SPECIALS.len()
+    }
+
+    /// Id of a token if present.
+    pub fn id(&self, token: &str) -> Option<usize> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// Token text of an id.
+    pub fn token(&self, id: usize) -> Option<&str> {
+        self.id_to_token.get(id).map(String::as_str)
+    }
+
+    /// Whether an id belongs to the mask dictionary.
+    pub fn is_maskable(&self, id: usize) -> bool {
+        self.maskable.get(id).copied().unwrap_or(false)
+    }
+
+    /// All maskable ids.
+    pub fn maskable_ids(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.maskable[i]).collect()
+    }
+
+    /// Encodes a word into sub-word ids: whole-word match first, then
+    /// greedy longest-match-first decomposition, `[UNK]` as last resort.
+    pub fn encode_word(&self, word: &str) -> Vec<usize> {
+        if let Some(&id) = self.token_to_id.get(word) {
+            return vec![id];
+        }
+        let chars: Vec<char> = word.chars().collect();
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < chars.len() {
+            let mut matched = None;
+            // Longest match first.
+            for end in (start + 1..=chars.len()).rev() {
+                let piece: String = chars[start..end].iter().collect();
+                let key = if start == 0 { piece } else { format!("##{piece}") };
+                if let Some(&id) = self.token_to_id.get(&key) {
+                    matched = Some((id, end));
+                    break;
+                }
+            }
+            match matched {
+                Some((id, end)) => {
+                    out.push(id);
+                    start = end;
+                }
+                None => {
+                    out.push(UNK);
+                    start += 1;
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push(UNK);
+        }
+        out
+    }
+
+    /// Encodes a word to a single id: whole-word match, else the first
+    /// sub-word piece (this keeps the 1:1 token/state/position alignment
+    /// the composite embedding needs).
+    pub fn encode_primary(&self, word: &str) -> usize {
+        self.encode_word(word)[0]
+    }
+}
+
+/// Equi-depth value bucketizer for one column: maps a numeric literal to
+/// one of `k` range tokens.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Bucketizer {
+    /// Upper boundaries of buckets `0..k-1` (last bucket is unbounded).
+    boundaries: Vec<f64>,
+}
+
+impl Bucketizer {
+    /// Builds `k` equi-depth buckets from a sample of column values.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn from_samples(mut samples: Vec<f64>, k: usize) -> Self {
+        assert!(k > 0, "need at least one bucket");
+        samples.retain(|v| v.is_finite());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        if samples.is_empty() {
+            return Self { boundaries: vec![0.0; k.saturating_sub(1)] };
+        }
+        let mut boundaries = Vec::with_capacity(k - 1);
+        for i in 1..k {
+            let idx = (i * samples.len() / k).min(samples.len() - 1);
+            boundaries.push(samples[idx]);
+        }
+        Self { boundaries }
+    }
+
+    /// Bucket index of a value, in `0..k`.
+    pub fn bucket(&self, v: f64) -> usize {
+        self.boundaries.iter().take_while(|&&b| v > b).count()
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+}
+
+/// Deterministic hash bucket for string literals (FNV-1a).
+pub fn string_bucket(s: &str, k: usize) -> usize {
+    assert!(k > 0, "need at least one bucket");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h % k as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_have_fixed_ids() {
+        let v = Vocab::build(["SELECT"], 1);
+        assert_eq!(v.id("[PAD]"), Some(PAD));
+        assert_eq!(v.id("[UNK]"), Some(UNK));
+        assert_eq!(v.id("[CLS]"), Some(CLS));
+        assert_eq!(v.id("[END]"), Some(END));
+        assert_eq!(v.id("[MASK]"), Some(MASK));
+    }
+
+    #[test]
+    fn frequent_words_are_whole_units() {
+        let corpus = ["title", "title", "movie", "movie", "rare"];
+        let v = Vocab::build(corpus, 2);
+        assert_eq!(v.encode_word("title").len(), 1);
+        assert!(v.encode_word("rare").len() > 1, "rare word should decompose");
+    }
+
+    #[test]
+    fn unseen_words_decompose_to_char_pieces_not_unk() {
+        let v = Vocab::build(["abc"], 1);
+        let pieces = v.encode_word("cab");
+        assert!(!pieces.contains(&UNK), "known chars should avoid [UNK]: {pieces:?}");
+        // First piece is word-initial ('c'), rest are continuations.
+        assert_eq!(v.token(pieces[0]), Some("c"));
+        assert_eq!(v.token(pieces[1]), Some("##a"));
+    }
+
+    #[test]
+    fn unknown_chars_fall_back_to_unk() {
+        let v = Vocab::build(["abc"], 1);
+        assert_eq!(v.encode_word("質"), vec![UNK]);
+    }
+
+    #[test]
+    fn encode_primary_is_single_id() {
+        let v = Vocab::build(["production_year"], 1);
+        let id = v.encode_primary("production_year");
+        assert_eq!(v.token(id), Some("production_year"));
+    }
+
+    #[test]
+    fn maskable_dictionary_is_separate() {
+        let mut v = Vocab::build(["SELECT", "title"], 1);
+        let kw = v.add_maskable("SELECT");
+        let t = v.id("title").unwrap();
+        assert!(v.is_maskable(kw));
+        assert!(!v.is_maskable(t));
+        assert_eq!(v.maskable_ids(), vec![kw]);
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut v = Vocab::build(["x"], 1);
+        let a = v.add("newtok");
+        let b = v.add("newtok");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bucketizer_equi_depth() {
+        // Paper example: years partitioned into three ranges; 2010 lands in
+        // the third.
+        let years: Vec<f64> = (0..300)
+            .map(|i| match i % 3 {
+                0 => 1950.0,
+                1 => 2005.0,
+                _ => 2015.0,
+            })
+            .collect();
+        let b = Bucketizer::from_samples(years, 3);
+        assert_eq!(b.buckets(), 3);
+        assert_eq!(b.bucket(1900.0), 0);
+        assert_eq!(b.bucket(2006.0), 1);
+        assert_eq!(b.bucket(2016.0), 2);
+    }
+
+    #[test]
+    fn bucketizer_handles_empty_and_constant_samples() {
+        let b = Bucketizer::from_samples(vec![], 4);
+        assert_eq!(b.buckets(), 4);
+        let c = Bucketizer::from_samples(vec![5.0; 100], 4);
+        assert_eq!(c.bucket(5.0), 0);
+        assert!(c.bucket(6.0) > 0);
+    }
+
+    #[test]
+    fn string_bucket_is_stable_and_in_range() {
+        for s in ["adm", "sup", "movie", ""] {
+            let b = string_bucket(s, 7);
+            assert!(b < 7);
+            assert_eq!(b, string_bucket(s, 7));
+        }
+        assert_ne!(string_bucket("adm", 64), string_bucket("sup", 64));
+    }
+}

@@ -1,0 +1,262 @@
+//! Property-based tests: arbitrary ASTs round-trip through the printer
+//! and parser, and normalization invariants hold.
+
+use proptest::prelude::*;
+
+use preqr_sql::ast::*;
+use preqr_sql::normalize::{state_keys, template_text};
+use preqr_sql::parser::parse;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        preqr_sql::token::Keyword::parse(s).is_none()
+    })
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-10_000i64..10_000).prop_map(Value::Int),
+        (-1000i64..1000).prop_map(|v| Value::Float(v as f64 / 8.0)),
+        "[a-z0-9 ]{0,6}".prop_map(Value::Str),
+    ]
+}
+
+fn column_ref() -> impl Strategy<Value = ColumnRef> {
+    (proptest::option::of(ident()), ident())
+        .prop_map(|(t, c)| ColumnRef { table: t, column: c })
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn leaf_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (column_ref(), cmp_op(), value()).prop_map(|(c, op, v)| Expr::Cmp {
+            left: Scalar::Column(c),
+            op,
+            right: Scalar::Value(v),
+        }),
+        (column_ref(), cmp_op(), column_ref()).prop_map(|(a, op, b)| Expr::Cmp {
+            left: Scalar::Column(a),
+            op,
+            right: Scalar::Column(b),
+        }),
+        (column_ref(), -100i64..100, 0i64..100).prop_map(|(c, lo, d)| Expr::Between {
+            col: c,
+            low: Value::Int(lo),
+            high: Value::Int(lo + d),
+        }),
+        (column_ref(), proptest::collection::vec(value(), 1..4), any::<bool>()).prop_map(
+            |(c, vs, neg)| Expr::InList { col: c, values: vs, negated: neg }
+        ),
+        (column_ref(), "[a-z%_]{1,6}", any::<bool>()).prop_map(|(c, p, neg)| Expr::Like {
+            col: c,
+            pattern: p,
+            negated: neg,
+        }),
+        (column_ref(), any::<bool>()).prop_map(|(c, neg)| Expr::IsNull { col: c, negated: neg }),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    leaf_expr().prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Expr::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn select_item() -> impl Strategy<Value = SelectItem> {
+    prop_oneof![
+        Just(SelectItem::Star),
+        column_ref().prop_map(SelectItem::Column),
+        (column_ref(), any::<bool>()).prop_map(|(c, d)| SelectItem::Aggregate {
+            func: AggFunc::Count,
+            arg: Some(c),
+            distinct: d,
+        }),
+        Just(SelectItem::Aggregate { func: AggFunc::Count, arg: None, distinct: false }),
+        column_ref().prop_map(|c| SelectItem::Aggregate {
+            func: AggFunc::Sum,
+            arg: Some(c),
+            distinct: false,
+        }),
+    ]
+}
+
+fn table_ref() -> impl Strategy<Value = TableRef> {
+    (ident(), proptest::option::of(ident())).prop_map(|(t, a)| TableRef { table: t, alias: a })
+}
+
+prop_compose! {
+    fn select_stmt()(
+        projections in proptest::collection::vec(select_item(), 1..4),
+        from in proptest::collection::vec(table_ref(), 1..4),
+        where_clause in proptest::option::of(expr()),
+        group_by in proptest::collection::vec(column_ref(), 0..3),
+        order_by in proptest::collection::vec((column_ref(), any::<bool>()), 0..3),
+        limit in proptest::option::of(0u64..1000),
+    ) -> SelectStmt {
+        SelectStmt {
+            projections,
+            from,
+            joins: Vec::new(),
+            where_clause,
+            group_by,
+            having: None,
+            order_by,
+            limit,
+        }
+    }
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (select_stmt(), proptest::collection::vec(select_stmt(), 0..2))
+        .prop_map(|(body, unions)| Query { body, unions })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Printing and re-parsing an arbitrary query yields the same AST up
+    /// to AND/OR associativity (the printer flattens chains; the parser
+    /// re-associates left).
+    #[test]
+    fn print_parse_round_trip(q in query()) {
+        let sql = q.sql();
+        let reparsed = parse(&sql)
+            .unwrap_or_else(|e| panic!("failed to re-parse `{sql}`: {e}"));
+        prop_assert_eq!(normalize_assoc_query(&reparsed), normalize_assoc_query(&q));
+    }
+
+    /// The printer is a fixed point: print ∘ parse ∘ print = print.
+    #[test]
+    fn printer_is_fixed_point(q in query()) {
+        let once = q.sql();
+        let twice = parse(&once).unwrap().sql();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// State keys are invariant under integer-literal changes (templates
+    /// abstract values).
+    #[test]
+    fn state_keys_ignore_int_literals(q in query(), delta in 1i64..50) {
+        let shifted = shift_ints(&q, delta);
+        prop_assert_eq!(state_keys(&q), state_keys(&shifted));
+        prop_assert_eq!(template_text(&q), template_text(&shifted));
+    }
+
+    /// Linearized token streams start with [CLS] and end with [END].
+    #[test]
+    fn linearize_brackets(q in query()) {
+        let toks = preqr_sql::normalize::linearize(&q);
+        prop_assert!(toks.len() >= 3);
+        prop_assert_eq!(toks.first().unwrap().text.as_str(), "[CLS]");
+        prop_assert_eq!(toks.last().unwrap().text.as_str(), "[END]");
+    }
+}
+
+/// Rebuilds AND/OR chains left-associated so structurally different but
+/// associativity-equivalent trees compare equal.
+fn normalize_assoc(e: &Expr) -> Expr {
+    fn flatten_and<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        match e {
+            Expr::And(a, b) => {
+                flatten_and(a, out);
+                flatten_and(b, out);
+            }
+            other => out.push(other),
+        }
+    }
+    fn flatten_or<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        match e {
+            Expr::Or(a, b) => {
+                flatten_or(a, out);
+                flatten_or(b, out);
+            }
+            other => out.push(other),
+        }
+    }
+    match e {
+        Expr::And(..) => {
+            let mut parts = Vec::new();
+            flatten_and(e, &mut parts);
+            parts
+                .into_iter()
+                .map(normalize_assoc)
+                .reduce(|a, b| Expr::And(Box::new(a), Box::new(b)))
+                .expect("non-empty")
+        }
+        Expr::Or(..) => {
+            let mut parts = Vec::new();
+            flatten_or(e, &mut parts);
+            parts
+                .into_iter()
+                .map(normalize_assoc)
+                .reduce(|a, b| Expr::Or(Box::new(a), Box::new(b)))
+                .expect("non-empty")
+        }
+        Expr::Not(a) => Expr::Not(Box::new(normalize_assoc(a))),
+        other => other.clone(),
+    }
+}
+
+fn normalize_assoc_query(q: &Query) -> Query {
+    let mut q = q.clone();
+    for s in std::iter::once(&mut q.body).chain(q.unions.iter_mut()) {
+        if let Some(w) = &s.where_clause {
+            s.where_clause = Some(normalize_assoc(w));
+        }
+    }
+    q
+}
+
+/// Shifts every integer literal in predicates by `delta`, preserving
+/// structure (a pure-test helper mirroring the rewrite in `preqr-data`).
+fn shift_ints(q: &Query, delta: i64) -> Query {
+    fn walk(e: &mut Expr, delta: i64) {
+        match e {
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                walk(a, delta);
+                walk(b, delta);
+            }
+            Expr::Not(a) => walk(a, delta),
+            Expr::Cmp { right: Scalar::Value(Value::Int(v)), .. } => *v += delta,
+            Expr::Between { low, high, .. } => {
+                if let Value::Int(v) = low {
+                    *v += delta;
+                }
+                if let Value::Int(v) = high {
+                    *v += delta;
+                }
+            }
+            Expr::InList { values, .. } => {
+                for v in values.iter_mut() {
+                    if let Value::Int(x) = v {
+                        *x += delta;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut q = q.clone();
+    for s in std::iter::once(&mut q.body).chain(q.unions.iter_mut()) {
+        if let Some(w) = &mut s.where_clause {
+            walk(w, delta);
+        }
+    }
+    q
+}

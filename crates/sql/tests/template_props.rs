@@ -1,0 +1,49 @@
+//! Property-based tests over template extraction.
+
+use proptest::prelude::*;
+
+use preqr_sql::parser::parse;
+use preqr_sql::template::TemplateSet;
+use preqr_sql::Query;
+
+fn workload() -> impl Strategy<Value = Vec<Query>> {
+    let table = prop_oneof![Just("title"), Just("orders"), Just("item")];
+    let col = prop_oneof![Just("id"), Just("year"), Just("price")];
+    let one = (table, col, -500i64..500, prop_oneof![Just(">"), Just("="), Just("<")])
+        .prop_map(|(t, c, v, op)| {
+            parse(&format!("SELECT COUNT(*) FROM {t} WHERE {t}.{c} {op} {v}")).unwrap()
+        });
+    proptest::collection::vec(one, 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Support is conserved: the template supports sum to the corpus size.
+    #[test]
+    fn support_is_conserved(queries in workload(), thr in 0.0f64..0.6) {
+        let ts = TemplateSet::extract(&queries, thr);
+        prop_assert_eq!(ts.total_support(), queries.len());
+    }
+
+    /// Raising the merge threshold never increases the template count.
+    #[test]
+    fn threshold_is_monotone(queries in workload(), a in 0.0f64..0.5, b in 0.0f64..0.5) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let n_lo = TemplateSet::extract(&queries, lo).len();
+        let n_hi = TemplateSet::extract(&queries, hi).len();
+        prop_assert!(n_hi <= n_lo, "threshold {hi} gave {n_hi} > {n_lo} at {lo}");
+    }
+
+    /// Extraction never produces more templates than distinct normalized
+    /// shapes, and at least one template for a non-empty corpus.
+    #[test]
+    fn template_count_bounds(queries in workload(), thr in 0.0f64..0.6) {
+        use preqr_sql::normalize::template_text;
+        let distinct: std::collections::HashSet<String> =
+            queries.iter().map(template_text).collect();
+        let ts = TemplateSet::extract(&queries, thr);
+        prop_assert!(ts.len() >= 1);
+        prop_assert!(ts.len() <= distinct.len());
+    }
+}

@@ -1,0 +1,21 @@
+//! `preqr-tasks` — downstream task pipelines and evaluation metrics for
+//! the PreQR reproduction.
+//!
+//! * [`metrics`] — q-error (Eq. 9), BetaCV, NDCG, BLEU (Eq. 10);
+//! * [`estimation`] — the shared cardinality/cost pipeline: PG, MSCN,
+//!   LSTM, PreQR (fine-tuned last layer + FC head), NeuroCard and
+//!   NeuroCard+PreQR error correction, with validation early stopping;
+//! * [`clustering`] — BetaCV over the labelled log datasets and
+//!   NDCG / group distances on the CH workload;
+//! * [`textgen`] — SQL-to-Text training/evaluation for every encoder
+//!   variant;
+//! * [`setup`] — convenience builders (value buckets from data,
+//!   pre-trained models).
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index-heavy numeric kernels read clearer with explicit indices
+pub mod clustering;
+pub mod estimation;
+pub mod metrics;
+pub mod setup;
+pub mod textgen;

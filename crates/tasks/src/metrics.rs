@@ -1,0 +1,278 @@
+//! Evaluation metrics (§4.2): q-error, BetaCV, NDCG, BLEU.
+
+/// Q-error of one prediction: `max(ŷ, y) / min(ŷ, y)` with both clamped
+/// to ≥ 1.
+pub fn qerror(pred: f64, truth: f64) -> f64 {
+    let p = pred.max(1.0);
+    let t = truth.max(1.0);
+    (p / t).max(t / p)
+}
+
+/// Percentile summary of a q-error distribution (the row format of
+/// Tables 8–11).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QErrorStats {
+    /// 50th percentile.
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean (the paper's Eq. 9).
+    pub mean: f64,
+}
+
+impl QErrorStats {
+    /// Computes the summary from paired predictions and truths.
+    ///
+    /// # Panics
+    /// Panics on empty or mismatched inputs.
+    pub fn compute(preds: &[f64], truths: &[f64]) -> Self {
+        assert_eq!(preds.len(), truths.len(), "pred/truth length mismatch");
+        assert!(!preds.is_empty(), "no predictions");
+        let mut errs: Vec<f64> =
+            preds.iter().zip(truths).map(|(&p, &t)| qerror(p, t)).collect();
+        errs.sort_by(|a, b| a.partial_cmp(b).expect("finite q-errors"));
+        let pct = |p: f64| -> f64 {
+            let idx = ((errs.len() as f64 - 1.0) * p).round() as usize;
+            errs[idx.min(errs.len() - 1)]
+        };
+        Self {
+            median: pct(0.50),
+            p90: pct(0.90),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: *errs.last().expect("non-empty"),
+            mean: errs.iter().sum::<f64>() / errs.len() as f64,
+        }
+    }
+
+    /// Formats like a Tables 8–11 row.
+    pub fn row(&self, name: &str) -> String {
+        format!(
+            "{name:<20} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>9.2} {:>8.2}",
+            self.median, self.p90, self.p95, self.p99, self.max, self.mean
+        )
+    }
+}
+
+/// BetaCV (Zaki & Meira): mean intra-cluster distance over mean
+/// inter-cluster distance. Smaller is better.
+///
+/// # Panics
+/// Panics when labels and the distance matrix disagree in size.
+pub fn betacv(dist: &[Vec<f64>], labels: &[usize]) -> f64 {
+    let n = labels.len();
+    assert!(dist.len() == n && dist.iter().all(|r| r.len() == n), "bad distance matrix");
+    let (mut intra, mut n_intra) = (0.0f64, 0usize);
+    let (mut inter, mut n_inter) = (0.0f64, 0usize);
+    for i in 0..n {
+        for j in i + 1..n {
+            if labels[i] == labels[j] {
+                intra += dist[i][j];
+                n_intra += 1;
+            } else {
+                inter += dist[i][j];
+                n_inter += 1;
+            }
+        }
+    }
+    if n_intra == 0 || n_inter == 0 {
+        return f64::NAN;
+    }
+    (intra / n_intra as f64) / (inter / n_inter as f64).max(1e-12)
+}
+
+/// NDCG@k of a predicted ranking against graded relevance scores.
+///
+/// `relevance[i]` is the true gain of item `i`; `ranking` lists item
+/// indices in predicted order.
+pub fn ndcg_at_k(relevance: &[f64], ranking: &[usize], k: usize) -> f64 {
+    let k = k.min(ranking.len());
+    let dcg: f64 = ranking
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(pos, &item)| relevance[item] / ((pos + 2) as f64).log2())
+        .sum();
+    let mut ideal: Vec<f64> = relevance.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).expect("finite relevance"));
+    let idcg: f64 = ideal
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(pos, &g)| g / ((pos + 2) as f64).log2())
+        .sum();
+    if idcg <= 0.0 {
+        1.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// Corpus BLEU (Papineni et al., Eq. 10 of the paper): up-to-4-gram
+/// modified precision with brevity penalty, multi-reference.
+pub fn bleu(candidates: &[Vec<String>], references: &[Vec<Vec<String>>]) -> f64 {
+    assert_eq!(candidates.len(), references.len(), "candidate/reference mismatch");
+    let max_n = 4;
+    let mut match_counts = vec![0usize; max_n];
+    let mut total_counts = vec![0usize; max_n];
+    let mut cand_len = 0usize;
+    let mut ref_len = 0usize;
+    for (cand, refs) in candidates.iter().zip(references) {
+        cand_len += cand.len();
+        // Closest reference length.
+        ref_len += refs
+            .iter()
+            .map(Vec::len)
+            .min_by_key(|&l| {
+                (l as i64 - cand.len() as i64).abs() * 2 + i64::from(l < cand.len())
+            })
+            .unwrap_or(0);
+        for n in 1..=max_n {
+            if cand.len() < n {
+                continue;
+            }
+            let cand_ngrams = ngram_counts(cand, n);
+            let mut max_ref: std::collections::HashMap<&[String], usize> =
+                std::collections::HashMap::new();
+            for r in refs {
+                if r.len() < n {
+                    continue;
+                }
+                for (g, c) in ngram_counts(r, n) {
+                    let e = max_ref.entry(g).or_insert(0);
+                    *e = (*e).max(c);
+                }
+            }
+            for (g, c) in &cand_ngrams {
+                total_counts[n - 1] += c;
+                match_counts[n - 1] += (*c).min(max_ref.get(g).copied().unwrap_or(0));
+            }
+        }
+    }
+    if cand_len == 0 {
+        return 0.0;
+    }
+    // Smoothed geometric mean of modified precisions. Orders with no
+    // candidate n-grams at all (candidates shorter than n) are excluded
+    // from the mean, per standard corpus-BLEU practice.
+    let mut log_sum = 0.0f64;
+    let mut orders = 0usize;
+    for n in 0..max_n {
+        if total_counts[n] == 0 {
+            continue;
+        }
+        let p = (match_counts[n] as f64).max(1e-9) / total_counts[n] as f64;
+        log_sum += p.ln();
+        orders += 1;
+    }
+    if orders == 0 {
+        return 0.0;
+    }
+    let bp = if cand_len >= ref_len {
+        1.0
+    } else {
+        (1.0 - ref_len as f64 / cand_len as f64).exp()
+    };
+    bp * (log_sum / orders as f64).exp()
+}
+
+fn ngram_counts(words: &[String], n: usize) -> std::collections::HashMap<&[String], usize> {
+    let mut out = std::collections::HashMap::new();
+    for w in words.windows(n) {
+        *out.entry(w).or_insert(0) += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn qerror_is_symmetric_and_clamped() {
+        assert_eq!(qerror(10.0, 100.0), 10.0);
+        assert_eq!(qerror(100.0, 10.0), 10.0);
+        assert_eq!(qerror(0.0, 1.0), 1.0);
+        assert_eq!(qerror(5.0, 5.0), 1.0);
+    }
+
+    #[test]
+    fn qerror_stats_percentiles() {
+        let truths = vec![1.0; 100];
+        let preds: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = QErrorStats::compute(&preds, &truths);
+        assert!((s.median - 50.0).abs() <= 1.0);
+        assert!((s.p90 - 90.0).abs() <= 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 0.01);
+        assert!(s.row("x").contains("x"));
+    }
+
+    #[test]
+    fn betacv_prefers_tight_clusters() {
+        // Two perfect clusters: intra 0.1, inter 1.0.
+        let labels = vec![0, 0, 1, 1];
+        let mut d = vec![vec![0.0; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    d[i][j] = if labels[i] == labels[j] { 0.1 } else { 1.0 };
+                }
+            }
+        }
+        let good = betacv(&d, &labels);
+        assert!((good - 0.1).abs() < 1e-9);
+        // Random distances → ratio near 1.
+        let uniform = vec![vec![0.5; 4]; 4];
+        assert!((betacv(&uniform, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ndcg_perfect_and_inverted() {
+        let rel = vec![3.0, 2.0, 1.0, 0.0];
+        assert!((ndcg_at_k(&rel, &[0, 1, 2, 3], 4) - 1.0).abs() < 1e-9);
+        let inv = ndcg_at_k(&rel, &[3, 2, 1, 0], 4);
+        assert!(inv < 0.8);
+        assert!(ndcg_at_k(&[0.0, 0.0], &[0, 1], 2) == 1.0, "all-zero relevance");
+    }
+
+    #[test]
+    fn bleu_identity_is_one() {
+        let cand = vec![w("how many customers have balance above 500")];
+        let refs = vec![vec![w("how many customers have balance above 500")]];
+        assert!((bleu(&cand, &refs) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bleu_partial_overlap_is_between_zero_and_one() {
+        let cand = vec![w("how many customers exist")];
+        let refs = vec![vec![w("how many customers have balance above 500")]];
+        let b = bleu(&cand, &refs);
+        assert!(b > 0.0 && b < 1.0, "bleu {b}");
+    }
+
+    #[test]
+    fn bleu_brevity_penalty_hits_short_candidates() {
+        let full = vec![w("how many customers have balance above 500")];
+        let short = vec![w("how many")];
+        let refs = vec![vec![w("how many customers have balance above 500")]];
+        assert!(bleu(&short, &refs) < bleu(&full, &refs));
+    }
+
+    #[test]
+    fn bleu_uses_best_reference() {
+        let cand = vec![w("count the customers")];
+        let refs = vec![vec![w("how many customers"), w("count the customers")]];
+        assert!((bleu(&cand, &refs) - 1.0).abs() < 1e-9);
+    }
+}

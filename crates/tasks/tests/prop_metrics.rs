@@ -1,0 +1,87 @@
+//! Property-based tests on the evaluation metrics.
+
+use proptest::prelude::*;
+
+use preqr_tasks::metrics::{betacv, bleu, ndcg_at_k, qerror, QErrorStats};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// q-error is symmetric, ≥ 1, and multiplicative-scale invariant.
+    #[test]
+    fn qerror_properties(pred in 0.0f64..1e9, truth in 0.0f64..1e9, s in 1.0f64..100.0) {
+        let q = qerror(pred, truth);
+        prop_assert!(q >= 1.0);
+        prop_assert!((qerror(truth, pred) - q).abs() < 1e-9 * q);
+        // Scaling both sides leaves q-error unchanged (above the clamp).
+        if pred >= 1.0 && truth >= 1.0 {
+            let qs = qerror(pred * s, truth * s);
+            prop_assert!((qs - q).abs() < 1e-6 * q.max(qs));
+        }
+    }
+
+    /// Percentiles are monotone: median ≤ p90 ≤ p95 ≤ p99 ≤ max, and the
+    /// mean lies within [1, max].
+    #[test]
+    fn qerror_stats_monotone(
+        preds in proptest::collection::vec(0.5f64..1e6, 1..60),
+        truths in proptest::collection::vec(0.5f64..1e6, 1..60),
+    ) {
+        let n = preds.len().min(truths.len());
+        let s = QErrorStats::compute(&preds[..n], &truths[..n]);
+        prop_assert!(s.median <= s.p90 + 1e-9);
+        prop_assert!(s.p90 <= s.p95 + 1e-9);
+        prop_assert!(s.p95 <= s.p99 + 1e-9);
+        prop_assert!(s.p99 <= s.max + 1e-9);
+        prop_assert!(s.mean >= 1.0 - 1e-9 && s.mean <= s.max + 1e-9);
+    }
+
+    /// BetaCV of an all-equal distance matrix is 1; scaling distances
+    /// leaves it unchanged.
+    #[test]
+    fn betacv_scale_invariant(
+        labels in proptest::collection::vec(0usize..3, 4..20),
+        scale in 0.1f64..10.0,
+    ) {
+        let n = labels.len();
+        prop_assume!(labels.iter().any(|&l| l != labels[0]));
+        // Distance = |i - j| (an arbitrary but symmetric metric-ish matrix).
+        let d: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| (i as f64 - j as f64).abs()).collect())
+            .collect();
+        let ds: Vec<Vec<f64>> =
+            d.iter().map(|r| r.iter().map(|&x| x * scale).collect()).collect();
+        let a = betacv(&d, &labels);
+        let b = betacv(&ds, &labels);
+        prop_assert!((a - b).abs() < 1e-9 * a.abs().max(1.0));
+    }
+
+    /// NDCG is in [0, 1], and the identity ranking of sorted relevance is
+    /// optimal.
+    #[test]
+    fn ndcg_bounds_and_optimality(
+        mut rel in proptest::collection::vec(0.0f64..10.0, 2..15),
+        k in 1usize..15,
+    ) {
+        rel.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let ideal: Vec<usize> = (0..rel.len()).collect();
+        let best = ndcg_at_k(&rel, &ideal, k);
+        prop_assert!(best >= 1.0 - 1e-9 && best <= 1.0 + 1e-9);
+        let reversed: Vec<usize> = (0..rel.len()).rev().collect();
+        let worst = ndcg_at_k(&rel, &reversed, k);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&worst));
+        prop_assert!(worst <= best + 1e-9);
+    }
+
+    /// BLEU is in [0, 1] and equals 1 only for exact matches.
+    #[test]
+    fn bleu_bounds(words in proptest::collection::vec("[a-e]{1,3}", 1..12)) {
+        let cand = vec![words.clone()];
+        let refs = vec![vec![words.clone()]];
+        prop_assert!((bleu(&cand, &refs) - 1.0).abs() < 1e-9);
+        let mut other = words.clone();
+        other.push("zzz".to_string());
+        let b = bleu(&vec![other], &refs);
+        prop_assert!((0.0..1.0 + 1e-9).contains(&b));
+    }
+}

@@ -1,0 +1,66 @@
+//! Query-log clustering: compare classic similarity metrics against the
+//! PreQR embedding on logically-equivalent query rewrites (Figure 2 of
+//! the paper).
+//!
+//! ```sh
+//! cargo run --release --example query_clustering
+//! ```
+
+use preqr::{PreqrConfig, SqlBert};
+use preqr_data::chdb::{generate, ChConfig};
+use preqr_data::clustering::{iit_bombay, pocketdata};
+use preqr_sql::parser::parse;
+use preqr_tasks::clustering::{betacv_of, SimilarityMethod};
+use preqr_tasks::setup::value_buckets_from_db;
+
+fn main() {
+    let db = generate(ChConfig { customers: 300, seed: 7 });
+
+    // Pre-train PreQR on the clustering queries themselves (the paper
+    // pre-trains once per database on its frequent-query log).
+    let ds_easy = iit_bombay();
+    let ds_hard = pocketdata();
+    let mut corpus = ds_easy.queries.clone();
+    corpus.extend(ds_hard.queries.clone());
+    let buckets = value_buckets_from_db(&db, 8);
+    let mut model = SqlBert::new(&corpus, db.schema(), buckets, PreqrConfig::small());
+    println!("pre-training PreQR on {} log queries…", corpus.len());
+    model.pretrain(&corpus, 3, 1e-3);
+
+    // Figure 2's rewrites: an IN-list and its UNION form should embed
+    // close together.
+    let q1 = parse("SELECT name FROM user WHERE rank IN ('adm', 'sup')").unwrap();
+    let q3 = parse(
+        "SELECT name FROM user WHERE rank = 'adm' UNION SELECT name FROM user WHERE rank = 'sup'",
+    )
+    .unwrap();
+    let q_far = parse("SELECT SUM(amount) FROM order_line WHERE quantity > 5").unwrap();
+    let nodes = model.cached_nodes();
+    let cos = |a: &[f32], b: &[f32]| preqr_baselines::cluster_sims::cosine(a, b);
+    let (e1, e3, ef) = (
+        model.cls_vector(&q1, nodes.as_ref()),
+        model.cls_vector(&q3, nodes.as_ref()),
+        model.cls_vector(&q_far, nodes.as_ref()),
+    );
+    println!("\nFigure 2 sanity:");
+    println!("  sim(q1, q3 = UNION rewrite)   = {:.3}", cos(&e1, &e3));
+    println!("  sim(q1, unrelated aggregate)  = {:.3}", cos(&e1, &ef));
+
+    // BetaCV over two labelled log profiles (smaller is better).
+    println!("\nBetaCV (smaller = better clustering):");
+    println!("{:<12} {:>12} {:>12}", "method", ds_easy.name, ds_hard.name);
+    let methods = [
+        SimilarityMethod::Aouiche,
+        SimilarityMethod::Aligon,
+        SimilarityMethod::Makiyama,
+        SimilarityMethod::Preqr(&model),
+    ];
+    for m in methods {
+        println!(
+            "{:<12} {:>12.3} {:>12.3}",
+            m.name(),
+            betacv_of(&m, &ds_easy.queries, &ds_easy.labels),
+            betacv_of(&m, &ds_hard.queries, &ds_hard.labels)
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: build a database, pre-train PreQR, and inspect a query's
+//! representation.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use preqr::{PreqrConfig, SqlBert};
+use preqr_data::imdb::{generate, ImdbConfig};
+use preqr_data::workloads;
+use preqr_sql::parser::parse;
+use preqr_tasks::setup::value_buckets_from_db;
+
+fn main() {
+    // 1. A deterministic, correlated mini-IMDB database.
+    let db = generate(ImdbConfig { movies: 1_000, ..ImdbConfig::default() });
+    println!("database: {} tables, {} rows", db.schema().tables().len(), db.total_rows());
+
+    // 2. A pre-training corpus of realistic queries over that schema.
+    let corpus = workloads::pretrain_corpus(&db, 300, 7);
+    println!("corpus:   {} queries", corpus.len());
+
+    // 3. Build PreQR: vocabulary + automaton from the corpus, the schema
+    //    graph from the schema, value-range buckets from the data.
+    let buckets = value_buckets_from_db(&db, 10);
+    let mut model = SqlBert::new(&corpus, db.schema(), buckets, PreqrConfig::small());
+    println!("model:    {} parameters", model.num_parameters());
+
+    // 4. Masked-language-model pre-training (§3.5.2).
+    for s in model.pretrain(&corpus, 2, 1e-3) {
+        println!("epoch {}: mlm loss {:.3}, masked-token accuracy {:.2}", s.epoch, s.loss, s.accuracy);
+    }
+
+    // 5. Encode a query. The representation is `Concat(e_q, e_g)` per
+    //    token (Eq. 8); row 0 is the [CLS] aggregate.
+    let q = parse(
+        "SELECT COUNT(*) FROM title t, movie_companies mc \
+         WHERE t.id = mc.movie_id AND t.production_year > 2010 AND mc.company_id = 5",
+    )
+    .unwrap();
+    let pq = model.prepare(&q);
+    println!("\nquery: {q}");
+    println!("tokens ({}):", pq.len());
+    for t in pq.tokens.iter().take(12) {
+        println!("  {:<28} state {:>3}  maskable {}", t.text, t.state_id, t.maskable);
+    }
+    let emb = model.encode(&q);
+    println!("representation: {} x {}", emb.rows(), emb.cols());
+    let cls = model.cls_vector(&q, None);
+    let norm: f32 = cls.iter().map(|x| x * x).sum::<f32>().sqrt();
+    println!("[CLS] vector norm: {norm:.3}");
+    println!("structure coverage (automaton match): {:.2}", pq.structure_coverage);
+}

@@ -1,0 +1,67 @@
+//! Application sketched in the paper's §4.4 ("PreQR encoding can be
+//! applied to support … query log analysis, recommendation and outlier
+//! detection"): score each query in a log by its mean embedding distance
+//! to its k nearest neighbours; planted alien queries should surface.
+//!
+//! ```sh
+//! cargo run --release --example workload_outliers
+//! ```
+
+use preqr::{PreqrConfig, SqlBert};
+use preqr_baselines::cluster_sims::cosine;
+use preqr_data::chdb::{generate, ChConfig};
+use preqr_data::clustering::iit_bombay;
+use preqr_sql::parser::parse;
+use preqr_tasks::setup::value_buckets_from_db;
+
+fn main() {
+    let db = generate(ChConfig { customers: 200, seed: 7 });
+    // A "normal" log: the IIT Bombay profile queries.
+    let mut log = iit_bombay().queries;
+    let normal = log.len();
+    // Plant three alien queries with shapes the log never uses.
+    for sql in [
+        "SELECT tax FROM district WHERE name LIKE '%7%' ORDER BY tax DESC LIMIT 1",
+        "SELECT customer_id, COUNT(DISTINCT carrier_id) FROM orders \
+         GROUP BY customer_id ORDER BY customer_id LIMIT 3",
+        "SELECT i.category, AVG(i.price) FROM item i GROUP BY i.category \
+         ORDER BY i.category",
+    ] {
+        log.push(parse(sql).unwrap());
+    }
+
+    let buckets = value_buckets_from_db(&db, 8);
+    let mut model = SqlBert::new(&log, db.schema(), buckets, PreqrConfig::small());
+    println!("pre-training on the query log ({} queries)…", log.len());
+    model.pretrain(&log, 3, 1e-3);
+
+    let nodes = model.cached_nodes();
+    let embeddings: Vec<Vec<f32>> =
+        log.iter().map(|q| model.cls_vector(q, nodes.as_ref())).collect();
+
+    // Outlier score: mean cosine distance to the 5 nearest neighbours.
+    let k = 5;
+    let mut scored: Vec<(usize, f64)> = (0..log.len())
+        .map(|i| {
+            let mut dists: Vec<f64> = (0..log.len())
+                .filter(|&j| j != i)
+                .map(|j| 1.0 - cosine(&embeddings[i], &embeddings[j]))
+                .collect();
+            dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+            let score = dists.iter().take(k).sum::<f64>() / k as f64;
+            (i, score)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+
+    println!("\ntop-6 outlier scores (planted aliens are indices ≥ {normal}):");
+    let mut aliens_in_top6 = 0;
+    for (i, score) in scored.iter().take(6) {
+        let tag = if *i >= normal { "ALIEN" } else { "     " };
+        if *i >= normal {
+            aliens_in_top6 += 1;
+        }
+        println!("  {tag} {score:.4}  {}", log[*i]);
+    }
+    println!("\n{aliens_in_top6}/3 planted aliens in the top 6 by embedding distance");
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates every reproduced table/figure into results/.
+# PREQR_SCALE=small (default) keeps each binary to minutes; =full is closer
+# to the paper's sizes.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+for bin in table03 table05 table06 table08 table09 table10 table11 \
+           table12 table13 fig07 fig08 fig09 table07; do
+    echo "=== $bin ==="
+    cargo run --release -q -p preqr-bench --bin "$bin" \
+        > "results/$bin.txt" 2> "results/$bin.log" || echo "  FAILED (see results/$bin.log)"
+done
+echo "done; see results/"

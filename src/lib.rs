@@ -1,0 +1,28 @@
+//! `preqr-repro` — facade crate of the PreQR reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use
+//! one dependency. The interesting code lives in:
+//!
+//! * [`preqr`] — the PreQR model (the paper's contribution);
+//! * [`preqr_nn`] — the from-scratch autograd/layers substrate;
+//! * [`preqr_sql`] / [`preqr_automaton`] / [`preqr_schema`] — the SQL
+//!   front-end, SQL2Automaton, and the schema graph;
+//! * [`preqr_engine`] — the mini relational engine (ground truth + the
+//!   PostgreSQL-style baseline);
+//! * [`preqr_data`] — synthetic datasets and workloads;
+//! * [`preqr_baselines`] / [`preqr_tasks`] — the paper's baselines and
+//!   the downstream task pipelines.
+//!
+//! See `README.md` for the map of reproduction binaries and
+//! `EXPERIMENTS.md` for measured-vs-paper results.
+
+#![warn(missing_docs)]
+pub use preqr;
+pub use preqr_automaton;
+pub use preqr_baselines;
+pub use preqr_data;
+pub use preqr_engine;
+pub use preqr_nn;
+pub use preqr_schema;
+pub use preqr_sql;
+pub use preqr_tasks;

@@ -1,0 +1,84 @@
+//! Failure-injection integration tests: every layer must fail loudly and
+//! recoverably on malformed or overload inputs, not corrupt state.
+
+use preqr::{PreqrConfig, SqlBert, ValueBuckets};
+use preqr_engine::{execute, Database, Datum, ExecError};
+use preqr_schema::{Column, ColumnType, Schema, Table};
+use preqr_sql::parser::parse;
+
+#[test]
+fn executor_refuses_oversized_cross_products() {
+    let mut s = Schema::new();
+    s.add_table(Table::new("a", vec![Column::primary("id", ColumnType::Int)]));
+    s.add_table(Table::new("b", vec![Column::primary("id", ColumnType::Int)]));
+    let mut db = Database::new(s);
+    for i in 0..9_000i64 {
+        db.insert("a", &[Datum::Int(i)]);
+        db.insert("b", &[Datum::Int(i)]);
+    }
+    // 9k × 9k = 81M rows > the 50M safety cap.
+    let q = parse("SELECT COUNT(*) FROM a, b").unwrap();
+    assert!(matches!(execute(&db, &q), Err(ExecError::TooLarge(_))));
+    // The database is still usable afterwards.
+    let ok = parse("SELECT COUNT(*) FROM a WHERE a.id < 5").unwrap();
+    assert_eq!(execute(&db, &ok).unwrap().join_cardinality, 5);
+}
+
+#[test]
+fn parser_rejects_malformed_inputs_without_panicking() {
+    for bad in [
+        "",
+        "SELECT",
+        "SELECT FROM t",
+        "SELECT * FROM",
+        "SELECT * FROM t WHERE",
+        "SELECT * FROM t WHERE x >",
+        "SELECT * FROM t WHERE x IN ()",
+        "SELECT * FROM t LIMIT -1",
+        "SELECT * FROM t GROUP ORDER",
+        "SELECT * FROM t; SELECT * FROM u",
+        "SELEC * FROM t",
+    ] {
+        assert!(parse(bad).is_err(), "should reject: {bad}");
+    }
+}
+
+#[test]
+fn model_handles_out_of_schema_queries_gracefully() {
+    // Queries over tables the schema never mentioned still encode (they
+    // just see unknown automaton states and fallback value buckets).
+    let mut s = Schema::new();
+    s.add_table(Table::new(
+        "title",
+        vec![Column::primary("id", ColumnType::Int)],
+    ));
+    let corpus = vec![parse("SELECT COUNT(*) FROM title t WHERE t.id > 5").unwrap()];
+    let model = SqlBert::new(&corpus, &s, ValueBuckets::new(4), PreqrConfig::test());
+    let alien = parse("SELECT weird FROM elsewhere WHERE thing LIKE '%x%'").unwrap();
+    let pq = model.prepare(&alien);
+    assert!(pq.structure_coverage < 1.0, "unknown structure must be visible");
+    let e = model.encode(&alien);
+    assert!(e.data().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn empty_pretraining_corpus_still_builds_a_usable_model() {
+    let mut s = Schema::new();
+    s.add_table(Table::new("t", vec![Column::primary("id", ColumnType::Int)]));
+    let model = SqlBert::new(&[], &s, ValueBuckets::new(4), PreqrConfig::test());
+    let stats = {
+        let mut m = model;
+        m.pretrain(&[], 2, 1e-3)
+    };
+    assert_eq!(stats.len(), 2, "epochs over an empty corpus are no-ops, not panics");
+}
+
+#[test]
+fn engine_rejects_ambiguity_instead_of_guessing() {
+    let mut s = Schema::new();
+    s.add_table(Table::new("a", vec![Column::primary("id", ColumnType::Int)]));
+    s.add_table(Table::new("b", vec![Column::primary("id", ColumnType::Int)]));
+    let db = Database::new(s);
+    let q = parse("SELECT id FROM a, b").unwrap();
+    assert!(matches!(execute(&db, &q), Err(ExecError::AmbiguousColumn(_))));
+}
