@@ -162,12 +162,8 @@ impl Automaton {
     /// the paper notes state transitions "optimize the prediction of mask
     /// words").
     pub fn successors(&self, state: usize) -> Vec<usize> {
-        let mut out: Vec<usize> = self
-            .transitions
-            .iter()
-            .filter(|(f, _)| *f == state)
-            .map(|(_, t)| *t)
-            .collect();
+        let mut out: Vec<usize> =
+            self.transitions.iter().filter(|(f, _)| *f == state).map(|(_, t)| *t).collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -199,9 +195,7 @@ mod tests {
     #[test]
     fn template_query_is_accepted() {
         let fa = fa_of(&["SELECT COUNT(*) FROM title t WHERE t.year > 2000"], 0.0);
-        let m = fa.match_keys(&state_keys(&q(
-            "SELECT COUNT(*) FROM title t WHERE t.year > 1999",
-        )));
+        let m = fa.match_keys(&state_keys(&q("SELECT COUNT(*) FROM title t WHERE t.year > 1999")));
         assert!(m.accepted);
         assert_eq!(m.unknown_tokens, 0);
     }
@@ -257,15 +251,15 @@ mod tests {
     #[test]
     fn incremental_template_add_preserves_state_ids() {
         let mut fa = fa_of(&["SELECT COUNT(*) FROM title t WHERE t.year > 2000"], 0.0);
-        let before: Vec<usize> =
-            fa.match_keys(&state_keys(&q("SELECT COUNT(*) FROM title t WHERE t.year > 2000")))
-                .states;
+        let before: Vec<usize> = fa
+            .match_keys(&state_keys(&q("SELECT COUNT(*) FROM title t WHERE t.year > 2000")))
+            .states;
         fa.add_template(&state_keys(&q(
             "SELECT kind_id FROM title GROUP BY kind_id ORDER BY kind_id",
         )));
-        let after: Vec<usize> =
-            fa.match_keys(&state_keys(&q("SELECT COUNT(*) FROM title t WHERE t.year > 2000")))
-                .states;
+        let after: Vec<usize> = fa
+            .match_keys(&state_keys(&q("SELECT COUNT(*) FROM title t WHERE t.year > 2000")))
+            .states;
         assert_eq!(before, after, "existing state ids must be stable");
         let m = fa.match_keys(&state_keys(&q(
             "SELECT kind_id FROM title GROUP BY kind_id ORDER BY kind_id",
@@ -285,9 +279,8 @@ mod tests {
     #[test]
     fn successors_include_self_loops() {
         let fa = fa_of(&["SELECT * FROM title t, movie_companies mc"], 0.0);
-        let table_state = fa
-            .match_keys(&state_keys(&q("SELECT * FROM title t, movie_companies mc")))
-            .states[4];
+        let table_state =
+            fa.match_keys(&state_keys(&q("SELECT * FROM title t, movie_companies mc"))).states[4];
         assert!(fa.successors(table_state).contains(&table_state));
     }
 

@@ -60,8 +60,7 @@ mod tests {
         let fa = Automaton::from_templates(&TemplateSet::extract(&corpus, 0.0));
         let full = fa.match_keys(&state_keys(&corpus[0]));
         assert!((full.coverage() - 1.0).abs() < 1e-12);
-        let other =
-            fa.match_keys(&state_keys(&parse("SELECT * FROM t WHERE a = 1").unwrap()));
+        let other = fa.match_keys(&state_keys(&parse("SELECT * FROM t WHERE a = 1").unwrap()));
         assert!(other.coverage() < 1.0);
         assert!(other.coverage() > 0.0);
     }

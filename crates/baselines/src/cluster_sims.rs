@@ -199,10 +199,7 @@ mod tests {
 
     #[test]
     fn column_universe_is_sorted_dedup() {
-        let qs = vec![
-            q("SELECT a FROM t WHERE b = 1"),
-            q("SELECT a FROM t WHERE c = 2 AND b = 3"),
-        ];
+        let qs = vec![q("SELECT a FROM t WHERE b = 1"), q("SELECT a FROM t WHERE c = 2 AND b = 3")];
         assert_eq!(column_universe(&qs), vec!["a", "b", "c"]);
     }
 }

@@ -52,10 +52,8 @@ impl LstmVocab {
     /// Encodes a query into `(token ids, numeric side-channel)`.
     pub fn encode(&self, q: &Query) -> (Vec<usize>, Vec<f32>) {
         let toks = linearize(q);
-        let ids = toks
-            .iter()
-            .map(|t| self.ids.get(&canonical_text(t)).copied().unwrap_or(0))
-            .collect();
+        let ids =
+            toks.iter().map(|t| self.ids.get(&canonical_text(t)).copied().unwrap_or(0)).collect();
         let nums = toks
             .iter()
             .map(|t| match &t.value {
@@ -65,7 +63,6 @@ impl LstmVocab {
             .collect();
         (ids, nums)
     }
-
 }
 
 /// Per-token sample-selectivity channel: the original estimator attaches

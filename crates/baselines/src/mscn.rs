@@ -163,16 +163,16 @@ impl MscnFeaturizer {
         }
         for c in conjuncts {
             match c {
-                Expr::Cmp {
-                    left: Scalar::Column(a),
-                    op: CmpOp::Eq,
-                    right: Scalar::Column(b),
-                } if a.table != b.table => {
+                Expr::Cmp { left: Scalar::Column(a), op: CmpOp::Eq, right: Scalar::Column(b) }
+                    if a.table != b.table =>
+                {
                     let mut v = vec![0.0f32; self.join_dim()];
                     if let (Some(ra), Some(rb)) = (resolve(a), resolve(b)) {
-                        if let Some(i) = self.join_edges.iter().position(|(x, y)| {
-                            (*x == ra && *y == rb) || (*x == rb && *y == ra)
-                        }) {
+                        if let Some(i) = self
+                            .join_edges
+                            .iter()
+                            .position(|(x, y)| (*x == ra && *y == rb) || (*x == rb && *y == ra))
+                        {
                             v[i] = 1.0;
                         }
                     }
@@ -189,11 +189,7 @@ impl MscnFeaturizer {
                                 preqr_sql::ast::Value::Str(s) => {
                                     preqr_sql::vocab::string_bucket(s, 1000) as f32 / 1000.0
                                 }
-                                other => self.normalize(
-                                    &t,
-                                    &c,
-                                    other.as_f64().unwrap_or(0.0),
-                                ),
+                                other => self.normalize(&t, &c, other.as_f64().unwrap_or(0.0)),
                             };
                             v[self.columns.len() + OPS.len()] = norm;
                         }
@@ -398,15 +394,13 @@ mod tests {
         let qs: Vec<(Query, f32)> = (0..10)
             .map(|i| {
                 let y = 1950 + i * 7;
-                let q = parse(&format!(
-                    "SELECT COUNT(*) FROM title t WHERE t.production_year > {y}"
-                ))
-                .unwrap();
+                let q =
+                    parse(&format!("SELECT COUNT(*) FROM title t WHERE t.production_year > {y}"))
+                        .unwrap();
                 (q, (2020 - y) as f32 / 70.0)
             })
             .collect();
-        let feats: Vec<MscnFeatures> =
-            qs.iter().map(|(q, _)| f.featurize(&db, q, None)).collect();
+        let feats: Vec<MscnFeatures> = qs.iter().map(|(q, _)| f.featurize(&db, q, None)).collect();
         let mut last = f32::MAX;
         for _ in 0..150 {
             let mut total = 0.0;
@@ -426,8 +420,16 @@ mod tests {
     fn onehot_vector_distinguishes_tables() {
         let db = db();
         let f = MscnFeaturizer::new(&db, 0);
-        let a = f.featurize(&db, &parse("SELECT COUNT(*) FROM title t WHERE t.kind_id = 1").unwrap(), None);
-        let b = f.featurize(&db, &parse("SELECT COUNT(*) FROM cast_info ci WHERE ci.role_id = 1").unwrap(), None);
+        let a = f.featurize(
+            &db,
+            &parse("SELECT COUNT(*) FROM title t WHERE t.kind_id = 1").unwrap(),
+            None,
+        );
+        let b = f.featurize(
+            &db,
+            &parse("SELECT COUNT(*) FROM cast_info ci WHERE ci.role_id = 1").unwrap(),
+            None,
+        );
         assert_ne!(MscnModel::onehot_vector(&a, &f), MscnModel::onehot_vector(&b, &f));
     }
 }

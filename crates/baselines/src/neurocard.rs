@@ -42,10 +42,7 @@ impl<'a> SamplingEstimator<'a> {
     pub fn new(db: &'a Database, samples: usize, seed: u64) -> Self {
         let mut indexes = HashMap::new();
         for fk in db.schema().foreign_keys() {
-            for (t, c) in [
-                (&fk.from_table, &fk.from_column),
-                (&fk.to_table, &fk.to_column),
-            ] {
+            for (t, c) in [(&fk.from_table, &fk.from_column), (&fk.to_table, &fk.to_column)] {
                 let key = (t.clone(), c.clone());
                 if indexes.contains_key(&key) {
                     continue;
@@ -81,11 +78,8 @@ impl<'a> SamplingEstimator<'a> {
             conjuncts.extend(j.on.conjuncts());
         }
         for c in conjuncts {
-            if let Expr::Cmp {
-                left: Scalar::Column(a),
-                op: CmpOp::Eq,
-                right: Scalar::Column(b),
-            } = c
+            if let Expr::Cmp { left: Scalar::Column(a), op: CmpOp::Eq, right: Scalar::Column(b) } =
+                c
             {
                 let ba = bindings.resolve(a, self.db.schema())?;
                 let bb = bindings.resolve(b, self.db.schema())?;
@@ -107,8 +101,7 @@ impl<'a> SamplingEstimator<'a> {
                 if table_preds[t].is_empty() {
                     Ok(None)
                 } else {
-                    compile(&Expr::and_all(table_preds[t].clone()), t, &bindings, self.db)
-                        .map(Some)
+                    compile(&Expr::and_all(table_preds[t].clone()), t, &bindings, self.db).map(Some)
                 }
             })
             .collect::<Result<_, _>>()?;
@@ -181,24 +174,20 @@ impl<'a> SamplingEstimator<'a> {
                 let dst_name = bindings.table_name(dst.table).to_string();
                 let dst_schema_col =
                     &self.db.schema().table(&dst_name).expect("table").columns[dst.column];
-                let idx = self
-                    .indexes
-                    .get(&(dst_name.clone(), dst_schema_col.name.clone()));
+                let idx = self.indexes.get(&(dst_name.clone(), dst_schema_col.name.clone()));
                 let dst_table = self.db.table(&dst_name).expect("table");
                 let matches: Vec<u32> = match idx {
                     Some(map) => map.get(&key).cloned().unwrap_or_default(),
                     None => (0..dst_table.row_count() as u32)
                         .filter(|&r| {
-                            dst_table.columns[dst.column].get_f64(r as usize)
-                                == Some(key as f64)
+                            dst_table.columns[dst.column].get_f64(r as usize) == Some(key as f64)
                         })
                         .collect(),
                 };
                 let filtered: Vec<u32> = match &compiled[dst.table] {
-                    Some(p) => matches
-                        .into_iter()
-                        .filter(|&r| p.eval(dst_table, r as usize))
-                        .collect(),
+                    Some(p) => {
+                        matches.into_iter().filter(|&r| p.eval(dst_table, r as usize)).collect()
+                    }
                     None => matches,
                 };
                 if filtered.is_empty() {
@@ -218,9 +207,7 @@ impl<'a> SamplingEstimator<'a> {
                 if !bound[t] {
                     let table = self.db.table(bindings.table_name(t)).expect("table");
                     let count = match &compiled[t] {
-                        Some(p) => (0..table.row_count())
-                            .filter(|&r| p.eval(table, r))
-                            .count(),
+                        Some(p) => (0..table.row_count()).filter(|&r| p.eval(table, r)).count(),
                         None => table.row_count(),
                     };
                     weight *= count as f64;
@@ -250,10 +237,8 @@ mod tests {
     fn accurate_on_pure_fk_join() {
         let db = generate(ImdbConfig::tiny());
         let est = SamplingEstimator::new(&db, 400, 7);
-        let q = parse(
-            "SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id",
-        )
-        .unwrap();
+        let q = parse("SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id")
+            .unwrap();
         let truth = execute(&db, &q).unwrap().join_cardinality as f64;
         let guess = est.estimate(&q).unwrap();
         assert!(qerror(guess, truth) < 1.3, "fk join qerr {}", qerror(guess, truth));
@@ -294,10 +279,8 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let db = generate(ImdbConfig::tiny());
-        let q = parse(
-            "SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id",
-        )
-        .unwrap();
+        let q = parse("SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id")
+            .unwrap();
         let a = SamplingEstimator::new(&db, 200, 9).estimate(&q).unwrap();
         let b = SamplingEstimator::new(&db, 200, 9).estimate(&q).unwrap();
         assert_eq!(a, b);
@@ -307,10 +290,8 @@ mod tests {
     fn cross_product_queries_are_handled() {
         let db = generate(ImdbConfig::tiny());
         let est = SamplingEstimator::new(&db, 200, 7);
-        let q = parse(
-            "SELECT COUNT(*) FROM title t, kind_type kt WHERE t.production_year > 1990",
-        )
-        .unwrap();
+        let q = parse("SELECT COUNT(*) FROM title t, kind_type kt WHERE t.production_year > 1990")
+            .unwrap();
         let truth = execute(&db, &q).unwrap().join_cardinality as f64;
         let guess = est.estimate(&q).unwrap();
         assert!(qerror(guess, truth) < 2.0, "cross product qerr {}", qerror(guess, truth));

@@ -8,7 +8,9 @@ use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 
-use preqr_nn::layers::{join, BiLstm, Embedding, Linear, LstmCell, Module, RelAdjacency, RgcnLayer};
+use preqr_nn::layers::{
+    join, BiLstm, Embedding, Linear, LstmCell, Module, RelAdjacency, RgcnLayer,
+};
 use preqr_nn::{init, ops, Matrix, Tensor};
 use preqr_sql::ast::{Expr, Query, SelectItem};
 use preqr_sql::normalize::linearize;
@@ -583,10 +585,23 @@ mod tests {
     }
 
     fn tv() -> TextVocab {
-        TextVocab::build(
-            ["how", "many", "customers", "with", "balance", "greater", "than", "500",
-             "100", "list", "names", "of", "items", "category", "food"],
-        )
+        TextVocab::build([
+            "how",
+            "many",
+            "customers",
+            "with",
+            "balance",
+            "greater",
+            "than",
+            "500",
+            "100",
+            "list",
+            "names",
+            "of",
+            "items",
+            "category",
+            "food",
+        ])
     }
 
     #[test]

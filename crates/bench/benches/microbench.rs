@@ -10,6 +10,8 @@ use preqr_automaton::Automaton;
 use preqr_data::imdb::{generate, ImdbConfig};
 use preqr_data::workloads;
 use preqr_engine::{execute, BitmapSampler, Database, PgEstimator, TableStats};
+use preqr_nn::layers::MultiHeadAttention;
+use preqr_nn::{Matrix, Tensor};
 use preqr_sql::normalize::{linearize, state_keys};
 use preqr_sql::parser::parse;
 use preqr_sql::template::TemplateSet;
@@ -91,8 +93,37 @@ fn bench_baselines(c: &mut Criterion) {
         b.iter(|| featurizer.featurize(&db, black_box(&q), None))
     });
     let nc = preqr_baselines::neurocard::SamplingEstimator::new(&db, 200, 7);
-    g.bench_function("neurocard_estimate", |b| {
-        b.iter(|| nc.estimate(black_box(&q)).unwrap())
+    g.bench_function("neurocard_estimate", |b| b.iter(|| nc.estimate(black_box(&q)).unwrap()));
+    g.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut random = |rows: usize, cols: usize| {
+        let data = (0..rows * cols).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+        Matrix::from_vec(rows, cols, data)
+    };
+    let a = random(256, 256);
+    let b = random(256, 256);
+    let soft = random(1024, 256);
+    let x = Tensor::constant(random(128, 64));
+    let attn = MultiHeadAttention::new(64, 4, &mut rng);
+    let mut g = c.benchmark_group("nn_kernels");
+    g.bench_function("matmul_256x256x256", |bch| bch.iter(|| black_box(&a).matmul(black_box(&b))));
+    g.bench_function("matmul_256x256x256_serial", |bch| {
+        bch.iter(|| black_box(&a).matmul_serial(black_box(&b)))
+    });
+    g.bench_function("softmax_rows_1024x256", |bch| {
+        bch.iter(|| {
+            let mut m = soft.clone();
+            m.softmax_rows_inplace();
+            m
+        })
+    });
+    g.bench_function("attention_forward_self_seq128_d64", |bch| {
+        bch.iter(|| attn.forward_self(black_box(&x)))
     });
     g.finish();
 }
@@ -103,6 +134,7 @@ criterion_group!(
     bench_automaton,
     bench_engine,
     bench_model,
-    bench_baselines
+    bench_baselines,
+    bench_kernels
 );
 criterion_main!(benches);

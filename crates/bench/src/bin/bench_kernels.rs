@@ -1,0 +1,193 @@
+//! Kernel benchmark (not a paper artifact): serial reference kernels vs the
+//! packed/parallel fast paths in `preqr-nn`, written to
+//! `results/BENCH_kernels.json`.
+//!
+//! Run via `scripts/bench_kernels.sh` (which sets
+//! `RUSTFLAGS="-C target-cpu=native"` so the microkernel's register tile
+//! lands in the widest available vector registers, and falls back to a
+//! plain-rustc harness when the cargo registry is unreachable). Every timed
+//! pair is also checked bit-identical before timing: thread count and code
+//! path never change results.
+
+use std::time::Instant;
+
+use preqr_nn::parallel;
+use preqr_nn::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    let data = (0..rows * cols).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.data().iter().map(|x| x.to_bits()).collect()
+}
+
+/// Times `f` (ns/iter): two warmup calls, then batches until ≥250 ms total.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    f();
+    f();
+    let mut iters = 0u64;
+    let start = Instant::now();
+    loop {
+        f();
+        iters += 1;
+        if start.elapsed().as_secs_f64() >= 0.25 && iters >= 3 {
+            return start.elapsed().as_nanos() as f64 / iters as f64;
+        }
+        if iters >= 1_000_000 {
+            return start.elapsed().as_nanos() as f64 / iters as f64;
+        }
+    }
+}
+
+struct Entry {
+    method: &'static str,
+    shape: String,
+    variant: &'static str,
+    threads: usize,
+    ns_per_iter: f64,
+    speedup: f64,
+}
+
+fn push_sweep(
+    entries: &mut Vec<Entry>,
+    method: &'static str,
+    shape: String,
+    serial: impl Fn() -> Matrix,
+    parallel_run: impl Fn() -> Matrix,
+) {
+    // Bit-identity gate before timing anything.
+    let want = bits(&serial());
+    for threads in [1usize, 2, 4, 8] {
+        parallel::set_thread_override(Some(threads));
+        assert_eq!(bits(&parallel_run()), want, "{method} {shape} differs at {threads} threads");
+        parallel::set_thread_override(None);
+    }
+
+    let serial_ns = time_ns(|| {
+        std::hint::black_box(serial());
+    });
+    entries.push(Entry {
+        method,
+        shape: shape.clone(),
+        variant: "serial",
+        threads: 1,
+        ns_per_iter: serial_ns,
+        speedup: 1.0,
+    });
+    for threads in [1usize, 2, 4, 8] {
+        parallel::set_thread_override(Some(threads));
+        let ns = time_ns(|| {
+            std::hint::black_box(parallel_run());
+        });
+        parallel::set_thread_override(None);
+        let speedup = serial_ns / ns;
+        println!(
+            "{method:>18} {shape:>14} threads={threads}: {ns:.0} ns/iter \
+             (serial {serial_ns:.0}), speedup {speedup:.2}x"
+        );
+        entries.push(Entry {
+            method,
+            shape: shape.clone(),
+            variant: "parallel",
+            threads,
+            ns_per_iter: ns,
+            speedup,
+        });
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut entries = Vec::new();
+
+    for &s in &[64usize, 128, 256, 384] {
+        let a = random_matrix(&mut rng, s, s);
+        let b = random_matrix(&mut rng, s, s);
+        push_sweep(
+            &mut entries,
+            "matmul",
+            format!("{s}x{s}x{s}"),
+            || a.matmul_serial(&b),
+            || a.matmul(&b),
+        );
+    }
+
+    // Attention-scores shape: seq=128, head_dim=64 → q @ kᵀ.
+    let q = random_matrix(&mut rng, 128, 64);
+    let kmat = random_matrix(&mut rng, 128, 64);
+    push_sweep(
+        &mut entries,
+        "matmul_transpose_b",
+        "128x64x128".to_string(),
+        || q.matmul_transpose_b_serial(&kmat),
+        || q.matmul_transpose_b(&kmat),
+    );
+
+    for &(r, c) in &[(256usize, 256usize), (1024, 256)] {
+        let base = random_matrix(&mut rng, r, c);
+        push_sweep(
+            &mut entries,
+            "softmax_rows",
+            format!("{r}x{c}"),
+            || {
+                let mut m = base.clone();
+                m.softmax_rows_inplace_serial();
+                m
+            },
+            || {
+                let mut m = base.clone();
+                m.softmax_rows_inplace();
+                m
+            },
+        );
+    }
+
+    // Single-head attention core: softmax(q kᵀ / √d) @ v.
+    let v = random_matrix(&mut rng, 128, 64);
+    let scale = 1.0 / (64f32).sqrt();
+    push_sweep(
+        &mut entries,
+        "attention_core",
+        "seq128_d64".to_string(),
+        || {
+            let mut scores = q.matmul_transpose_b_serial(&kmat);
+            scores.scale_assign(scale);
+            scores.softmax_rows_inplace_serial();
+            scores.matmul_serial(&v)
+        },
+        || {
+            let mut scores = q.matmul_transpose_b(&kmat);
+            scores.scale_assign(scale);
+            scores.softmax_rows_inplace();
+            scores.matmul(&v)
+        },
+    );
+
+    let mut json = String::from("{\n  \"schema\": \"preqr-bench-kernels-v1\",\n");
+    json.push_str("  \"generated_by\": \"crates/bench/src/bin/bench_kernels.rs\",\n");
+    json.push_str(&format!(
+        "  \"host_available_parallelism\": {},\n  \"entries\": [\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    ));
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"method\": \"{}\", \"shape\": \"{}\", \"variant\": \"{}\", \
+             \"threads\": {}, \"ns_per_iter\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            e.method,
+            e.shape,
+            e.variant,
+            e.threads,
+            e.ns_per_iter,
+            e.speedup,
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("wrote results/BENCH_kernels.json ({} entries)", entries.len());
+}

@@ -12,27 +12,47 @@ fn main() {
     let tests = ctx.test_workloads();
     let target = if std::env::var("COST").is_ok() { Target::Cost } else { Target::Cardinality };
     let pred = train_preqr(
-        &ctx.db, &model, Some(&ctx.sampler), &train, &valid,
-        target, ctx.sizes.est_epochs, 7, "PreQRCard",
+        &ctx.db,
+        &model,
+        Some(&ctx.sampler),
+        &train,
+        &valid,
+        target,
+        ctx.sizes.est_epochs,
+        7,
+        "PreQRCard",
     );
-    println!("val history: {:?}", pred.history.iter().map(|v| (v*100.0).round()/100.0).collect::<Vec<_>>());
+    println!(
+        "val history: {:?}",
+        pred.history.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
     let train_fit = evaluate(&pred, target, &train[..200]);
     println!("train-fit  median {:>7.2} mean {:>8.2}", train_fit.median, train_fit.mean);
     for (name, w) in &tests {
         let s = evaluate(&pred, target, w);
-        println!("{name:<10} median {:>7.2} 90th {:>8.2} mean {:>8.2} max {:>9.2}", s.median, s.p90, s.mean, s.max);
+        println!(
+            "{name:<10} median {:>7.2} 90th {:>8.2} mean {:>8.2} max {:>9.2}",
+            s.median, s.p90, s.mean, s.max
+        );
     }
     if std::env::var("BASELINES").is_err() {
         return;
     }
-    let lstm = train_lstm(&ctx.db, Some(&ctx.sampler), &train, &valid, target, ctx.sizes.est_epochs, 7);
+    let lstm =
+        train_lstm(&ctx.db, Some(&ctx.sampler), &train, &valid, target, ctx.sizes.est_epochs, 7);
     for (name, w) in &tests {
         let s = evaluate(&lstm, target, w);
-        println!("LSTM {name:<10} median {:>7.2} mean {:>8.2} max {:>9.2}", s.median, s.mean, s.max);
+        println!(
+            "LSTM {name:<10} median {:>7.2} mean {:>8.2} max {:>9.2}",
+            s.median, s.mean, s.max
+        );
     }
     let nc = NeuroCardPredictor::new(&ctx.db, ctx.sizes.nc_samples, 7);
     for (name, w) in &tests {
         let s = evaluate(&nc, target, w);
-        println!("NC   {name:<10} median {:>7.2} mean {:>8.2} max {:>9.2}", s.median, s.mean, s.max);
+        println!(
+            "NC   {name:<10} median {:>7.2} mean {:>8.2} max {:>9.2}",
+            s.median, s.mean, s.max
+        );
     }
 }

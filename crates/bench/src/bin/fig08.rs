@@ -18,10 +18,22 @@ fn main() {
     for target in [Target::Cardinality, Target::Cost] {
         println!("\n=== Figure 8 ({target:?}): mean validation q-error per epoch ===");
         let series: Vec<(String, Vec<f64>)> = vec![
-            ("MSCN".into(), train_mscn(&ctx.db, sampler, &train, &valid, target, epochs, 7).history),
-            ("NS-MSCN".into(), train_mscn(&ctx.db, None, &train, &valid, target, epochs, 7).history),
-            ("LSTM".into(), train_lstm(&ctx.db, sampler, &train, &valid, target, epochs, 7).history),
-            ("NS-LSTM".into(), train_lstm(&ctx.db, None, &train, &valid, target, epochs, 7).history),
+            (
+                "MSCN".into(),
+                train_mscn(&ctx.db, sampler, &train, &valid, target, epochs, 7).history,
+            ),
+            (
+                "NS-MSCN".into(),
+                train_mscn(&ctx.db, None, &train, &valid, target, epochs, 7).history,
+            ),
+            (
+                "LSTM".into(),
+                train_lstm(&ctx.db, sampler, &train, &valid, target, epochs, 7).history,
+            ),
+            (
+                "NS-LSTM".into(),
+                train_lstm(&ctx.db, None, &train, &valid, target, epochs, 7).history,
+            ),
             (
                 "PreQR".into(),
                 train_preqr(&ctx.db, &model, sampler, &train, &valid, target, epochs, 7, "PreQR")

@@ -6,9 +6,7 @@
 
 use preqr::PreqrConfig;
 use preqr_bench::Ctx;
-use preqr_tasks::estimation::{
-    train_lstm, train_mscn, train_preqr, Estimator, PgBaseline, Target,
-};
+use preqr_tasks::estimation::{train_lstm, train_mscn, train_preqr, Estimator, PgBaseline, Target};
 use preqr_tasks::metrics::qerror;
 
 fn box_stats(errs: &mut Vec<f64>) -> (f64, f64, f64, f64, f64) {
@@ -33,7 +31,15 @@ fn main() {
         let mscn = train_mscn(&ctx.db, sampler, &train, &valid, target, ctx.sizes.est_epochs, 7);
         let lstm = train_lstm(&ctx.db, sampler, &train, &valid, target, ctx.sizes.est_epochs, 7);
         let preqr = train_preqr(
-            &ctx.db, &model, sampler, &train, &valid, target, ctx.sizes.est_epochs, 7, "PreQR",
+            &ctx.db,
+            &model,
+            sampler,
+            &train,
+            &valid,
+            target,
+            ctx.sizes.est_epochs,
+            7,
+            "PreQR",
         );
         println!("\n=== Figure 9 ({target:?}): q-error spread on JOB-light ===");
         println!(
@@ -42,14 +48,17 @@ fn main() {
         );
         let methods: Vec<&dyn Estimator> = vec![&pg, &mscn, &lstm, &preqr];
         for m in methods {
-            let mut errs: Vec<f64> = job_light
-                .iter()
-                .map(|lq| qerror(m.predict(&lq.query), target.truth(lq)))
-                .collect();
+            let mut errs: Vec<f64> =
+                job_light.iter().map(|lq| qerror(m.predict(&lq.query), target.truth(lq))).collect();
             let (min, q1, med, q3, max) = box_stats(&mut errs);
             println!(
                 "{:<10} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>9.2}",
-                m.name(), min, q1, med, q3, max
+                m.name(),
+                min,
+                q1,
+                med,
+                q3,
+                max
             );
         }
     }

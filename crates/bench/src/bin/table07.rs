@@ -54,13 +54,9 @@ fn clustering_block() {
         SimilarityMethod::Preqr(&model),
     ];
     for m in &methods {
-        let b: Vec<f64> =
-            datasets.iter().map(|ds| betacv_of(m, &ds.queries, &ds.labels)).collect();
+        let b: Vec<f64> = datasets.iter().map(|ds| betacv_of(m, &ds.queries, &ds.labels)).collect();
         let ndcg = ch_ndcg(m, &ch, ch.len() / 3);
-        println!(
-            "{:<12} {:>11.3} {:>9.3} {:>11.3} {:>8.3}",
-            m.name(), b[0], b[1], b[2], ndcg
-        );
+        println!("{:<12} {:>11.3} {:>9.3} {:>11.3} {:>8.3}", m.name(), b[0], b[1], b[2], ndcg);
     }
     println!("paper:       Aouiche .577/.923/.893/.131  Aligon .535/.799/.898/.120  Makiyama .665/.897/.879/.214");
     println!("             One-hot .565/.852/.883/.191  Seq2Seq .459/.761/.801/.584  PreQR .387/.622/.752/.710");
@@ -93,8 +89,7 @@ fn generation_block(ctx: &Ctx) {
     let wiki = corpus(TextStyle::WikiSql, n, 5);
     let stack = corpus(TextStyle::StackOverflow, n, 6);
     let ch_db = chdb::generate(ChConfig { customers: 200, seed: 7 });
-    let corpus_q: Vec<Query> =
-        wiki.iter().chain(stack.iter()).map(|p| p.query.clone()).collect();
+    let corpus_q: Vec<Query> = wiki.iter().chain(stack.iter()).map(|p| p.query.clone()).collect();
     let buckets = value_buckets_from_db(&ch_db, 10);
     let mut preqr = SqlBert::new(&corpus_q, ch_db.schema(), buckets, PreqrConfig::small());
     eprintln!("[table07] pre-training PreQR for generation…");
@@ -123,7 +118,9 @@ fn generation_block(ctx: &Ctx) {
         let bs = ms.evaluate(&stack[split_s..]);
         println!("{:<14} {:>9.3} {:>14.3}", name, bw, bs);
     }
-    println!("paper BLEU %: Seq2Seq 20.9/13.3, +cp 24.1/16.6, +cp+lv 26.3/18.4, Tree2Seq 26.7/17.0,");
+    println!(
+        "paper BLEU %: Seq2Seq 20.9/13.3, +cp 24.1/16.6, +cp+lv 26.3/18.4, Tree2Seq 26.7/17.0,"
+    );
     println!("              Graph2Seq 29.3/19.9, PreQR2Seq 32.1/21.1");
 }
 

@@ -30,12 +30,26 @@ fn main() {
         for (name, config) in &variants {
             let model = ctx.pretrained(&format!("abl_{name}"), *config);
             let pred = train_preqr(
-                &ctx.db, &model, Some(&ctx.sampler), &train, &valid, target,
-                ctx.sizes.est_epochs, 7, name,
+                &ctx.db,
+                &model,
+                Some(&ctx.sampler),
+                &train,
+                &valid,
+                target,
+                ctx.sizes.est_epochs,
+                7,
+                name,
             );
             let jpred = train_preqr(
-                &ctx.db, &model, Some(&ctx.sampler), &jtrain, &jvalid, target,
-                ctx.sizes.est_epochs, 7, name,
+                &ctx.db,
+                &model,
+                Some(&ctx.sampler),
+                &jtrain,
+                &jvalid,
+                target,
+                ctx.sizes.est_epochs,
+                7,
+                name,
             );
             let means: Vec<f64> = tests
                 .iter()

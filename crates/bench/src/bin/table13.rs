@@ -12,8 +12,7 @@ fn main() {
     let ctx = Ctx::build();
     // CPU-scaled sweep mirroring the paper's (2,256,4)/(4,256,4)/
     // (6,256,8)/(12,256,8) ladder.
-    let ladder: Vec<(usize, usize, usize)> =
-        vec![(1, 32, 2), (2, 64, 4), (3, 64, 4), (4, 96, 4)];
+    let ladder: Vec<(usize, usize, usize)> = vec![(1, 32, 2), (2, 64, 4), (3, 64, 4), (4, 96, 4)];
     let (train, valid) = ctx.estimation_train();
     let tests = ctx.test_workloads();
     println!("=== Table 13: ablation over model size (cost estimation, mean q-error) ===");
@@ -25,8 +24,15 @@ fn main() {
         let config = PreqrConfig { layers: l, d_model: h, heads: a, ..PreqrConfig::small() };
         let model = ctx.pretrained(&format!("size_{l}_{h}_{a}"), config);
         let pred = train_preqr(
-            &ctx.db, &model, Some(&ctx.sampler), &train, &valid, Target::Cost,
-            ctx.sizes.est_epochs, 7, "PreQRCost",
+            &ctx.db,
+            &model,
+            Some(&ctx.sampler),
+            &train,
+            &valid,
+            Target::Cost,
+            ctx.sizes.est_epochs,
+            7,
+            "PreQRCost",
         );
         let means: Vec<f64> =
             tests.iter().map(|(_, w)| evaluate(&pred, Target::Cost, w).mean).collect();

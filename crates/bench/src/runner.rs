@@ -47,8 +47,7 @@ pub fn run_estimation(
     eprintln!("[run] training LSTM…");
     let lstm = train_lstm(&ctx.db, sampler, train, valid, target, epochs, 7);
     eprintln!("[run] fine-tuning PreQR…");
-    let preqr =
-        train_preqr(&ctx.db, model, sampler, train, valid, target, epochs, 7, preqr_label);
+    let preqr = train_preqr(&ctx.db, model, sampler, train, valid, target, epochs, 7, preqr_label);
     let neurocard = (rows.neurocard && target == Target::Cardinality)
         .then(|| NeuroCardPredictor::new(&ctx.db, ctx.sizes.nc_samples, 7));
     let corrected = (rows.neurocard && target == Target::Cardinality).then(|| {

@@ -256,11 +256,7 @@ impl InputEmbedding {
             .tokens
             .iter()
             .enumerate()
-            .map(|(i, t)| {
-                overrides
-                    .and_then(|o| o.get(i).copied().flatten())
-                    .unwrap_or(t.vocab_id)
-            })
+            .map(|(i, t)| overrides.and_then(|o| o.get(i).copied().flatten()).unwrap_or(t.vocab_id))
             .collect();
         let state_ids: Vec<usize> = pq.tokens.iter().map(|t| t.state_id).collect();
         let pos_ids: Vec<usize> = (0..n).map(|i| i.min(self.config.max_seq - 1)).collect();
@@ -419,10 +415,8 @@ mod tests {
         let ie = build();
         let sch = schema();
         let tok = |y: i64| {
-            let q = parse(&format!(
-                "SELECT COUNT(*) FROM title t WHERE t.production_year > {y}"
-            ))
-            .unwrap();
+            let q = parse(&format!("SELECT COUNT(*) FROM title t WHERE t.production_year > {y}"))
+                .unwrap();
             ie.prepare(&q, &sch)
                 .tokens
                 .iter()
@@ -465,8 +459,7 @@ mod tests {
         let clean = ie.forward(&pq, false, &mut rng).value_clone();
         let mut ov: Vec<Option<usize>> = vec![None; pq.len()];
         ov[1] = Some(ie.mask_id());
-        let masked =
-            ie.forward_with_override(&pq, Some(&ov), false, &mut rng).value_clone();
+        let masked = ie.forward_with_override(&pq, Some(&ov), false, &mut rng).value_clone();
         assert_ne!(clean.row(1), masked.row(1), "masked row must change");
         assert_eq!(clean.row(0), masked.row(0), "other rows unchanged");
     }

@@ -39,9 +39,7 @@ impl Schema2Graph {
         let vertex_tokens: Vec<Vec<usize>> = graph
             .vertices()
             .iter()
-            .map(|v| {
-                v.name_tokens.iter().map(|t| name_vocab.add(t)).collect::<Vec<usize>>()
-            })
+            .map(|v| v.name_tokens.iter().map(|t| name_vocab.add(t)).collect::<Vec<usize>>())
             .collect();
         let adjacency = build_adjacency(&graph);
         let d = config.d_model;
@@ -69,12 +67,7 @@ impl Schema2Graph {
             .graph
             .vertices()
             .iter()
-            .map(|v| {
-                v.name_tokens
-                    .iter()
-                    .map(|t| self.name_vocab.add(t))
-                    .collect::<Vec<usize>>()
-            })
+            .map(|v| v.name_tokens.iter().map(|t| self.name_vocab.add(t)).collect::<Vec<usize>>())
             .collect();
         // New name tokens may have grown the vocabulary beyond the
         // embedding table; clamp at lookup time instead of resizing, to
@@ -154,10 +147,7 @@ mod tests {
         ));
         s.add_table(Table::new(
             "movie_companies",
-            vec![
-                Column::primary("id", ColumnType::Int),
-                Column::new("movie_id", ColumnType::Int),
-            ],
+            vec![Column::primary("id", ColumnType::Int), Column::new("movie_id", ColumnType::Int)],
         ));
         s.add_foreign_key(ForeignKey {
             from_table: "movie_companies".into(),

@@ -144,8 +144,7 @@ impl SqlBert {
         let n = pq.len();
         let mut overrides: Vec<Option<usize>> = vec![None; n];
         let mut targets: Vec<usize> = vec![usize::MAX; n];
-        let candidates: Vec<usize> =
-            (0..n).filter(|&i| pq.tokens[i].maskable).collect();
+        let candidates: Vec<usize> = (0..n).filter(|&i| pq.tokens[i].maskable).collect();
         if candidates.is_empty() {
             return (overrides, targets);
         }
@@ -182,8 +181,7 @@ impl SqlBert {
     ) -> (Tensor, usize, usize) {
         let (overrides, targets) = self.mlm_corrupt(pq, rng);
         let reps = self.forward(pq, Some(&overrides), nodes, true, rng);
-        let masked: Vec<usize> =
-            (0..targets.len()).filter(|&i| targets[i] != usize::MAX).collect();
+        let masked: Vec<usize> = (0..targets.len()).filter(|&i| targets[i] != usize::MAX).collect();
         if masked.is_empty() {
             return (ops::sum_all(&ops::scale(&reps, 0.0)), 0, 0);
         }
@@ -219,8 +217,7 @@ impl SqlBert {
         let total_steps = (epochs * corpus.len().max(1) / 8 + 1) as u64;
         let schedule = WarmupLinearSchedule::new(lr, total_steps / 20 + 1, total_steps);
         let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
-        let prepared: Vec<PreparedQuery> =
-            corpus.iter().map(|q| self.prepare(q)).collect();
+        let prepared: Vec<PreparedQuery> = corpus.iter().map(|q| self.prepare(q)).collect();
         let mut stats = Vec::with_capacity(epochs);
         let mut step: u64 = 0;
         for epoch in 0..epochs {
@@ -391,8 +388,7 @@ impl SqlBert {
     /// # Errors
     /// I/O failures, or an architecture mismatch.
     pub fn load(&self, path: impl AsRef<std::path::Path>) -> Result<(), String> {
-        let loaded =
-            preqr_nn::serialize::load_from_file(path).map_err(|e| e.to_string())?;
+        let loaded = preqr_nn::serialize::load_from_file(path).map_err(|e| e.to_string())?;
         preqr_nn::serialize::apply_params(&self.named_params("preqr"), &loaded)?;
         Ok(())
     }
@@ -448,10 +444,8 @@ mod tests {
         let mut out = Vec::new();
         for y in [1990, 2000, 2005, 2010] {
             out.push(
-                parse(&format!(
-                    "SELECT COUNT(*) FROM title t WHERE t.production_year > {y}"
-                ))
-                .unwrap(),
+                parse(&format!("SELECT COUNT(*) FROM title t WHERE t.production_year > {y}"))
+                    .unwrap(),
             );
             out.push(
                 parse(&format!(
@@ -491,8 +485,7 @@ mod tests {
         let pq = m.prepare(&corpus()[0]);
         let mut rng = StdRng::seed_from_u64(5);
         let (overrides, targets) = m.mlm_corrupt(&pq, &mut rng);
-        let masked: Vec<usize> =
-            (0..targets.len()).filter(|&i| targets[i] != usize::MAX).collect();
+        let masked: Vec<usize> = (0..targets.len()).filter(|&i| targets[i] != usize::MAX).collect();
         assert!(!masked.is_empty(), "at least one position must be masked");
         for &i in &masked {
             assert!(pq.tokens[i].maskable, "masked a non-maskable position {i}");
@@ -600,8 +593,7 @@ mod tests {
     fn parameter_count_is_substantial_and_named() {
         let m = model();
         assert!(m.num_parameters() > 10_000);
-        let names: Vec<String> =
-            m.named_params("preqr").into_iter().map(|(n, _)| n).collect();
+        let names: Vec<String> = m.named_params("preqr").into_iter().map(|(n, _)| n).collect();
         assert!(names.iter().any(|n| n.contains("input.tok")));
         assert!(names.iter().any(|n| n.contains("schema2graph.gcn0")));
         assert!(names.iter().any(|n| n.contains("layer0.g_attn")));

@@ -41,13 +41,9 @@ impl UpdateCase {
     /// Paper's description (Table 5).
     pub fn description(&self) -> &'static str {
         match self {
-            UpdateCase::DataDistribution => {
-                "Incremental learning for the last layer of SQLBERT"
-            }
+            UpdateCase::DataDistribution => "Incremental learning for the last layer of SQLBERT",
             UpdateCase::SchemaChange => "Incremental Learning for the Schema2Graph part",
-            UpdateCase::QueryPatterns => {
-                "Incremental learning for the Input Embedding module"
-            }
+            UpdateCase::QueryPatterns => "Incremental learning for the Input Embedding module",
             UpdateCase::FromScratch => "Train from scratch",
         }
     }
@@ -115,8 +111,7 @@ pub fn update_data_distribution(
 ) -> UpdateReport {
     let t0 = Instant::now();
     let params = model.last_layer_params();
-    let (trained_params, final_loss) =
-        train_subset(model, params, samples, steps, 1e-3, 11);
+    let (trained_params, final_loss) = train_subset(model, params, samples, steps, 1e-3, 11);
     UpdateReport {
         case: UpdateCase::DataDistribution,
         seconds: t0.elapsed().as_secs_f64(),
@@ -136,8 +131,7 @@ pub fn update_schema(
     let t0 = Instant::now();
     model.update_schema(new_schema);
     let params = model.schema_params();
-    let (trained_params, final_loss) =
-        train_subset(model, params, samples, steps, 1e-3, 12);
+    let (trained_params, final_loss) = train_subset(model, params, samples, steps, 1e-3, 12);
     UpdateReport {
         case: UpdateCase::SchemaChange,
         seconds: t0.elapsed().as_secs_f64(),
@@ -159,8 +153,7 @@ pub fn update_query_patterns(
         model.input_mut().automaton_mut().add_template(&keys);
     }
     let params = model.input_params();
-    let (trained_params, final_loss) =
-        train_subset(model, params, new_queries, steps, 1e-3, 13);
+    let (trained_params, final_loss) = train_subset(model, params, new_queries, steps, 1e-3, 13);
     UpdateReport {
         case: UpdateCase::QueryPatterns,
         seconds: t0.elapsed().as_secs_f64(),
@@ -256,10 +249,7 @@ mod tests {
     fn case2_rebuilds_graph_and_trains_schema_params() {
         let mut m = model();
         let mut s2 = schema();
-        s2.add_table(Table::new(
-            "movie_companies",
-            vec![Column::primary("id", ColumnType::Int)],
-        ));
+        s2.add_table(Table::new("movie_companies", vec![Column::primary("id", ColumnType::Int)]));
         let before = m.schema2graph().unwrap().graph().len();
         let r = update_schema(&mut m, &s2, &corpus(), 2);
         assert!(m.schema2graph().unwrap().graph().len() > before);
@@ -269,8 +259,7 @@ mod tests {
     #[test]
     fn case3_extends_automaton_for_new_patterns() {
         let mut m = model();
-        let new_q =
-            parse("SELECT kind_id FROM title GROUP BY kind_id ORDER BY kind_id").unwrap();
+        let new_q = parse("SELECT kind_id FROM title GROUP BY kind_id ORDER BY kind_id").unwrap();
         // New pattern is initially unknown.
         let cov_before = m.prepare(&new_q).structure_coverage;
         let r = update_query_patterns(&mut m, std::slice::from_ref(&new_q), 2);

@@ -1,0 +1,76 @@
+//! End-to-end determinism smoke test: pre-training must produce the exact
+//! same epoch-loss sequence regardless of `PREQR_THREADS`, because every
+//! parallel kernel in `preqr-nn` is bit-identical to its serial reference
+//! (work is partitioned by output rows, never by reduction order).
+
+use preqr::{PreqrConfig, SqlBert, ValueBuckets};
+use preqr_nn::parallel;
+use preqr_schema::{Column, ColumnType, Schema, Table};
+use preqr_sql::parser::parse;
+use preqr_sql::Query;
+
+fn schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_table(Table::new(
+        "title",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("production_year", ColumnType::Int),
+            Column::new("kind_id", ColumnType::Int),
+        ],
+    ));
+    s
+}
+
+fn corpus() -> Vec<Query> {
+    (0..8)
+        .map(|i| {
+            parse(&format!(
+                "SELECT COUNT(*) FROM title t WHERE t.production_year > {} AND t.kind_id = {}",
+                1960 + i * 5,
+                1 + i % 4
+            ))
+            .unwrap()
+        })
+        .collect()
+}
+
+fn model() -> SqlBert {
+    let mut b = ValueBuckets::new(8);
+    b.insert("title", "production_year", (1930..2020).map(f64::from).collect());
+    b.insert("title", "kind_id", (1..8).map(f64::from).collect());
+    SqlBert::new(&corpus(), &schema(), b, PreqrConfig::test())
+}
+
+fn pretrain_losses(threads: usize) -> Vec<f64> {
+    parallel::set_thread_override(Some(threads));
+    let mut m = model();
+    let stats = m.pretrain(&corpus(), 2, 1e-3);
+    parallel::set_thread_override(None);
+    stats.into_iter().map(|s| s.loss).collect()
+}
+
+#[test]
+fn pretrain_loss_sequence_is_thread_count_invariant() {
+    let single = pretrain_losses(1);
+    let quad = pretrain_losses(4);
+    assert!(single.iter().all(|l| l.is_finite()), "losses must be finite: {single:?}");
+    // Exact f64 equality — not approximate. Thread count must not change
+    // a single bit of the training trajectory.
+    assert_eq!(single, quad, "epoch losses diverged between 1 and 4 threads");
+}
+
+#[test]
+fn env_var_sizing_is_equivalent_to_override() {
+    // `PREQR_THREADS` is re-read on every dispatch, so setting it at
+    // runtime behaves exactly like the programmatic override.
+    std::env::set_var("PREQR_THREADS", "3");
+    let from_env = {
+        let mut m = model();
+        let stats = m.pretrain(&corpus(), 1, 1e-3);
+        stats.into_iter().map(|s| s.loss).collect::<Vec<_>>()
+    };
+    std::env::remove_var("PREQR_THREADS");
+    let from_override = pretrain_losses(3);
+    assert_eq!(from_env, from_override);
+}

@@ -93,11 +93,7 @@ fn mlm_predictions_become_confident_on_a_memorizable_corpus() {
     let mut m = model();
     let stats = m.pretrain(&corpus(), 10, 5e-3);
     let last = stats.last().unwrap();
-    assert!(
-        last.accuracy > 0.8,
-        "a 12-query corpus should be memorized: acc {}",
-        last.accuracy
-    );
+    assert!(last.accuracy > 0.8, "a 12-query corpus should be memorized: acc {}", last.accuracy);
 }
 
 #[test]

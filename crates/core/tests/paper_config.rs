@@ -17,10 +17,7 @@ fn schema() -> Schema {
     ));
     s.add_table(Table::new(
         "movie_companies",
-        vec![
-            Column::primary("id", ColumnType::Int),
-            Column::new("movie_id", ColumnType::Int),
-        ],
+        vec![Column::primary("id", ColumnType::Int), Column::new("movie_id", ColumnType::Int)],
     ));
     s.add_foreign_key(ForeignKey {
         from_table: "movie_companies".into(),
@@ -56,9 +53,8 @@ fn paper_configuration_builds_and_encodes() {
 
 #[test]
 fn encoding_is_deterministic_across_identical_builds() {
-    let corpus = vec![
-        parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 2000").unwrap(),
-    ];
+    let corpus =
+        vec![parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 2000").unwrap()];
     let mut buckets = ValueBuckets::new(6);
     buckets.insert("title", "production_year", (1930..2020).map(f64::from).collect());
     let a = SqlBert::new(&corpus, &schema(), buckets.clone(), PreqrConfig::test());

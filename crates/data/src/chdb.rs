@@ -123,74 +123,91 @@ pub fn generate(config: ChConfig) -> Database {
     let mut db = Database::new(ch_schema());
     let districts = 10usize;
     for d in 0..districts {
-        db.insert("district", &[
-            Datum::Int(d as i64 + 1),
-            Datum::Str(format!("district-{d}")),
-            Datum::Float(0.05 + 0.01 * d as f64),
-        ]);
+        db.insert(
+            "district",
+            &[
+                Datum::Int(d as i64 + 1),
+                Datum::Str(format!("district-{d}")),
+                Datum::Float(0.05 + 0.01 * d as f64),
+            ],
+        );
     }
     let items = config.customers / 2 + 20;
     for i in 0..items {
-        db.insert("item", &[
-            Datum::Int(i as i64 + 1),
-            Datum::Str(format!("item-{i:05}")),
-            Datum::Float(1.0 + rng.random::<f64>() * 99.0),
-            Datum::Str(CATEGORIES[i % CATEGORIES.len()].to_string()),
-        ]);
+        db.insert(
+            "item",
+            &[
+                Datum::Int(i as i64 + 1),
+                Datum::Str(format!("item-{i:05}")),
+                Datum::Float(1.0 + rng.random::<f64>() * 99.0),
+                Datum::Str(CATEGORIES[i % CATEGORIES.len()].to_string()),
+            ],
+        );
     }
     for c in 0..config.customers {
-        db.insert("customer", &[
-            Datum::Int(c as i64 + 1),
-            Datum::Int(rng.random_range(1..=districts as i64)),
-            Datum::Str(format!("cust-{c:05}")),
-            Datum::Float(-100.0 + rng.random::<f64>() * 1000.0),
-            Datum::Float(rng.random::<f64>() * 0.3),
-        ]);
+        db.insert(
+            "customer",
+            &[
+                Datum::Int(c as i64 + 1),
+                Datum::Int(rng.random_range(1..=districts as i64)),
+                Datum::Str(format!("cust-{c:05}")),
+                Datum::Float(-100.0 + rng.random::<f64>() * 1000.0),
+                Datum::Float(rng.random::<f64>() * 0.3),
+            ],
+        );
     }
     let (mut order_id, mut ol_id) = (0i64, 0i64);
     for c in 0..config.customers {
         for _ in 0..rng.random_range(0..5) {
             order_id += 1;
-            db.insert("orders", &[
-                Datum::Int(order_id),
-                Datum::Int(c as i64 + 1),
-                Datum::Int(rng.random_range(20180101..20240101)),
-                Datum::Int(rng.random_range(0..10)),
-            ]);
+            db.insert(
+                "orders",
+                &[
+                    Datum::Int(order_id),
+                    Datum::Int(c as i64 + 1),
+                    Datum::Int(rng.random_range(20180101..20240101)),
+                    Datum::Int(rng.random_range(0..10)),
+                ],
+            );
             for _ in 0..rng.random_range(1..6) {
                 ol_id += 1;
                 let item = rng.random_range(1..=items as i64);
                 let qty = rng.random_range(1..10);
-                db.insert("order_line", &[
-                    Datum::Int(ol_id),
-                    Datum::Int(order_id),
-                    Datum::Int(item),
-                    Datum::Int(qty),
-                    Datum::Float(qty as f64 * (1.0 + rng.random::<f64>() * 50.0)),
-                ]);
+                db.insert(
+                    "order_line",
+                    &[
+                        Datum::Int(ol_id),
+                        Datum::Int(order_id),
+                        Datum::Int(item),
+                        Datum::Int(qty),
+                        Datum::Float(qty as f64 * (1.0 + rng.random::<f64>() * 50.0)),
+                    ],
+                );
             }
         }
     }
     let users = config.customers / 4 + 10;
     for u in 0..users {
         // Rank is skewed: most users are `usr`.
-        let rank = if u % 10 == 0 {
-            RANKS[u % 2]
-        } else {
-            RANKS[2 + u % 2]
-        };
-        db.insert("user", &[
-            Datum::Int(u as i64 + 1),
-            Datum::Str(format!("user-{u:04}")),
-            Datum::Str(rank.to_string()),
-        ]);
+        let rank = if u % 10 == 0 { RANKS[u % 2] } else { RANKS[2 + u % 2] };
+        db.insert(
+            "user",
+            &[
+                Datum::Int(u as i64 + 1),
+                Datum::Str(format!("user-{u:04}")),
+                Datum::Str(rank.to_string()),
+            ],
+        );
         for _ in 0..rng.random_range(1..4) {
             let id = db.row_count("accounts") as i64 + 1;
-            db.insert("accounts", &[
-                Datum::Int(id),
-                Datum::Int(u as i64 + 1),
-                Datum::Float(rng.random::<f64>() * 5000.0),
-            ]);
+            db.insert(
+                "accounts",
+                &[
+                    Datum::Int(id),
+                    Datum::Int(u as i64 + 1),
+                    Datum::Float(rng.random::<f64>() * 5000.0),
+                ],
+            );
         }
     }
     db

@@ -220,8 +220,7 @@ fn ch_seed(rng: &mut StdRng) -> Query {
     let balance = rng.random_range(-50..600);
     let qty = rng.random_range(2..8);
     let date = 20180601 + rng.random_range(0..5) * 10000;
-    let cat_pairs =
-        [("food", "toys"), ("books", "media"), ("tools", "garden"), ("food", "books")];
+    let cat_pairs = [("food", "toys"), ("books", "media"), ("tools", "garden"), ("food", "books")];
     let (c1, c2) = cat_pairs[rng.random_range(0..cat_pairs.len())];
     match rng.random_range(0..6) {
         0 => q(&format!("SELECT id FROM customer WHERE balance > {balance}")),
@@ -235,10 +234,7 @@ fn ch_seed(rng: &mut StdRng) -> Query {
             "SELECT o.id FROM orders o WHERE o.customer_id IN \
              (SELECT c.id FROM customer c WHERE c.balance > {balance})"
         )),
-        _ => q(&format!(
-            "SELECT id FROM order_line WHERE amount > {}",
-            rng.random_range(10..250)
-        )),
+        _ => q(&format!("SELECT id FROM order_line WHERE amount > {}", rng.random_range(10..250))),
     }
 }
 
@@ -287,9 +283,9 @@ pub fn ch_workload(db: &Database, n_seeds: usize, seed: u64) -> ChWorkload {
     for i in 0..n {
         overlap[i][i] = 1.0;
         for j in i + 1..n {
-            let common = ids[i].iter().find_map(|(t, v)| {
-                ids[j].iter().find(|(u, _)| u == t).map(|(_, w)| (v, w))
-            });
+            let common = ids[i]
+                .iter()
+                .find_map(|(t, v)| ids[j].iter().find(|(u, _)| u == t).map(|(_, w)| (v, w)));
             let o = match common {
                 Some((a, b)) => jaccard_sorted(a, b),
                 None => 0.0,
@@ -415,8 +411,7 @@ mod tests {
             }
         }
         assert!(counts.iter().all(|&c| c > 0), "all three pair classes occur: {counts:?}");
-        let ir_mean: f64 =
-            irrel_overlaps.iter().sum::<f64>() / irrel_overlaps.len().max(1) as f64;
+        let ir_mean: f64 = irrel_overlaps.iter().sum::<f64>() / irrel_overlaps.len().max(1) as f64;
         assert!(ir_mean < 0.5, "irrelevant pairs should overlap weakly, got {ir_mean}");
     }
 

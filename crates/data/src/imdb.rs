@@ -70,10 +70,7 @@ pub fn imdb_schema() -> Schema {
     ));
     s.add_table(Table::new(
         "keyword",
-        vec![
-            Column::primary("id", ColumnType::Int),
-            Column::new("keyword", ColumnType::Varchar),
-        ],
+        vec![Column::primary("id", ColumnType::Int), Column::new("keyword", ColumnType::Varchar)],
     ));
     s.add_table(Table::new(
         "title",
@@ -163,12 +160,30 @@ const KINDS: [&str; 7] =
     ["movie", "tv series", "tv movie", "video movie", "tv mini series", "video game", "episode"];
 const COUNTRIES: [&str; 8] = ["us", "gb", "de", "fr", "jp", "in", "cn", "br"];
 const INFO_KINDS: [&str; 10] = [
-    "genres", "languages", "runtimes", "color info", "countries", "sound mix", "rating",
-    "votes", "budget", "release dates",
+    "genres",
+    "languages",
+    "runtimes",
+    "color info",
+    "countries",
+    "sound mix",
+    "rating",
+    "votes",
+    "budget",
+    "release dates",
 ];
 const GENRES: [&str; 12] = [
-    "drama", "comedy", "action", "thriller", "documentary", "horror", "romance", "animation",
-    "crime", "adventure", "fantasy", "mystery",
+    "drama",
+    "comedy",
+    "action",
+    "thriller",
+    "documentary",
+    "horror",
+    "romance",
+    "animation",
+    "crime",
+    "adventure",
+    "fantasy",
+    "mystery",
 ];
 
 /// Zipf-like index in `0..n`: small indices are much more likely.
@@ -193,18 +208,18 @@ pub fn generate(config: ImdbConfig) -> Database {
     for i in 0..config.companies {
         // Company country correlates with id block.
         let country = COUNTRIES[(i * COUNTRIES.len()) / config.companies.max(1)];
-        db.insert("company_name", &[
-            Datum::Int(i as i64 + 1),
-            Datum::Str(format!("{country} studio {i:04}")),
-            Datum::Str(country.to_string()),
-        ]);
+        db.insert(
+            "company_name",
+            &[
+                Datum::Int(i as i64 + 1),
+                Datum::Str(format!("{country} studio {i:04}")),
+                Datum::Str(country.to_string()),
+            ],
+        );
     }
     for i in 0..config.keywords {
         let theme = GENRES[i % GENRES.len()];
-        db.insert("keyword", &[
-            Datum::Int(i as i64 + 1),
-            Datum::Str(format!("{theme}-kw-{i:04}")),
-        ]);
+        db.insert("keyword", &[Datum::Int(i as i64 + 1), Datum::Str(format!("{theme}-kw-{i:04}"))]);
     }
 
     let (mut mc_id, mut mi_id, mut mii_id, mut mk_id, mut ci_id) = (0i64, 0i64, 0i64, 0i64, 0i64);
@@ -228,14 +243,17 @@ pub fn generate(config: ImdbConfig) -> Database {
         let season = if is_series { rng.random_range(1..=15) } else { 0 };
         let episode = if is_series { rng.random_range(1..=24) } else { 0 };
         let genre = GENRES[zipf(&mut rng, GENRES.len())];
-        db.insert("title", &[
-            Datum::Int(id),
-            Datum::Str(format!("{genre} {} no{m:05}", KINDS[(kind - 1) as usize])),
-            Datum::Int(kind),
-            Datum::Int(year),
-            Datum::Int(season),
-            Datum::Int(episode),
-        ]);
+        db.insert(
+            "title",
+            &[
+                Datum::Int(id),
+                Datum::Str(format!("{genre} {} no{m:05}", KINDS[(kind - 1) as usize])),
+                Datum::Int(kind),
+                Datum::Int(year),
+                Datum::Int(season),
+                Datum::Int(episode),
+            ],
+        );
 
         // Companies per movie: recent movies have more (0..=5).
         let recency = ((year - 1930) as f64 / 90.0).clamp(0.0, 1.0);
@@ -245,32 +263,38 @@ pub fn generate(config: ImdbConfig) -> Database {
             // Companies cluster by era: a movie's company is drawn near
             // the id block proportional to its year.
             let base = (recency * (config.companies as f64 - 1.0)) as i64;
-            let jitter = rng.random_range(-(config.companies as i64) / 8..=(config.companies as i64) / 8);
+            let jitter =
+                rng.random_range(-(config.companies as i64) / 8..=(config.companies as i64) / 8);
             let company = (base + jitter).clamp(0, config.companies as i64 - 1) + 1;
-            db.insert("movie_companies", &[
-                Datum::Int(mc_id),
-                Datum::Int(id),
-                Datum::Int(company),
-                Datum::Int(1 + zipf(&mut rng, 4) as i64),
-            ]);
+            db.insert(
+                "movie_companies",
+                &[
+                    Datum::Int(mc_id),
+                    Datum::Int(id),
+                    Datum::Int(company),
+                    Datum::Int(1 + zipf(&mut rng, 4) as i64),
+                ],
+            );
         }
 
         // movie_info: 1..4 rows; info kind correlates with movie kind.
         let n_mi = 1 + rng.random_range(0..4);
         for _ in 0..n_mi {
             mi_id += 1;
-            let it = if is_series { 1 + zipf(&mut rng, 4) as i64 } else { 1 + zipf(&mut rng, 10) as i64 };
+            let it = if is_series {
+                1 + zipf(&mut rng, 4) as i64
+            } else {
+                1 + zipf(&mut rng, 10) as i64
+            };
             let val = match it {
                 1 => GENRES[zipf(&mut rng, GENRES.len())].to_string(),
                 2 => ["english", "french", "german", "japanese"][zipf(&mut rng, 4)].to_string(),
                 _ => format!("v{}", rng.random_range(0..50)),
             };
-            db.insert("movie_info", &[
-                Datum::Int(mi_id),
-                Datum::Int(id),
-                Datum::Int(it),
-                Datum::Str(val),
-            ]);
+            db.insert(
+                "movie_info",
+                &[Datum::Int(mi_id), Datum::Int(id), Datum::Int(it), Datum::Str(val)],
+            );
         }
 
         // movie_info_idx: ratings/votes; value correlates with year & kind.
@@ -284,12 +308,10 @@ pub fn generate(config: ImdbConfig) -> Database {
                 // Votes: recent movies get many more.
                 (10.0 + 5000.0 * recency * rng.random::<f64>()) as i64
             };
-            db.insert("movie_info_idx", &[
-                Datum::Int(mii_id),
-                Datum::Int(id),
-                Datum::Int(it),
-                Datum::Int(info),
-            ]);
+            db.insert(
+                "movie_info_idx",
+                &[Datum::Int(mii_id), Datum::Int(id), Datum::Int(it), Datum::Int(info)],
+            );
         }
 
         // movie_keyword: 0..6 rows, keyword popularity Zipf, theme follows
@@ -305,12 +327,15 @@ pub fn generate(config: ImdbConfig) -> Database {
         let n_ci = if is_series { rng.random_range(3..=10) } else { rng.random_range(1..=6) };
         for _ in 0..n_ci {
             ci_id += 1;
-            db.insert("cast_info", &[
-                Datum::Int(ci_id),
-                Datum::Int(id),
-                Datum::Int(rng.random_range(1..=(config.movies as i64 / 2 + 10))),
-                Datum::Int(1 + zipf(&mut rng, 11) as i64),
-            ]);
+            db.insert(
+                "cast_info",
+                &[
+                    Datum::Int(ci_id),
+                    Datum::Int(id),
+                    Datum::Int(rng.random_range(1..=(config.movies as i64 / 2 + 10))),
+                    Datum::Int(1 + zipf(&mut rng, 11) as i64),
+                ],
+            );
         }
     }
     db
@@ -383,9 +408,13 @@ mod tests {
         // Fraction of kind=1 among old movies should far exceed that among
         // recent ones.
         let count = |sql: &str| execute(&db, &parse(sql).unwrap()).unwrap().join_cardinality as f64;
-        let old_k1 = count("SELECT COUNT(*) FROM title WHERE title.production_year < 1990 AND title.kind_id = 1");
+        let old_k1 = count(
+            "SELECT COUNT(*) FROM title WHERE title.production_year < 1990 AND title.kind_id = 1",
+        );
         let old = count("SELECT COUNT(*) FROM title WHERE title.production_year < 1990").max(1.0);
-        let new_k1 = count("SELECT COUNT(*) FROM title WHERE title.production_year >= 1990 AND title.kind_id = 1");
+        let new_k1 = count(
+            "SELECT COUNT(*) FROM title WHERE title.production_year >= 1990 AND title.kind_id = 1",
+        );
         let new = count("SELECT COUNT(*) FROM title WHERE title.production_year >= 1990").max(1.0);
         assert!(old_k1 / old > new_k1 / new + 0.1, "kind/year correlation missing");
     }

@@ -6,9 +6,7 @@
 //! permutation). The clustering datasets use them to build ground-truth
 //! equivalence groups.
 
-use preqr_sql::ast::{
-    CmpOp, ColumnRef, Expr, Query, Scalar, SelectStmt, Value,
-};
+use preqr_sql::ast::{CmpOp, ColumnRef, Expr, Query, Scalar, SelectStmt, Value};
 
 /// Rewrites `col IN (v1, …, vk)` (in the top-level WHERE) into a UNION of
 /// `k` single-equality queries (Figure 2, q1 → q3). Returns `None` when
@@ -19,9 +17,7 @@ pub fn in_list_to_union(q: &Query) -> Option<Query> {
     }
     let w = q.body.where_clause.as_ref()?;
     let conjuncts: Vec<Expr> = w.conjuncts().into_iter().cloned().collect();
-    let pos = conjuncts
-        .iter()
-        .position(|c| matches!(c, Expr::InList { negated: false, .. }))?;
+    let pos = conjuncts.iter().position(|c| matches!(c, Expr::InList { negated: false, .. }))?;
     let (col, values) = match &conjuncts[pos] {
         Expr::InList { col, values, .. } => (col.clone(), values.clone()),
         _ => unreachable!("position found above"),
@@ -32,11 +28,8 @@ pub fn in_list_to_union(q: &Query) -> Option<Query> {
     let mut branches = Vec::with_capacity(values.len());
     for v in values {
         let mut c = conjuncts.clone();
-        c[pos] = Expr::Cmp {
-            left: Scalar::Column(col.clone()),
-            op: CmpOp::Eq,
-            right: Scalar::Value(v),
-        };
+        c[pos] =
+            Expr::Cmp { left: Scalar::Column(col.clone()), op: CmpOp::Eq, right: Scalar::Value(v) };
         let mut stmt = q.body.clone();
         stmt.where_clause = Some(Expr::and_all(c));
         branches.push(stmt);
@@ -85,9 +78,8 @@ pub fn subquery_to_join(q: &Query) -> Option<Query> {
     }
     let w = q.body.where_clause.as_ref()?;
     let conjuncts: Vec<Expr> = w.conjuncts().into_iter().cloned().collect();
-    let pos = conjuncts
-        .iter()
-        .position(|c| matches!(c, Expr::InSubquery { negated: false, .. }))?;
+    let pos =
+        conjuncts.iter().position(|c| matches!(c, Expr::InSubquery { negated: false, .. }))?;
     let (outer_col, sub) = match &conjuncts[pos] {
         Expr::InSubquery { col, subquery, .. } => (col.clone(), subquery.clone()),
         _ => unreachable!("position found above"),
@@ -219,9 +211,9 @@ pub fn duplicate_predicate(q: &Query) -> Option<Query> {
     let mut q = q.clone();
     let w = q.body.where_clause.as_ref()?;
     let conjuncts: Vec<Expr> = w.conjuncts().into_iter().cloned().collect();
-    let value_pred = conjuncts.iter().find(|c| {
-        matches!(c, Expr::Cmp { right: Scalar::Value(_), .. } | Expr::Between { .. })
-    })?;
+    let value_pred = conjuncts
+        .iter()
+        .find(|c| matches!(c, Expr::Cmp { right: Scalar::Value(_), .. } | Expr::Between { .. }))?;
     let mut out = conjuncts.clone();
     out.push(value_pred.clone());
     q.body.where_clause = Some(Expr::and_all(out));
@@ -252,15 +244,11 @@ pub fn eq_to_in_singleton(q: &Query) -> Option<Query> {
     let w = q.body.where_clause.as_ref()?;
     let conjuncts: Vec<Expr> = w.conjuncts().into_iter().cloned().collect();
     let pos = conjuncts.iter().position(|c| {
-        matches!(
-            c,
-            Expr::Cmp { left: Scalar::Column(_), op: CmpOp::Eq, right: Scalar::Value(_) }
-        )
+        matches!(c, Expr::Cmp { left: Scalar::Column(_), op: CmpOp::Eq, right: Scalar::Value(_) })
     })?;
     let mut out = conjuncts;
     if let Expr::Cmp { left: Scalar::Column(c), right: Scalar::Value(v), .. } = &out[pos] {
-        out[pos] =
-            Expr::InList { col: c.clone(), values: vec![v.clone()], negated: false };
+        out[pos] = Expr::InList { col: c.clone(), values: vec![v.clone()], negated: false };
     }
     q.body.where_clause = Some(Expr::and_all(out));
     Some(q)
@@ -404,10 +392,7 @@ mod tests {
     fn between_to_range_round_trip_semantics() {
         let q = parse("SELECT COUNT(*) FROM t WHERE t.y BETWEEN 3 AND 9 AND t.k = 1");
         let r = between_to_range(&q).unwrap();
-        assert_eq!(
-            r.sql(),
-            "SELECT COUNT(*) FROM t WHERE t.y >= 3 AND t.y <= 9 AND t.k = 1"
-        );
+        assert_eq!(r.sql(), "SELECT COUNT(*) FROM t WHERE t.y >= 3 AND t.y <= 9 AND t.k = 1");
         assert!(between_to_range(&r).is_none(), "no BETWEEN left");
     }
 

@@ -47,8 +47,7 @@ mod tests {
         assert_eq!(s.train.len(), 80);
         assert_eq!(s.valid.len(), 10);
         assert_eq!(s.test.len(), 10);
-        let mut all: Vec<usize> =
-            s.train.iter().chain(&s.valid).chain(&s.test).copied().collect();
+        let mut all: Vec<usize> = s.train.iter().chain(&s.valid).chain(&s.test).copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..100).collect::<Vec<_>>());
     }

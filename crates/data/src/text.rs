@@ -138,14 +138,12 @@ fn generate_pair(style: TextStyle, rng: &mut StdRng) -> TextPair {
     let query = Query::single(stmt);
 
     let references = match style {
-        TextStyle::WikiSql => vec![
-            words(&format!("{verb_a} {cond_a}")),
-            words(&format!("{verb_a} {cond_b}")),
-        ],
-        TextStyle::StackOverflow => vec![
-            words(&format!("{verb_b} {cond_b}")),
-            words(&format!("{verb_b} {cond_a}")),
-        ],
+        TextStyle::WikiSql => {
+            vec![words(&format!("{verb_a} {cond_a}")), words(&format!("{verb_a} {cond_b}"))]
+        }
+        TextStyle::StackOverflow => {
+            vec![words(&format!("{verb_b} {cond_b}")), words(&format!("{verb_b} {cond_a}"))]
+        }
     };
     TextPair { query, references }
 }

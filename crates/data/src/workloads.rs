@@ -63,7 +63,13 @@ fn sample_value(db: &Database, table: &str, column: &str, rng: &mut StdRng) -> i
     data.get_f64(rng.random_range(0..n)).unwrap_or(0.0) as i64
 }
 
-fn numeric_predicate(db: &Database, table: &str, alias: &str, column: &str, rng: &mut StdRng) -> Expr {
+fn numeric_predicate(
+    db: &Database,
+    table: &str,
+    alias: &str,
+    column: &str,
+    rng: &mut StdRng,
+) -> Expr {
     let v = sample_value(db, table, column, rng);
     let op = match rng.random_range(0..5) {
         0 => CmpOp::Eq,
@@ -72,11 +78,7 @@ fn numeric_predicate(db: &Database, table: &str, alias: &str, column: &str, rng:
         3 => CmpOp::Gt,
         _ => CmpOp::Ge,
     };
-    Expr::Cmp {
-        left: Scalar::Column(col(alias, column)),
-        op,
-        right: Scalar::Value(Value::Int(v)),
-    }
+    Expr::Cmp { left: Scalar::Column(col(alias, column)), op, right: Scalar::Value(Value::Int(v)) }
 }
 
 fn count_star() -> Vec<SelectItem> {
@@ -173,7 +175,8 @@ pub fn job_light(db: &Database, seed: u64) -> Vec<Query> {
     out
 }
 
-const LIKE_FRAGMENTS: [&str; 6] = ["%drama%", "%comedy%", "%action%", "studio 0%", "%kw-0%", "%series%"];
+const LIKE_FRAGMENTS: [&str; 6] =
+    ["%drama%", "%comedy%", "%action%", "studio 0%", "%kw-0%", "%series%"];
 const COUNTRY_CODES: [&str; 8] = ["us", "gb", "de", "fr", "jp", "in", "cn", "br"];
 const INFO_VALUES: [&str; 6] = ["drama", "comedy", "english", "german", "french", "action"];
 
@@ -255,10 +258,7 @@ fn job_full_query(db: &Database, rng: &mut StdRng) -> Query {
                 });
                 preds.push(Expr::Like {
                     col: col("k", "keyword"),
-                    pattern: format!(
-                        "{}%",
-                        INFO_VALUES[rng.random_range(0..INFO_VALUES.len())]
-                    ),
+                    pattern: format!("{}%", INFO_VALUES[rng.random_range(0..INFO_VALUES.len())]),
                     negated: false,
                 });
             }
@@ -327,8 +327,7 @@ fn in_list_query(db: &Database, rng: &mut StdRng) -> Query {
     let mut stmt = SelectStmt { projections: count_star(), ..Default::default() };
     stmt.from.push(TableRef::aliased("title", "t"));
     let k = rng.random_range(2..=4);
-    let values =
-        (0..k).map(|_| Value::Int(sample_value(db, "title", "kind_id", rng))).collect();
+    let values = (0..k).map(|_| Value::Int(sample_value(db, "title", "kind_id", rng))).collect();
     stmt.where_clause = Some(Expr::InList { col: col("t", "kind_id"), values, negated: false });
     Query::single(stmt)
 }
@@ -438,9 +437,7 @@ mod tests {
         let qs = job_full(&db, 40, 1);
         assert!(qs.iter().all(|q| num_joins(q) >= 2));
         assert!(qs.iter().any(|q| num_joins(q) >= 4), "some queries should have ≥4 joins");
-        let has_string = qs.iter().any(|q| {
-            q.sql().contains("LIKE") || q.sql().contains('\'')
-        });
+        let has_string = qs.iter().any(|q| q.sql().contains("LIKE") || q.sql().contains('\''));
         assert!(has_string, "JOB workload must contain string predicates");
     }
 
@@ -493,8 +490,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(num_joins(&q), 1);
-        let q0 = preqr_sql::parser::parse("SELECT COUNT(*) FROM title WHERE title.kind_id = 1")
-            .unwrap();
+        let q0 =
+            preqr_sql::parser::parse("SELECT COUNT(*) FROM title WHERE title.kind_id = 1").unwrap();
         assert_eq!(num_joins(&q0), 0);
         let _ = db;
     }

@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use preqr_sql::ast::{ColumnRef, SelectStmt};
 use preqr_schema::Schema;
+use preqr_sql::ast::{ColumnRef, SelectStmt};
 
 /// Execution/binding error.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -134,8 +134,8 @@ impl PartialEq for Bindings {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use preqr_sql::parser::parse;
     use preqr_schema::{Column, ColumnType, Table};
+    use preqr_sql::parser::parse;
 
     fn schema() -> Schema {
         let mut s = Schema::new();
@@ -152,8 +152,8 @@ mod tests {
 
     #[test]
     fn binds_aliases_and_resolves_qualified() {
-        let q = parse("SELECT t.id FROM title t, movie_companies mc WHERE t.id = mc.movie_id")
-            .unwrap();
+        let q =
+            parse("SELECT t.id FROM title t, movie_companies mc WHERE t.id = mc.movie_id").unwrap();
         let b = Bindings::of(&q.body, &schema()).unwrap();
         assert_eq!(b.len(), 2);
         let r = b.resolve(&ColumnRef::qualified("mc", "movie_id"), &schema()).unwrap();
@@ -181,10 +181,7 @@ mod tests {
     #[test]
     fn reports_unknown_table_and_column() {
         let q = parse("SELECT x FROM nope").unwrap();
-        assert_eq!(
-            Bindings::of(&q.body, &schema()),
-            Err(ExecError::UnknownTable("nope".into()))
-        );
+        assert_eq!(Bindings::of(&q.body, &schema()), Err(ExecError::UnknownTable("nope".into())));
         let q2 = parse("SELECT nope_col FROM title").unwrap();
         let b = Bindings::of(&q2.body, &schema()).unwrap();
         assert!(matches!(
@@ -195,8 +192,8 @@ mod tests {
 
     #[test]
     fn join_clause_tables_are_bound() {
-        let q = parse("SELECT * FROM title t JOIN movie_companies mc ON t.id = mc.movie_id")
-            .unwrap();
+        let q =
+            parse("SELECT * FROM title t JOIN movie_companies mc ON t.id = mc.movie_id").unwrap();
         let b = Bindings::of(&q.body, &schema()).unwrap();
         assert_eq!(b.len(), 2);
         assert_eq!(b.table_name(1), "movie_companies");

@@ -41,11 +41,8 @@ impl CostModel {
     pub fn plan_cost(&self, base_rows: &[f64], filtered: &[f64], join_sizes: &[f64]) -> f64 {
         let scan: f64 = base_rows.iter().sum::<f64>() * self.seq_tuple;
         let cpu: f64 = filtered.iter().sum::<f64>() * self.cpu_tuple;
-        let join: f64 = join_sizes
-            .iter()
-            .map(|&n| n * (n + 2.0).log2())
-            .sum::<f64>()
-            * self.join_tuple;
+        let join: f64 =
+            join_sizes.iter().map(|&n| n * (n + 2.0).log2()).sum::<f64>() * self.join_tuple;
         self.startup + scan + cpu + join
     }
 

@@ -117,8 +117,7 @@ impl<'a> PgEstimator<'a> {
         joins: &mut Vec<(usize, usize, f64)>,
     ) -> Result<(), ExecError> {
         // Equi-join?
-        if let Expr::Cmp { left: Scalar::Column(a), op: CmpOp::Eq, right: Scalar::Column(b) } = c
-        {
+        if let Expr::Cmp { left: Scalar::Column(a), op: CmpOp::Eq, right: Scalar::Column(b) } = c {
             let ba = bindings.resolve(a, self.db.schema())?;
             let bb = bindings.resolve(b, self.db.schema())?;
             if ba.table != bb.table {
@@ -159,9 +158,7 @@ impl<'a> PgEstimator<'a> {
                 // Map the string to its dictionary code, matching how
                 // string MCVs are stored.
                 match self.db.column(bindings.table_name(table), column) {
-                    Some(ColumnData::Str { dict, .. }) => {
-                        dict.code(s).map_or(-1.0, |c| c as f64)
-                    }
+                    Some(ColumnData::Str { dict, .. }) => dict.code(s).map_or(-1.0, |c| c as f64),
                     _ => -1.0,
                 }
             }
@@ -207,9 +204,7 @@ impl<'a> PgEstimator<'a> {
             Expr::InList { col, values, negated } => {
                 let s: f64 = values
                     .iter()
-                    .map(|v| {
-                        self.cmp_selectivity(bindings, table, &col.column, CmpOp::Eq, v)
-                    })
+                    .map(|v| self.cmp_selectivity(bindings, table, &col.column, CmpOp::Eq, v))
                     .sum();
                 let s = s.clamp(0.0, 1.0);
                 if *negated {
@@ -322,11 +317,10 @@ mod tests {
         ));
         let mut db = Database::new(s);
         for i in 0..1000i64 {
-            db.insert("t", &[
-                Datum::Int(i),
-                Datum::Int(i % 100),
-                Datum::Str(format!("n{}", i % 4)),
-            ]);
+            db.insert(
+                "t",
+                &[Datum::Int(i), Datum::Int(i % 100), Datum::Str(format!("n{}", i % 4))],
+            );
         }
         db
     }
@@ -375,9 +369,7 @@ mod tests {
     fn like_and_subquery_use_defaults() {
         let like = est_sel("SELECT COUNT(*) FROM t WHERE t.name LIKE '%z%'");
         assert!((like - 0.05).abs() < 1e-6);
-        let sub = est_sel(
-            "SELECT COUNT(*) FROM t WHERE t.x IN (SELECT id FROM t WHERE t.id < 3)",
-        );
+        let sub = est_sel("SELECT COUNT(*) FROM t WHERE t.x IN (SELECT id FROM t WHERE t.id < 3)");
         assert!((sub - 0.1).abs() < 1e-6);
     }
 
@@ -390,9 +382,8 @@ mod tests {
     #[test]
     fn union_estimates_sum_branches() {
         let single = est_sel("SELECT COUNT(*) FROM t WHERE t.x < 50");
-        let union = est_sel(
-            "SELECT id FROM t WHERE t.x < 50 UNION SELECT id FROM t WHERE t.x < 50",
-        );
+        let union =
+            est_sel("SELECT id FROM t WHERE t.x < 50 UNION SELECT id FROM t WHERE t.x < 50");
         assert!((union - 2.0 * single).abs() < 0.02);
     }
 }

@@ -8,9 +8,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use preqr_sql::ast::{
-    AggFunc, Expr, Query, Scalar, SelectItem, SelectStmt,
-};
+use preqr_sql::ast::{AggFunc, Expr, Query, Scalar, SelectItem, SelectStmt};
 
 use crate::bind::{Bindings, BoundColumn, ExecError};
 use crate::filter::{compile, filter_rows};
@@ -80,11 +78,8 @@ pub fn execute(db: &Database, q: &Query) -> Result<QueryResult, ExecError> {
         let mut seen: HashSet<String> = HashSet::new();
         result.rows.retain(|r| seen.insert(row_key(r)));
         let mut ids: HashSet<u32> = result.base_row_ids.iter().copied().collect();
-        let mut by_table: HashMap<String, HashSet<u32>> = result
-            .table_row_ids
-            .drain(..)
-            .map(|(t, v)| (t, v.into_iter().collect()))
-            .collect();
+        let mut by_table: HashMap<String, HashSet<u32>> =
+            result.table_row_ids.drain(..).map(|(t, v)| (t, v.into_iter().collect())).collect();
         for u in &q.unions {
             let part = execute_select(db, u)?;
             result.join_cardinality += part.join_cardinality;
@@ -182,9 +177,10 @@ fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<QueryResult, ExecE
     let mut used_joins = vec![false; join_preds.len()];
     while inter.bound.iter().any(|b| !b) {
         // Find a join predicate connecting a bound and an unbound table.
-        let next = join_preds.iter().enumerate().find(|(i, (a, b))| {
-            !used_joins[*i] && (inter.bound[a.table] != inter.bound[b.table])
-        });
+        let next = join_preds
+            .iter()
+            .enumerate()
+            .find(|(i, (a, b))| !used_joins[*i] && (inter.bound[a.table] != inter.bound[b.table]));
         match next {
             Some((i, &(a, b))) => {
                 used_joins[i] = true;
@@ -230,9 +226,8 @@ fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<QueryResult, ExecE
     // Using a canonical table (rather than FROM order) makes the result
     // signature invariant under semantics-preserving FROM reordering,
     // which the CH clustering ground truth relies on.
-    let base_t = (0..bindings.len())
-        .min_by_key(|&t| bindings.table_name(t))
-        .expect("at least one table");
+    let base_t =
+        (0..bindings.len()).min_by_key(|&t| bindings.table_name(t)).expect("at least one table");
     let mut base: Vec<u32> = inter.cols[base_t].clone();
     base.sort_unstable();
     base.dedup();
@@ -429,12 +424,8 @@ fn apply_residual(
         Expr::InSubquery { col, subquery, negated } => {
             let bc = bindings.resolve(col, db.schema())?;
             let sub = execute(db, subquery)?;
-            let set: HashSet<Key> = sub
-                .rows
-                .iter()
-                .filter_map(|r| r.first())
-                .map(Key::of)
-                .collect();
+            let set: HashSet<Key> =
+                sub.rows.iter().filter_map(|r| r.first()).map(Key::of).collect();
             let column = column_of(db, bindings, bc);
             let keep: Vec<usize> = (0..inter.len)
                 .filter(|&i| {
@@ -563,10 +554,7 @@ fn project(
     stmt: &SelectStmt,
     inter: &Intermediate,
 ) -> Result<Vec<Vec<Datum>>, ExecError> {
-    let has_agg = stmt
-        .projections
-        .iter()
-        .any(|p| matches!(p, SelectItem::Aggregate { .. }));
+    let has_agg = stmt.projections.iter().any(|p| matches!(p, SelectItem::Aggregate { .. }));
     let mut rows: Vec<Vec<Datum>>;
     if has_agg || !stmt.group_by.is_empty() {
         rows = aggregate(db, bindings, stmt, inter)?;
@@ -612,9 +600,7 @@ fn project(
                     .projections
                     .iter()
                     .position(|p| matches!(p, SelectItem::Column(pc) if pc.column == c.column))
-                    .or_else(|| {
-                        stmt.group_by.iter().position(|g| g.column == c.column)
-                    })
+                    .or_else(|| stmt.group_by.iter().position(|g| g.column == c.column))
                     .ok_or_else(|| {
                         ExecError::Unsupported(format!("ORDER BY on unprojected column {c}"))
                     })?;
@@ -623,9 +609,7 @@ fn project(
             .collect::<Result<_, ExecError>>()?;
         rows.sort_by(|a, b| {
             for &(idx, desc) in &sort_cols {
-                let ord = a[idx]
-                    .partial_cmp(&b[idx])
-                    .unwrap_or(std::cmp::Ordering::Equal);
+                let ord = a[idx].partial_cmp(&b[idx]).unwrap_or(std::cmp::Ordering::Equal);
                 let ord = if desc { ord.reverse() } else { ord };
                 if ord != std::cmp::Ordering::Equal {
                     return ord;
@@ -646,11 +630,8 @@ fn aggregate(
     stmt: &SelectStmt,
     inter: &Intermediate,
 ) -> Result<Vec<Vec<Datum>>, ExecError> {
-    let group_cols: Vec<BoundColumn> = stmt
-        .group_by
-        .iter()
-        .map(|c| bindings.resolve(c, db.schema()))
-        .collect::<Result<_, _>>()?;
+    let group_cols: Vec<BoundColumn> =
+        stmt.group_by.iter().map(|c| bindings.resolve(c, db.schema())).collect::<Result<_, _>>()?;
     // Resolve projection plan: either a group column or an aggregate.
     enum Proj {
         Group(usize),
@@ -674,9 +655,7 @@ fn aggregate(
                 };
                 Ok(Proj::Agg { func: *func, arg, distinct: *distinct })
             }
-            SelectItem::Star => {
-                Err(ExecError::Unsupported("* in aggregate query".to_string()))
-            }
+            SelectItem::Star => Err(ExecError::Unsupported("* in aggregate query".to_string())),
         })
         .collect::<Result<_, _>>()?;
 
@@ -735,8 +714,8 @@ fn aggregate(
                 .map(|p| match p {
                     Proj::Group(gi) => reprs[*gi].clone(),
                     Proj::Agg { .. } => {
-                        let d = std::mem::replace(&mut states[agg_idx], AggState::Count(0))
-                            .finish();
+                        let d =
+                            std::mem::replace(&mut states[agg_idx], AggState::Count(0)).finish();
                         agg_idx += 1;
                         d
                     }

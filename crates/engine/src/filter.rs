@@ -192,9 +192,7 @@ pub fn compile(
     let resolve = |cr: &preqr_sql::ast::ColumnRef| -> Result<BoundColumn, ExecError> {
         let bc = bindings.resolve(cr, db.schema())?;
         if bc.table != target {
-            return Err(ExecError::Unsupported(format!(
-                "predicate on `{cr}` is not single-table"
-            )));
+            return Err(ExecError::Unsupported(format!("predicate on `{cr}` is not single-table")));
         }
         Ok(bc)
     };
@@ -237,11 +235,7 @@ pub fn compile(
             let bc = resolve(col)?;
             let (l, h) = match (low.as_f64(), high.as_f64()) {
                 (Some(l), Some(h)) => (l, h),
-                _ => {
-                    return Err(ExecError::Unsupported(
-                        "BETWEEN over strings".to_string(),
-                    ))
-                }
+                _ => return Err(ExecError::Unsupported("BETWEEN over strings".to_string())),
             };
             Ok(Compiled::NumBetween { col: bc.column, low: l, high: h })
         }
@@ -307,9 +301,9 @@ fn compile_cmp(
             }
             other => Ok(Compiled::StrCmp { col: bc.column, op: other, rhs: s.clone() }),
         },
-        (ColumnData::Str { .. }, _) => Err(ExecError::Unsupported(
-            "numeric literal compared to a string column".to_string(),
-        )),
+        (ColumnData::Str { .. }, _) => {
+            Err(ExecError::Unsupported("numeric literal compared to a string column".to_string()))
+        }
         (_, v) => {
             let rhs = v.as_f64().ok_or_else(|| {
                 ExecError::Unsupported("string literal compared to a numeric column".to_string())
@@ -346,8 +340,8 @@ pub fn filter_rows(table: &TableData, pred: &Compiled) -> Vec<u32> {
 mod tests {
     use super::*;
     use crate::storage::Datum;
-    use preqr_sql::parser::parse;
     use preqr_schema::{Column, ColumnType, Schema, Table};
+    use preqr_sql::parser::parse;
 
     fn db() -> Database {
         let mut s = Schema::new();
@@ -362,11 +356,10 @@ mod tests {
         let mut db = Database::new(s);
         let names = ["alpha", "beta", "alphabet", "gamma", "beta"];
         for (i, n) in names.iter().enumerate() {
-            db.insert("t", &[
-                Datum::Int(i as i64),
-                Datum::Int(2000 + i as i64),
-                Datum::Str((*n).into()),
-            ]);
+            db.insert(
+                "t",
+                &[Datum::Int(i as i64), Datum::Int(2000 + i as i64), Datum::Str((*n).into())],
+            );
         }
         db
     }
@@ -395,7 +388,10 @@ mod tests {
     fn numeric_range_filter() {
         let db = db();
         assert_eq!(rows_matching(&db, "SELECT * FROM t WHERE year > 2002"), vec![3, 4]);
-        assert_eq!(rows_matching(&db, "SELECT * FROM t WHERE year BETWEEN 2001 AND 2002"), vec![1, 2]);
+        assert_eq!(
+            rows_matching(&db, "SELECT * FROM t WHERE year BETWEEN 2001 AND 2002"),
+            vec![1, 2]
+        );
         assert_eq!(rows_matching(&db, "SELECT * FROM t WHERE 2002 < year"), vec![3, 4]);
     }
 
@@ -418,10 +414,7 @@ mod tests {
     fn like_filter_uses_dictionary() {
         let db = db();
         assert_eq!(rows_matching(&db, "SELECT * FROM t WHERE name LIKE 'alpha%'"), vec![0, 2]);
-        assert_eq!(
-            rows_matching(&db, "SELECT * FROM t WHERE name NOT LIKE '%a'"),
-            vec![2]
-        );
+        assert_eq!(rows_matching(&db, "SELECT * FROM t WHERE name NOT LIKE '%a'"), vec![2]);
     }
 
     #[test]
@@ -434,13 +427,13 @@ mod tests {
     fn boolean_combinations() {
         let db = db();
         assert_eq!(
-            rows_matching(&db, "SELECT * FROM t WHERE (name = 'beta' OR name = 'alpha') AND year < 2004"),
+            rows_matching(
+                &db,
+                "SELECT * FROM t WHERE (name = 'beta' OR name = 'alpha') AND year < 2004"
+            ),
             vec![0, 1]
         );
-        assert_eq!(
-            rows_matching(&db, "SELECT * FROM t WHERE NOT (year > 2000)"),
-            vec![0]
-        );
+        assert_eq!(rows_matching(&db, "SELECT * FROM t WHERE NOT (year > 2000)"), vec![0]);
     }
 
     #[test]

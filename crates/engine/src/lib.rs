@@ -84,11 +84,10 @@ mod tests {
             db.insert("title", &[Datum::Int(i), Datum::Int(year), Datum::Int(i % 5)]);
             let companies = (i % 4) as usize; // 0..=3 companies per movie
             for c in 0..companies {
-                db.insert("movie_companies", &[
-                    Datum::Int(mc_id),
-                    Datum::Int(i),
-                    Datum::Int((year % 10) * 10 + c as i64),
-                ]);
+                db.insert(
+                    "movie_companies",
+                    &[Datum::Int(mc_id), Datum::Int(i), Datum::Int((year % 10) * 10 + c as i64)],
+                );
                 mc_id += 1;
             }
         }
@@ -109,10 +108,8 @@ mod tests {
     #[test]
     fn fk_join_cardinality_matches_manual_count() {
         let db = movie_db();
-        let q = parse(
-            "SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id",
-        )
-        .unwrap();
+        let q = parse("SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id")
+            .unwrap();
         let r = execute(&db, &q).unwrap();
         // Σ over movies of company count: i%4 summed over 0..100 = 150.
         assert_eq!(r.join_cardinality, 150);
@@ -147,14 +144,10 @@ mod tests {
     #[test]
     fn explicit_join_syntax_matches_implicit() {
         let db = movie_db();
-        let a = parse(
-            "SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id",
-        )
-        .unwrap();
-        let b = parse(
-            "SELECT COUNT(*) FROM title t JOIN movie_companies mc ON t.id = mc.movie_id",
-        )
-        .unwrap();
+        let a = parse("SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id")
+            .unwrap();
+        let b = parse("SELECT COUNT(*) FROM title t JOIN movie_companies mc ON t.id = mc.movie_id")
+            .unwrap();
         assert_eq!(
             execute(&db, &a).unwrap().join_cardinality,
             execute(&db, &b).unwrap().join_cardinality
@@ -164,10 +157,8 @@ mod tests {
     #[test]
     fn group_by_and_order_by() {
         let db = movie_db();
-        let q = parse(
-            "SELECT kind_id, COUNT(*) FROM title GROUP BY kind_id ORDER BY kind_id",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT kind_id, COUNT(*) FROM title GROUP BY kind_id ORDER BY kind_id").unwrap();
         let r = execute(&db, &q).unwrap();
         assert_eq!(r.rows.len(), 5);
         assert_eq!(r.rows[0], vec![Datum::Int(0), Datum::Int(20)]);
@@ -177,8 +168,10 @@ mod tests {
     #[test]
     fn order_by_desc_and_limit() {
         let db = movie_db();
-        let q = parse("SELECT kind_id, COUNT(*) FROM title GROUP BY kind_id ORDER BY kind_id DESC LIMIT 2")
-            .unwrap();
+        let q = parse(
+            "SELECT kind_id, COUNT(*) FROM title GROUP BY kind_id ORDER BY kind_id DESC LIMIT 2",
+        )
+        .unwrap();
         let r = execute(&db, &q).unwrap();
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.rows[0][0], Datum::Int(4));
@@ -194,10 +187,8 @@ mod tests {
         .unwrap();
         let r = execute(&db, &q).unwrap();
         // Same branch twice: dedup keeps distinct years of the 20 movies.
-        let distinct_years: std::collections::HashSet<i64> = (0..100i64)
-            .filter(|i| i % 5 == 0)
-            .map(|i| 1980 + (i % 40))
-            .collect();
+        let distinct_years: std::collections::HashSet<i64> =
+            (0..100i64).filter(|i| i % 5 == 0).map(|i| 1980 + (i % 40)).collect();
         assert_eq!(r.rows.len(), distinct_years.len());
         assert_eq!(r.base_row_ids.len(), 20);
     }
@@ -301,10 +292,8 @@ mod tests {
         let db = movie_db();
         let stats = TableStats::analyze(&db);
         let est = PgEstimator::new(&db, &stats);
-        let q = parse(
-            "SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id",
-        )
-        .unwrap();
+        let q = parse("SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id")
+            .unwrap();
         let plan = est.estimate_plan(&q.body).unwrap();
         assert_eq!(plan.filtered.len(), 2);
         assert_eq!(plan.joins.len(), 1);
@@ -331,10 +320,8 @@ mod tests {
     #[test]
     fn cross_join_without_predicate_works() {
         let db = movie_db();
-        let q = parse(
-            "SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.kind_id = 0",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.kind_id = 0").unwrap();
         let r = execute(&db, &q).unwrap();
         assert_eq!(r.join_cardinality, 20 * 150);
     }

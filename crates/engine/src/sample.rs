@@ -69,9 +69,8 @@ impl BitmapSampler {
         let stmt = &q.body;
         let bindings = Bindings::of(stmt, db.schema())?;
         let table_name = bindings.table_name(binding_idx).to_string();
-        let table = db
-            .table(&table_name)
-            .ok_or_else(|| ExecError::UnknownTable(table_name.clone()))?;
+        let table =
+            db.table(&table_name).ok_or_else(|| ExecError::UnknownTable(table_name.clone()))?;
         // Collect this table's single-table conjuncts.
         let mut preds: Vec<Expr> = Vec::new();
         if let Some(w) = &stmt.where_clause {
@@ -148,8 +147,8 @@ fn is_join_shape(e: &Expr) -> bool {
 mod tests {
     use super::*;
     use crate::storage::Datum;
-    use preqr_sql::parser::parse;
     use preqr_schema::{Column, ColumnType, Schema, Table};
+    use preqr_sql::parser::parse;
 
     fn db() -> Database {
         let mut s = Schema::new();

@@ -38,9 +38,7 @@ impl ColumnStats {
     /// Computes statistics for a column.
     pub fn compute(col: &ColumnData) -> Self {
         match col {
-            ColumnData::Int(v) => {
-                Self::numeric(v.iter().map(|&x| x as f64).collect::<Vec<f64>>())
-            }
+            ColumnData::Int(v) => Self::numeric(v.iter().map(|&x| x as f64).collect::<Vec<f64>>()),
             ColumnData::Float(v) => Self::numeric(v.clone()),
             ColumnData::Str { codes, dict } => {
                 let rows = codes.len() as u64;
@@ -48,10 +46,8 @@ impl ColumnStats {
                 for &c in codes {
                     *freq.entry(c).or_default() += 1;
                 }
-                let mut mcv: Vec<(f64, f64)> = freq
-                    .iter()
-                    .map(|(&c, &n)| (c as f64, n as f64 / rows.max(1) as f64))
-                    .collect();
+                let mut mcv: Vec<(f64, f64)> =
+                    freq.iter().map(|(&c, &n)| (c as f64, n as f64 / rows.max(1) as f64)).collect();
                 mcv.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite freq"));
                 mcv.truncate(MCV_COUNT);
                 Self {
@@ -78,9 +74,11 @@ impl ColumnStats {
             .iter()
             .map(|(&bits, &n)| (f64::from_bits(bits), n as f64 / rows.max(1) as f64))
             .collect();
-        mcv.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite freq").then(
-            a.0.partial_cmp(&b.0).expect("finite value"),
-        ));
+        mcv.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite freq")
+                .then(a.0.partial_cmp(&b.0).expect("finite value"))
+        });
         mcv.truncate(MCV_COUNT);
         values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
         let (min, max) = match (values.first(), values.last()) {
@@ -192,11 +190,7 @@ mod tests {
         for i in 0..1000i64 {
             // `skewed`: value 7 half the time, else uniform 0..100.
             let sk = if i % 2 == 0 { 7 } else { i % 100 };
-            db.insert("t", &[
-                Datum::Int(i),
-                Datum::Int(sk),
-                Datum::Str(format!("n{}", i % 10)),
-            ]);
+            db.insert("t", &[Datum::Int(i), Datum::Int(sk), Datum::Str(format!("n{}", i % 10))]);
         }
         db
     }

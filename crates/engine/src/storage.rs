@@ -150,9 +150,7 @@ impl ColumnData {
         match self {
             ColumnData::Int(v) => Datum::Int(v[row]),
             ColumnData::Float(v) => Datum::Float(v[row]),
-            ColumnData::Str { codes, dict } => {
-                Datum::Str(dict.string(codes[row]).to_string())
-            }
+            ColumnData::Str { codes, dict } => Datum::Str(dict.string(codes[row]).to_string()),
         }
     }
 
@@ -293,11 +291,14 @@ mod tests {
     fn dictionary_reuses_codes() {
         let mut db = db();
         for i in 0..4 {
-            db.insert("t", &[
-                Datum::Int(i),
-                Datum::Float(0.0),
-                Datum::Str(if i % 2 == 0 { "x" } else { "y" }.into()),
-            ]);
+            db.insert(
+                "t",
+                &[
+                    Datum::Int(i),
+                    Datum::Float(0.0),
+                    Datum::Str(if i % 2 == 0 { "x" } else { "y" }.into()),
+                ],
+            );
         }
         match db.column("t", "name").unwrap() {
             ColumnData::Str { dict, codes } => {

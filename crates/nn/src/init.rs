@@ -44,8 +44,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let m = normal(100, 100, 0.5, &mut rng);
         let mean = m.mean();
-        let var = m.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
-            / m.len() as f32;
+        let var = m.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / m.len() as f32;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
     }

@@ -73,8 +73,7 @@ impl Mlp {
     /// Panics if fewer than two widths are given.
     pub fn new(widths: &[usize], rng: &mut impl Rng) -> Self {
         assert!(widths.len() >= 2, "Mlp needs at least input and output widths");
-        let layers =
-            widths.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
+        let layers = widths.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
         Self { layers }
     }
 

@@ -39,10 +39,8 @@ impl LstmCell {
     /// One step: consumes a `1 × input` row and the previous `(h, c)` state,
     /// returns the next `(h, c)`.
     pub fn step(&self, x: &Tensor, h: &Tensor, c: &Tensor) -> (Tensor, Tensor) {
-        let gates = ops::add_row(
-            &ops::add(&ops::matmul(x, &self.wx), &ops::matmul(h, &self.wh)),
-            &self.b,
-        );
+        let gates =
+            ops::add_row(&ops::add(&ops::matmul(x, &self.wx), &ops::matmul(h, &self.wh)), &self.b);
         let d = self.hidden;
         let i = ops::sigmoid(&ops::slice_cols(&gates, 0, d));
         let f = ops::sigmoid(&ops::slice_cols(&gates, d, 2 * d));
@@ -201,8 +199,7 @@ mod tests {
         // integrating over time, a real recurrence test.
         let mut rng = StdRng::seed_from_u64(77);
         let cell = LstmCell::new(1, 8, &mut rng);
-        let head =
-            crate::layers::Linear::new(8, 2, &mut rng);
+        let head = crate::layers::Linear::new(8, 2, &mut rng);
         let mut params = cell.params();
         params.extend(head.params());
         let mut opt = Adam::new(params, 0.02);

@@ -76,11 +76,7 @@ impl RgcnLayer {
         let w_rel = (0..relations)
             .map(|_| Tensor::param(init::xavier_uniform(in_dim, out_dim, rng)))
             .collect();
-        Self {
-            w_rel,
-            w_self: Tensor::param(init::xavier_uniform(in_dim, out_dim, rng)),
-            relations,
-        }
+        Self { w_rel, w_self: Tensor::param(init::xavier_uniform(in_dim, out_dim, rng)), relations }
     }
 
     /// Forward pass: `h` is `n × in_dim`, `adjs` has one adjacency per
@@ -138,10 +134,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(41);
         let layer = RgcnLayer::new(4, 6, 2, &mut rng);
         let h = Tensor::constant(Matrix::from_fn(5, 4, |r, c| (r + c) as f32 * 0.1));
-        let adjs = vec![
-            RelAdjacency::from_edges(5, &[(0, 1), (1, 2)]),
-            RelAdjacency::from_edges(5, &[]),
-        ];
+        let adjs =
+            vec![RelAdjacency::from_edges(5, &[(0, 1), (1, 2)]), RelAdjacency::from_edges(5, &[])];
         let out = layer.forward(&h, &adjs);
         assert_eq!(out.shape(), (5, 6));
     }

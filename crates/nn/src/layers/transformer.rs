@@ -122,10 +122,8 @@ mod tests {
         let layer = TransformerLayer::new(dim, 2, &mut rng);
         // attn: 4 linear layers (dim*dim + dim); ffn: dim*4dim+4dim + 4dim*dim+dim;
         // two layer norms: 2*2*dim.
-        let expected = 4 * (dim * dim + dim)
-            + (dim * 4 * dim + 4 * dim)
-            + (4 * dim * dim + dim)
-            + 2 * 2 * dim;
+        let expected =
+            4 * (dim * dim + dim) + (dim * 4 * dim + 4 * dim) + (4 * dim * dim + dim) + 2 * 2 * dim;
         assert_eq!(layer.param_count(), expected);
     }
 }

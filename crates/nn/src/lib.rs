@@ -6,9 +6,13 @@
 //! attention, transformer encoder, LSTM/BiLSTM, relational GCN), Adam/SGD
 //! optimizers, and a binary checkpoint format.
 //!
-//! Everything runs on a single CPU core; hidden sizes in this reproduction
-//! are small (32–256), so the straightforward dense kernels in
-//! [`matrix`] are adequate.
+//! The dense kernels in [`matrix`] route through a persistent worker pool
+//! ([`parallel`]) above a FLOP threshold: work is partitioned by output
+//! rows, which keeps every per-element reduction in the same floating-point
+//! order as the retained serial reference kernels, so results are
+//! bit-identical at any thread count (`PREQR_THREADS`, defaulting to the
+//! available hardware parallelism). Large shapes additionally use a
+//! cache-blocked, packed serial microkernel under the row-parallel loop.
 //!
 //! # Example
 //!
@@ -37,6 +41,8 @@ pub mod layers;
 pub mod matrix;
 pub mod ops;
 pub mod optim;
+pub mod parallel;
+mod rowops;
 pub mod serialize;
 pub mod tensor;
 

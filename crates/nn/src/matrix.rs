@@ -1,11 +1,30 @@
 //! Dense row-major `f32` matrix used as the storage type of the autograd
 //! tensor.
 //!
-//! Everything in the PreQR reproduction is small enough (hidden sizes of
-//! 32–256, sequence lengths below ~128) that a straightforward cache-friendly
-//! `ikj` matmul is sufficient on a single CPU core.
+//! The hot kernels (`matmul`, `matmul_transpose_b`, `transpose_a_matmul`,
+//! `softmax_rows_inplace`, large element-wise maps) dispatch on problem
+//! size: small shapes run the straightforward serial reference kernels
+//! (`*_serial`), large shapes run a cache-blocked, packed microkernel whose
+//! output rows are partitioned across the [`crate::parallel`] worker pool.
+//! Row partitioning and a fixed ascending-`k` accumulation order keep every
+//! per-element reduction in exactly the same floating-point order as the
+//! serial references, so the two paths are **bit-identical** at any thread
+//! count (property-tested in `tests/prop_parallel.rs`).
 
 use serde::{Deserialize, Serialize};
+
+use crate::parallel;
+
+/// Microkernel tile height (rows of `A` per register block). An 8×16 tile
+/// keeps 128 accumulators live, which AVX2/AVX-512 builds
+/// (`RUSTFLAGS="-C target-cpu=native"`) hold entirely in vector registers.
+const MR: usize = 8;
+/// Microkernel tile width (columns of `B` per packed panel).
+const NR: usize = 16;
+/// Minimum output rows per pool task for matmul-family kernels.
+const MATMUL_MIN_CHUNK_ROWS: usize = 8;
+/// Minimum elements per pool task for element-wise kernels.
+const ELEMWISE_MIN_CHUNK: usize = 4096;
 
 /// A dense row-major matrix of `f32` values.
 ///
@@ -133,11 +152,31 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self @ other` using the cache-friendly `ikj` ordering.
+    /// Matrix product `self @ other`.
+    ///
+    /// Small shapes run [`Matrix::matmul_serial`]; above
+    /// [`parallel::PAR_MIN_FMAS`] fused multiply-adds the packed,
+    /// row-parallel kernel takes over (bit-identical results either way).
     ///
     /// # Panics
     /// Panics if the inner dimensions do not agree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        if m * k * n < parallel::PAR_MIN_FMAS || m < 2 * MR {
+            return self.matmul_serial(other);
+        }
+        matmul_packed(&self.data, m, k, &other.data, n)
+    }
+
+    /// Serial reference for [`Matrix::matmul`]: cache-friendly `ikj`
+    /// ordering on the calling thread. Retained as the bit-exactness
+    /// baseline for the packed/parallel path and as the benchmark baseline.
+    pub fn matmul_serial(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} @ {}x{}",
@@ -149,9 +188,6 @@ impl Matrix {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
             for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
                 let b_row = &other.data[k * n..(k + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += a_ik * b;
@@ -161,8 +197,40 @@ impl Matrix {
         out
     }
 
-    /// `self @ other^T` without materializing the transpose.
+    /// `self @ other^T` without materializing the transpose. Large shapes
+    /// partition output rows across the worker pool (bit-identical to
+    /// [`Matrix::matmul_transpose_b_serial`]).
     pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose_b shape mismatch: {}x{} @ ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        if m * k * n < parallel::PAR_MIN_FMAS || m < 2 {
+            return self.matmul_transpose_b_serial(other);
+        }
+        let mut out = Matrix::zeros(m, n);
+        let a = &self.data;
+        let b = &other.data;
+        parallel::for_each_row_chunk_mut(
+            &mut out.data,
+            n,
+            MATMUL_MIN_CHUNK_ROWS,
+            |start, chunk| {
+                for (i, out_row) in chunk.chunks_exact_mut(n).enumerate() {
+                    let a_row = &a[(start + i) * k..(start + i + 1) * k];
+                    for (j, o) in out_row.iter_mut().enumerate() {
+                        *o = dot(a_row, &b[j * k..(j + 1) * k]);
+                    }
+                }
+            },
+        );
+        out
+    }
+
+    /// Serial reference for [`Matrix::matmul_transpose_b`].
+    pub fn matmul_transpose_b_serial(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
             "matmul_transpose_b shape mismatch: {}x{} @ ({}x{})^T",
@@ -180,8 +248,27 @@ impl Matrix {
         out
     }
 
-    /// `self^T @ other` without materializing the transpose.
+    /// `self^T @ other` without materializing the transpose in the serial
+    /// path. The fast path transposes `self` once (the packing step) and
+    /// reuses the packed matmul kernel; the ascending-`k` accumulation
+    /// order matches [`Matrix::transpose_a_matmul_serial`] exactly.
     pub fn transpose_a_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "transpose_a_matmul shape mismatch: ({}x{})^T @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        if m * k * n < parallel::PAR_MIN_FMAS || m < 2 * MR {
+            return self.transpose_a_matmul_serial(other);
+        }
+        let at = self.transpose();
+        matmul_packed(&at.data, m, k, &other.data, n)
+    }
+
+    /// Serial reference for [`Matrix::transpose_a_matmul`]: `k`-outer
+    /// scatter into the output rows.
+    pub fn transpose_a_matmul_serial(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
             "transpose_a_matmul shape mismatch: ({}x{})^T @ {}x{}",
@@ -193,9 +280,6 @@ impl Matrix {
             let a_row = self.row(k);
             let b_row = &other.data[k * n..(k + 1) * n];
             for (i, &a_ki) in a_row.iter().enumerate() {
-                if a_ki == 0.0 {
-                    continue;
-                }
                 let out_row = &mut out.data[i * n..(i + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += a_ki * b;
@@ -216,43 +300,95 @@ impl Matrix {
         out
     }
 
-    /// Elementwise addition in place.
+    /// Elementwise addition in place (row-parallel above the element
+    /// threshold; element-wise ops have no cross-element reductions, so any
+    /// partition is bit-identical to the serial loop).
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += b;
+        if self.data.len() < parallel::PAR_MIN_ELEMS {
+            for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+                *a += b;
+            }
+            return;
         }
+        let src = &other.data;
+        parallel::for_each_row_chunk_mut(&mut self.data, 1, ELEMWISE_MIN_CHUNK, |start, chunk| {
+            for (a, &b) in chunk.iter_mut().zip(&src[start..]) {
+                *a += b;
+            }
+        });
     }
 
-    /// Elementwise `self += scale * other` in place.
+    /// Elementwise `self += scale * other` in place (row-parallel above the
+    /// element threshold).
     pub fn add_scaled_assign(&mut self, other: &Matrix, scale: f32) {
         assert_eq!(self.shape(), other.shape(), "add_scaled_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += scale * b;
+        if self.data.len() < parallel::PAR_MIN_ELEMS {
+            for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+                *a += scale * b;
+            }
+            return;
         }
+        let src = &other.data;
+        parallel::for_each_row_chunk_mut(&mut self.data, 1, ELEMWISE_MIN_CHUNK, |start, chunk| {
+            for (a, &b) in chunk.iter_mut().zip(&src[start..]) {
+                *a += scale * b;
+            }
+        });
     }
 
-    /// Elementwise binary map producing a new matrix.
-    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+    /// Elementwise binary map producing a new matrix (parallel above the
+    /// element threshold, hence the `Sync` bound).
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
-        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
+        if self.data.len() < parallel::PAR_MIN_ELEMS {
+            let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
+            return Matrix { rows: self.rows, cols: self.cols, data };
+        }
+        let mut data = vec![0.0f32; self.data.len()];
+        let (a_src, b_src) = (&self.data, &other.data);
+        parallel::for_each_row_chunk_mut(&mut data, 1, ELEMWISE_MIN_CHUNK, |start, chunk| {
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = f(a_src[start + i], b_src[start + i]);
+            }
+        });
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 
-    /// Elementwise unary map producing a new matrix.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&a| f(a)).collect(),
+    /// Elementwise unary map producing a new matrix (parallel above the
+    /// element threshold, hence the `Sync` bound).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        if self.data.len() < parallel::PAR_MIN_ELEMS {
+            return Matrix {
+                rows: self.rows,
+                cols: self.cols,
+                data: self.data.iter().map(|&a| f(a)).collect(),
+            };
         }
+        let mut data = vec![0.0f32; self.data.len()];
+        let src = &self.data;
+        parallel::for_each_row_chunk_mut(&mut data, 1, ELEMWISE_MIN_CHUNK, |start, chunk| {
+            for (o, &x) in chunk.iter_mut().zip(&src[start..]) {
+                *o = f(x);
+            }
+        });
+        Matrix { rows: self.rows, cols: self.cols, data }
     }
 
-    /// Multiplies every element by `s` in place.
+    /// Multiplies every element by `s` in place (row-parallel above the
+    /// element threshold).
     pub fn scale_assign(&mut self, s: f32) {
-        for a in self.data.iter_mut() {
-            *a *= s;
+        if self.data.len() < parallel::PAR_MIN_ELEMS {
+            for a in self.data.iter_mut() {
+                *a *= s;
+            }
+            return;
         }
+        parallel::for_each_row_chunk_mut(&mut self.data, 1, ELEMWISE_MIN_CHUNK, |_, chunk| {
+            for a in chunk.iter_mut() {
+                *a *= s;
+            }
+        });
     }
 
     /// Sets every element to zero, keeping the allocation.
@@ -320,11 +456,124 @@ impl Matrix {
         out
     }
 
-    /// Row-wise softmax in place.
+    /// Row-wise softmax in place. Large matrices partition rows across the
+    /// worker pool; each row's computation is unchanged, so results are
+    /// bit-identical to [`Matrix::softmax_rows_inplace_serial`].
     pub fn softmax_rows_inplace(&mut self) {
+        if self.data.len() < parallel::PAR_MIN_ELEMS || self.rows < 2 {
+            self.softmax_rows_inplace_serial();
+            return;
+        }
+        let cols = self.cols;
+        parallel::for_each_row_chunk_mut(&mut self.data, cols, 4, |_, chunk| {
+            for row in chunk.chunks_exact_mut(cols) {
+                softmax_slice(row);
+            }
+        });
+    }
+
+    /// Serial reference for [`Matrix::softmax_rows_inplace`].
+    pub fn softmax_rows_inplace_serial(&mut self) {
         for r in 0..self.rows {
             softmax_slice(self.row_mut(r));
         }
+    }
+}
+
+/// `a @ b` for large shapes: packs `b` into `NR`-wide column panels once,
+/// then partitions output rows across the worker pool. Each row chunk runs
+/// the cache-blocked microkernel over the shared packed panels.
+fn matmul_packed(a: &[f32], m: usize, k: usize, b: &[f32], n: usize) -> Matrix {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    let packed = pack_b_panels(b, k, n);
+    let mut out = Matrix::zeros(m, n);
+    parallel::for_each_row_chunk_mut(&mut out.data, n, MATMUL_MIN_CHUNK_ROWS, |start, chunk| {
+        let rows = chunk.len() / n;
+        kernel_row_block(&a[start * k..(start + rows) * k], k, &packed, n, chunk);
+    });
+    out
+}
+
+/// Packs `b` (`k × n` row-major) into column panels of width `NR`: panel
+/// `p` holds columns `p·NR ..` stored `k`-major, zero-padded to `NR` so the
+/// microkernel always reads full panel rows. Packed once per call and
+/// shared read-only across all row chunks.
+fn pack_b_panels(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let panels = n.div_ceil(NR);
+    let mut packed = vec![0.0f32; panels * k * NR];
+    for p in 0..panels {
+        let c0 = p * NR;
+        let w = NR.min(n - c0);
+        let dst = &mut packed[p * k * NR..(p + 1) * k * NR];
+        for kk in 0..k {
+            dst[kk * NR..kk * NR + w].copy_from_slice(&b[kk * n + c0..kk * n + c0 + w]);
+        }
+    }
+    packed
+}
+
+/// Computes a block of output rows (`out` is `rows × n`, rows of `a` are
+/// contiguous) against the packed panels. Panels stay L1-resident while the
+/// row blocks stream past them.
+fn kernel_row_block(a: &[f32], k: usize, packed: &[f32], n: usize, out: &mut [f32]) {
+    if k == 0 || n == 0 {
+        return;
+    }
+    let rows = a.len() / k;
+    let panels = n.div_ceil(NR);
+    for p in 0..panels {
+        let c0 = p * NR;
+        let w = NR.min(n - c0);
+        let panel = &packed[p * k * NR..(p + 1) * k * NR];
+        let mut i = 0;
+        while i < rows {
+            let mr = MR.min(rows - i);
+            let tile_out = &mut out[i * n + c0..];
+            match mr {
+                8 => microkernel::<8>(&a[i * k..], k, panel, tile_out, n, w),
+                7 => microkernel::<7>(&a[i * k..], k, panel, tile_out, n, w),
+                6 => microkernel::<6>(&a[i * k..], k, panel, tile_out, n, w),
+                5 => microkernel::<5>(&a[i * k..], k, panel, tile_out, n, w),
+                4 => microkernel::<4>(&a[i * k..], k, panel, tile_out, n, w),
+                3 => microkernel::<3>(&a[i * k..], k, panel, tile_out, n, w),
+                2 => microkernel::<2>(&a[i * k..], k, panel, tile_out, n, w),
+                _ => microkernel::<1>(&a[i * k..], k, panel, tile_out, n, w),
+            }
+            i += mr;
+        }
+    }
+}
+
+/// `M × NR` register tile: accumulates the full `k` reduction in ascending
+/// order (the same floating-point order as the serial `ikj` reference) and
+/// stores each output element exactly once.
+#[inline(always)]
+fn microkernel<const M: usize>(
+    a: &[f32],
+    k: usize,
+    panel: &[f32],
+    out: &mut [f32],
+    ldo: usize,
+    w: usize,
+) {
+    debug_assert!(a.len() >= M * k);
+    debug_assert_eq!(panel.len(), k * NR);
+    debug_assert!(w >= 1 && w <= NR);
+    let mut acc = [[0.0f32; NR]; M];
+    for (kk, b) in panel.chunks_exact(NR).enumerate() {
+        for m in 0..M {
+            // SAFETY: `m < M`, `kk < k`, and `a` holds at least `M * k`
+            // elements (debug-asserted above).
+            let a_mk = unsafe { *a.get_unchecked(m * k + kk) };
+            let acc_m = &mut acc[m];
+            for (j, &b_j) in b.iter().enumerate() {
+                acc_m[j] += a_mk * b_j;
+            }
+        }
+    }
+    for (m, acc_m) in acc.iter().enumerate() {
+        out[m * ldo..m * ldo + w].copy_from_slice(&acc_m[..w]);
     }
 }
 
@@ -385,6 +634,37 @@ mod tests {
         let c = a.matmul(&b);
         assert_eq!(c.shape(), (2, 2));
         assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn packed_parallel_kernels_match_serial_bitwise() {
+        // 48·64·64 FMAs is above PAR_MIN_FMAS, so the packed/parallel path
+        // runs; results must equal the serial references bit for bit.
+        let a = Matrix::from_fn(48, 64, |r, c| ((r * 37 + c * 11) % 23) as f32 * 0.13 - 1.4);
+        let b = Matrix::from_fn(64, 64, |r, c| ((r * 5 + c * 29) % 19) as f32 * 0.21 - 1.9);
+        crate::parallel::set_thread_override(Some(3));
+        let fast = a.matmul(&b);
+        let tb = a.matmul_transpose_b(&b);
+        let ta = a.transpose_a_matmul(&a.matmul(&b));
+        crate::parallel::set_thread_override(None);
+        assert_eq!(fast, a.matmul_serial(&b));
+        assert_eq!(tb, a.matmul_transpose_b_serial(&b));
+        assert_eq!(ta, a.transpose_a_matmul_serial(&a.matmul_serial(&b)));
+    }
+
+    #[test]
+    fn matmul_keeps_nan_and_inf_contributions() {
+        // IEEE semantics: 0·inf = NaN must propagate (the old zero-skip
+        // silently dropped it).
+        let a = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let b = Matrix::from_vec(2, 1, vec![f32::INFINITY, 1.0]);
+        assert!(a.matmul(&b).get(0, 0).is_nan());
+        assert!(a.matmul_serial(&b).get(0, 0).is_nan());
+        let c = Matrix::from_vec(2, 1, vec![2.0, 3.0]);
+        let inf_a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 0.0, 1.0]);
+        let t = inf_a.transpose_a_matmul_serial(&c);
+        assert_eq!(t.get(0, 0), 0.0);
+        assert_eq!(t.get(1, 0), 5.0);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::rc::Rc;
 use rand::Rng;
 
 use crate::matrix::Matrix;
+use crate::rowops::{layer_norm_backward_dx, layer_norm_forward};
 use crate::tensor::Tensor;
 
 /// Elementwise addition of two same-shape tensors.
@@ -416,26 +417,10 @@ pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor
     let d = xv.cols();
     assert_eq!(gamma.value().shape(), (1, d), "layer_norm gamma shape");
     assert_eq!(beta.value().shape(), (1, d), "layer_norm beta shape");
-    let mut xhat = Matrix::zeros(xv.rows(), d);
-    let mut inv_std = Vec::with_capacity(xv.rows());
-    for r in 0..xv.rows() {
-        let row = xv.row(r);
-        let mean = row.iter().sum::<f32>() / d as f32;
-        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-        let istd = 1.0 / (var + eps).sqrt();
-        inv_std.push(istd);
-        for (o, &v) in xhat.row_mut(r).iter_mut().zip(row.iter()) {
-            *o = (v - mean) * istd;
-        }
-    }
     let gv = gamma.value();
     let bv = beta.value();
-    let mut out = Matrix::zeros(xv.rows(), d);
-    for r in 0..xv.rows() {
-        for c in 0..d {
-            out.set(r, c, xhat.get(r, c) * gv.get(0, c) + bv.get(0, c));
-        }
-    }
+    let (xhat, inv_std, out) =
+        layer_norm_forward(xv.data(), xv.rows(), d, gv.row(0), bv.row(0), eps);
     drop(xv);
     drop(gv);
     drop(bv);
@@ -467,29 +452,7 @@ pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor
             }
             if ctx.parents[0].requires_grad() {
                 let gv = ctx.parents[1].value();
-                let mut dx = Matrix::zeros(rows, d);
-                for r in 0..rows {
-                    // dxhat = g * gamma
-                    let mut dxhat = vec![0.0f32; d];
-                    for c in 0..d {
-                        dxhat[c] = g.get(r, c) * gv.get(0, c);
-                    }
-                    let mean_dxhat = dxhat.iter().sum::<f32>() / d as f32;
-                    let mean_dxhat_xhat = dxhat
-                        .iter()
-                        .enumerate()
-                        .map(|(c, &v)| v * xhat.get(r, c))
-                        .sum::<f32>()
-                        / d as f32;
-                    let istd = inv_std[r];
-                    for c in 0..d {
-                        dx.set(
-                            r,
-                            c,
-                            istd * (dxhat[c] - mean_dxhat - xhat.get(r, c) * mean_dxhat_xhat),
-                        );
-                    }
-                }
+                let dx = layer_norm_backward_dx(g.data(), rows, d, gv.row(0), &xhat, &inv_std);
                 drop(gv);
                 ctx.parents[0].accumulate_grad(&dx);
             }
@@ -629,13 +592,9 @@ pub fn mse_loss(pred: &Tensor, target: &Matrix) -> Tensor {
     let pv = pred.value();
     assert_eq!(pv.shape(), target.shape(), "mse shape mismatch");
     let n = pv.len().max(1) as f32;
-    let loss = pv
-        .data()
-        .iter()
-        .zip(target.data().iter())
-        .map(|(&p, &t)| (p - t) * (p - t))
-        .sum::<f32>()
-        / n;
+    let loss =
+        pv.data().iter().zip(target.data().iter()).map(|(&p, &t)| (p - t) * (p - t)).sum::<f32>()
+            / n;
     drop(pv);
     let target = target.clone();
     Tensor::from_op(
@@ -803,12 +762,16 @@ mod tests {
 
     #[test]
     fn grad_layer_norm_gamma_beta() {
-        grad_check((1, 4), |_, c| 0.5 + 0.3 * c as f32, |gamma| {
-            let x = Tensor::constant(Matrix::from_fn(3, 4, seeded));
-            let beta = Tensor::constant(Matrix::zeros(1, 4));
-            let y = layer_norm(&x, gamma, &beta, 1e-5);
-            sum_all(&y)
-        });
+        grad_check(
+            (1, 4),
+            |_, c| 0.5 + 0.3 * c as f32,
+            |gamma| {
+                let x = Tensor::constant(Matrix::from_fn(3, 4, seeded));
+                let beta = Tensor::constant(Matrix::zeros(1, 4));
+                let y = layer_norm(&x, gamma, &beta, 1e-5);
+                sum_all(&y)
+            },
+        );
     }
 
     #[test]
@@ -866,7 +829,8 @@ mod tests {
 
     #[test]
     fn cross_entropy_ignores_masked_rows() {
-        let logits = Tensor::param(Matrix::from_fn(2, 3, |r, c| if r == 0 && c == 0 { 5.0 } else { 0.0 }));
+        let logits =
+            Tensor::param(Matrix::from_fn(2, 3, |r, c| if r == 0 && c == 0 { 5.0 } else { 0.0 }));
         let all = cross_entropy_logits(&logits, &[0, usize::MAX]);
         // Row 1 is ignored, so loss is only row 0's (confident, near zero).
         assert!(all.value_clone().get(0, 0) < 0.1);

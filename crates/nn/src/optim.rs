@@ -54,17 +54,7 @@ impl Adam {
     pub fn new(params: Vec<Tensor>, lr: f32) -> Self {
         let m = params.iter().map(|p| Matrix::zeros(p.shape().0, p.shape().1)).collect();
         let v = params.iter().map(|p| Matrix::zeros(p.shape().0, p.shape().1)).collect();
-        Self {
-            params,
-            m,
-            v,
-            t: 0,
-            lr,
-            beta1: 0.9,
-            beta2: 0.999,
-            eps: 1e-8,
-            clip_norm: Some(5.0),
-        }
+        Self { params, m, v, t: 0, lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip_norm: Some(5.0) }
     }
 
     /// Current learning rate.
@@ -106,11 +96,8 @@ impl Adam {
         };
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, g), (m, v)) in self
-            .params
-            .iter()
-            .zip(grads)
-            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        for ((p, g), (m, v)) in
+            self.params.iter().zip(grads).zip(self.m.iter_mut().zip(self.v.iter_mut()))
         {
             let Some(mut g) = g else { continue };
             if !g.data().iter().all(|x| x.is_finite()) {

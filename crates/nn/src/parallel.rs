@@ -1,0 +1,359 @@
+//! Thread-pool-backed parallel execution layer for the dense kernels.
+//!
+//! A lazily-initialized, persistent worker pool distributes row-partitioned
+//! work across OS threads. Sizing comes from the `PREQR_THREADS` environment
+//! variable (re-read on every dispatch so tests and benchmarks can change it
+//! at runtime), falling back to [`std::thread::available_parallelism`].
+//!
+//! # Determinism contract
+//!
+//! Every kernel built on this module partitions work by **output rows**: a
+//! given output element is always produced by exactly one task, using exactly
+//! the same sequence of floating-point operations as the retained serial
+//! reference kernels (`Matrix::matmul_serial` and friends). Thread count
+//! therefore never changes results — parallel and serial outputs are
+//! bit-identical, and seeded runs reproduce the same numbers under any
+//! `PREQR_THREADS`.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+/// Minimum number of fused multiply-adds (`m·k·n`) before a matmul-family
+/// kernel takes the packed/parallel fast path.
+pub const PAR_MIN_FMAS: usize = 1 << 16;
+
+/// Minimum element count before an element-wise / row-wise kernel
+/// (softmax, layer-norm, map) is dispatched to the pool.
+pub const PAR_MIN_ELEMS: usize = 1 << 15;
+
+/// Completion latch: the dispatching thread blocks until every job handed to
+/// the pool for one call has finished, which is what makes lifetime-erased
+/// borrowed closures sound (see [`TaskRef`]).
+struct Latch {
+    remaining: Mutex<usize>,
+    cond: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self {
+            remaining: Mutex::new(count),
+            cond: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut left = self.remaining.lock();
+        *left -= 1;
+        if *left == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock();
+        while *left > 0 {
+            self.cond.wait(&mut left);
+        }
+    }
+}
+
+/// Lifetime-erased pointer to a caller-owned `Fn(Range<usize>) + Sync`
+/// closure. Safety: the dispatching call blocks on the job's [`Latch`]
+/// before returning, so the pointee strictly outlives every use.
+struct TaskRef(*const (dyn Fn(Range<usize>) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared access from any thread is fine) and
+// is kept alive by the dispatcher until the latch opens.
+unsafe impl Send for TaskRef {}
+
+impl TaskRef {
+    /// Erases the borrow's lifetime so the job can cross the channel. The
+    /// raw-pointer trait object defaults to `'static`, which a borrowed
+    /// closure can't coerce to, hence the explicit transmute.
+    ///
+    /// SAFETY (caller): must block on the job's latch before the borrow ends.
+    unsafe fn erase<'a>(task: &'a (dyn Fn(Range<usize>) + Sync + 'a)) -> Self {
+        TaskRef(std::mem::transmute::<
+            *const (dyn Fn(Range<usize>) + Sync + 'a),
+            *const (dyn Fn(Range<usize>) + Sync + 'static),
+        >(task))
+    }
+}
+
+struct Job {
+    task: TaskRef,
+    range: Range<usize>,
+    latch: Arc<Latch>,
+}
+
+struct Pool {
+    tx: Sender<Job>,
+    rx: Receiver<Job>,
+    spawned: Mutex<usize>,
+}
+
+impl Pool {
+    /// Grows the pool to at least `want` resident workers.
+    fn ensure_workers(&'static self, want: usize) {
+        let mut spawned = self.spawned.lock();
+        while *spawned < want {
+            let rx = self.rx.clone();
+            let id = *spawned;
+            std::thread::Builder::new()
+                .name(format!("preqr-worker-{id}"))
+                .spawn(move || worker_loop(rx))
+                .expect("failed to spawn preqr worker thread");
+            *spawned += 1;
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        // SAFETY: see `TaskRef` — the dispatcher keeps the closure alive
+        // until the latch opens.
+        let task = unsafe { &*job.task.0 };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(job.range)));
+        if result.is_err() {
+            job.latch.panicked.store(true, Ordering::Release);
+        }
+        job.latch.count_down();
+    }
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let (tx, rx) = unbounded();
+        Pool { tx, rx, spawned: Mutex::new(0) }
+    })
+}
+
+/// Process-wide test/bench override for the thread count; `0` means unset.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the thread count for subsequent kernel dispatches (benchmarks
+/// sweep this; tests pin it). `None` restores `PREQR_THREADS`/hardware
+/// sizing. Results are unaffected either way — see the module docs.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Release);
+}
+
+/// Number of threads a dispatch may use right now: the override if set,
+/// else `PREQR_THREADS`, else [`std::thread::available_parallelism`].
+pub fn effective_threads() -> usize {
+    let over = THREAD_OVERRIDE.load(Ordering::Acquire);
+    if over > 0 {
+        return over;
+    }
+    if let Ok(v) = std::env::var("PREQR_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Splits `0..rows` into at most [`effective_threads`] contiguous chunks of
+/// at least `min_rows` rows and runs `f` on each, using the worker pool for
+/// all but the last chunk (which runs on the calling thread). Returns after
+/// every chunk has completed. With one thread (or one chunk) this is a plain
+/// inline call — no pool traffic at all.
+pub fn for_each_row_chunk(rows: usize, min_rows: usize, f: impl Fn(Range<usize>) + Sync) {
+    if rows == 0 {
+        return;
+    }
+    let threads = effective_threads();
+    let max_chunks = rows.div_ceil(min_rows.max(1));
+    let chunks = threads.min(max_chunks).max(1);
+    if chunks == 1 {
+        f(0..rows);
+        return;
+    }
+    let pool = pool();
+    pool.ensure_workers(chunks - 1);
+    let latch = Arc::new(Latch::new(chunks - 1));
+    let task: &(dyn Fn(Range<usize>) + Sync) = &f;
+    let base = rows / chunks;
+    let rem = rows % chunks;
+    let mut start = 0usize;
+    for c in 0..chunks {
+        let end = start + base + usize::from(c < rem);
+        if c == chunks - 1 {
+            f(start..end);
+        } else {
+            // SAFETY: `latch.wait()` below keeps `f` alive past the last use.
+            let job = Job {
+                task: unsafe { TaskRef::erase(task) },
+                range: start..end,
+                latch: latch.clone(),
+            };
+            pool.tx.send(job).expect("preqr worker pool channel closed");
+        }
+        start = end;
+    }
+    latch.wait();
+    assert!(!latch.panicked.load(Ordering::Acquire), "a preqr worker task panicked");
+}
+
+/// Row-partitioned mutable variant: treats `buf` as a `rows × row_width`
+/// row-major buffer, hands each task its disjoint `[start_row, slice]`
+/// chunk, and blocks until all chunks are done.
+pub fn for_each_row_chunk_mut(
+    buf: &mut [f32],
+    row_width: usize,
+    min_rows: usize,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if buf.is_empty() {
+        return;
+    }
+    assert!(row_width > 0 && buf.len() % row_width == 0, "buffer is not rows × row_width");
+    let rows = buf.len() / row_width;
+    let base = SharedMut::new(buf.as_mut_ptr());
+    for_each_row_chunk(rows, min_rows, |range| {
+        // SAFETY: row ranges from `for_each_row_chunk` are disjoint, so each
+        // task gets exclusive access to its rows; the dispatch blocks until
+        // completion, so `buf` outlives every task.
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut(
+                base.get().add(range.start * row_width),
+                range.len() * row_width,
+            )
+        };
+        f(range.start, chunk);
+    });
+}
+
+/// Runs `a` on the calling thread and `b` on a pool worker, returning both
+/// results. Falls back to sequential execution when only one thread is
+/// available.
+pub fn join<RA, RB>(a: impl FnOnce() -> RA, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RB: Send,
+{
+    if effective_threads() < 2 {
+        return (a(), b());
+    }
+    let pool = pool();
+    pool.ensure_workers(1);
+    let latch = Arc::new(Latch::new(1));
+    let b_fn = Mutex::new(Some(b));
+    let b_out: Mutex<Option<RB>> = Mutex::new(None);
+    let wrapper = |_: Range<usize>| {
+        if let Some(g) = b_fn.lock().take() {
+            *b_out.lock() = Some(g());
+        }
+    };
+    let task: &(dyn Fn(Range<usize>) + Sync) = &wrapper;
+    // SAFETY: `latch.wait()` below keeps `wrapper` (and its borrows of
+    // `b_fn`/`b_out`) alive past the worker's last use.
+    pool.tx
+        .send(Job { task: unsafe { TaskRef::erase(task) }, range: 0..0, latch: latch.clone() })
+        .expect("preqr worker pool channel closed");
+    let ra = a();
+    latch.wait();
+    assert!(!latch.panicked.load(Ordering::Acquire), "a preqr join task panicked");
+    let rb = b_out.into_inner().expect("join task did not run");
+    (ra, rb)
+}
+
+/// Shareable raw base pointer for disjoint-range writes from pool tasks.
+/// Used by kernels that scatter into several buffers at once (e.g.
+/// layer-norm writes `out`, `xhat`, and `inv_std` per row).
+pub(crate) struct SharedMut<T>(*mut T);
+
+// SAFETY: callers only dereference disjoint index ranges per task and the
+// dispatching call blocks until all tasks complete.
+unsafe impl<T> Send for SharedMut<T> {}
+unsafe impl<T> Sync for SharedMut<T> {}
+
+impl<T> SharedMut<T> {
+    pub(crate) fn new(ptr: *mut T) -> Self {
+        Self(ptr)
+    }
+
+    pub(crate) fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The override and `PREQR_THREADS` are process-global; tests that
+    /// mutate them must not interleave.
+    fn global_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn chunked_fill_covers_every_row_once() {
+        let _g = global_lock();
+        let rows = 37;
+        let width = 5;
+        let mut buf = vec![0.0f32; rows * width];
+        set_thread_override(Some(4));
+        for_each_row_chunk_mut(&mut buf, width, 1, |start, chunk| {
+            for (i, row) in chunk.chunks_exact_mut(width).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (start + i) as f32;
+                }
+            }
+        });
+        set_thread_override(None);
+        for r in 0..rows {
+            for c in 0..width {
+                assert_eq!(buf[r * width + c], r as f32, "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let _g = global_lock();
+        set_thread_override(Some(2));
+        let (a, b) = join(|| 21 * 2, || "right".to_string());
+        set_thread_override(None);
+        assert_eq!(a, 42);
+        assert_eq!(b, "right");
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let _g = global_lock();
+        set_thread_override(Some(1));
+        let caller = std::thread::current().id();
+        let mut seen = Vec::new();
+        for_each_row_chunk(10, 1, |range| {
+            assert_eq!(std::thread::current().id(), caller);
+            let _ = &range;
+        });
+        set_thread_override(None);
+        seen.push(1);
+        assert_eq!(seen.len(), 1);
+    }
+
+    #[test]
+    fn env_var_controls_sizing() {
+        let _g = global_lock();
+        // Only exercised when the override is unset.
+        set_thread_override(None);
+        std::env::set_var("PREQR_THREADS", "3");
+        assert_eq!(effective_threads(), 3);
+        std::env::set_var("PREQR_THREADS", "not-a-number");
+        assert!(effective_threads() >= 1);
+        std::env::remove_var("PREQR_THREADS");
+    }
+}

@@ -1,0 +1,110 @@
+//! Row-partitioned dense helpers shared by the autograd ops.
+//!
+//! These free functions operate on raw `f32` buffers (no tensor graph), so
+//! they can be driven by the worker pool: rows are partitioned across
+//! tasks, each row's math is byte-for-byte the serial loop, and the
+//! dispatch blocks until every chunk completes — results are bit-identical
+//! at any thread count.
+
+use std::ops::Range;
+
+use crate::matrix::Matrix;
+use crate::parallel;
+
+/// Row-partitioned layer-norm forward: returns `(xhat, inv_std, out)`.
+/// Each row's statistics and normalization are computed independently, so
+/// the parallel partition is bit-identical to the serial loop.
+pub(crate) fn layer_norm_forward(
+    xs: &[f32],
+    rows: usize,
+    d: usize,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) -> (Matrix, Vec<f32>, Matrix) {
+    let mut xhat = Matrix::zeros(rows, d);
+    let mut inv_std = vec![0.0f32; rows];
+    let mut out = Matrix::zeros(rows, d);
+    let run = |range: Range<usize>, xhat_c: &mut [f32], istd_c: &mut [f32], out_c: &mut [f32]| {
+        for (local, r) in range.enumerate() {
+            let row = &xs[r * d..(r + 1) * d];
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + eps).sqrt();
+            istd_c[local] = istd;
+            let xh = &mut xhat_c[local * d..(local + 1) * d];
+            let o = &mut out_c[local * d..(local + 1) * d];
+            for c in 0..d {
+                xh[c] = (row[c] - mean) * istd;
+                o[c] = xh[c] * gamma[c] + beta[c];
+            }
+        }
+    };
+    if rows * d < parallel::PAR_MIN_ELEMS || rows < 2 {
+        run(0..rows, xhat.data_mut(), &mut inv_std, out.data_mut());
+    } else {
+        let xhat_ptr = parallel::SharedMut::new(xhat.data_mut().as_mut_ptr());
+        let istd_ptr = parallel::SharedMut::new(inv_std.as_mut_ptr());
+        let out_ptr = parallel::SharedMut::new(out.data_mut().as_mut_ptr());
+        parallel::for_each_row_chunk(rows, 4, |range| {
+            let len = range.len();
+            // SAFETY: row ranges are disjoint across tasks and the dispatch
+            // blocks until every task completes, so each task has exclusive
+            // access to its slice of all three buffers.
+            unsafe {
+                let xh =
+                    std::slice::from_raw_parts_mut(xhat_ptr.get().add(range.start * d), len * d);
+                let istd = std::slice::from_raw_parts_mut(istd_ptr.get().add(range.start), len);
+                let o = std::slice::from_raw_parts_mut(out_ptr.get().add(range.start * d), len * d);
+                run(range, xh, istd, o);
+            }
+        });
+    }
+    (xhat, inv_std, out)
+}
+
+/// Row-partitioned layer-norm input gradient (same per-row math as the
+/// original serial loop, hence bit-identical at any thread count).
+pub(crate) fn layer_norm_backward_dx(
+    g: &[f32],
+    rows: usize,
+    d: usize,
+    gamma: &[f32],
+    xhat: &Matrix,
+    inv_std: &[f32],
+) -> Matrix {
+    let mut dx = Matrix::zeros(rows, d);
+    let xh = xhat.data();
+    let run = |range: Range<usize>, dx_c: &mut [f32]| {
+        let mut dxhat = vec![0.0f32; d];
+        for (local, r) in range.enumerate() {
+            let gr = &g[r * d..(r + 1) * d];
+            let xr = &xh[r * d..(r + 1) * d];
+            for c in 0..d {
+                dxhat[c] = gr[c] * gamma[c];
+            }
+            let mean_dxhat = dxhat.iter().sum::<f32>() / d as f32;
+            let mean_dxhat_xhat =
+                dxhat.iter().zip(xr.iter()).map(|(&v, &x)| v * x).sum::<f32>() / d as f32;
+            let istd = inv_std[r];
+            let o = &mut dx_c[local * d..(local + 1) * d];
+            for c in 0..d {
+                o[c] = istd * (dxhat[c] - mean_dxhat - xr[c] * mean_dxhat_xhat);
+            }
+        }
+    };
+    if rows * d < parallel::PAR_MIN_ELEMS || rows < 2 {
+        run(0..rows, dx.data_mut());
+    } else {
+        let dx_ptr = parallel::SharedMut::new(dx.data_mut().as_mut_ptr());
+        parallel::for_each_row_chunk(rows, 4, |range| {
+            let len = range.len();
+            // SAFETY: disjoint row ranges; dispatch blocks until completion.
+            unsafe {
+                let o = std::slice::from_raw_parts_mut(dx_ptr.get().add(range.start * d), len * d);
+                run(range, o);
+            }
+        });
+    }
+    dx
+}

@@ -52,8 +52,8 @@ pub fn read_params<R: Read>(r: &mut R) -> io::Result<HashMap<String, Matrix>> {
         let name_len = read_u32(r)? as usize;
         let mut name = vec![0u8; name_len];
         r.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let name =
+            String::from_utf8(name).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         let rows = read_u32(r)? as usize;
         let cols = read_u32(r)? as usize;
         let mut data = vec![0f32; rows * cols];
@@ -94,9 +94,8 @@ pub fn apply_params(
     loaded: &HashMap<String, Matrix>,
 ) -> Result<usize, String> {
     for (name, t) in params {
-        let m = loaded
-            .get(name)
-            .ok_or_else(|| format!("checkpoint is missing parameter `{name}`"))?;
+        let m =
+            loaded.get(name).ok_or_else(|| format!("checkpoint is missing parameter `{name}`"))?;
         if m.shape() != t.shape() {
             return Err(format!(
                 "shape mismatch for `{name}`: checkpoint {:?} vs model {:?}",

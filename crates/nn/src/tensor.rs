@@ -228,7 +228,9 @@ impl Tensor {
         // Interior nodes receive their gradient exactly once all children
         // have contributed because children appear later in `topo`.
         for node in topo.iter().rev() {
-            let Some(backward) = node.0.backward.as_ref() else { continue };
+            let Some(backward) = node.0.backward.as_ref() else {
+                continue;
+            };
             let grad = node.0.grad.borrow().clone();
             let Some(grad) = grad else { continue };
             let value = node.0.value.borrow();

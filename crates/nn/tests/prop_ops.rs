@@ -5,7 +5,10 @@ use proptest::prelude::*;
 
 use preqr_nn::{ops, Matrix, Tensor};
 
-fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+fn matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
     (rows, cols).prop_flat_map(|(r, c)| {
         proptest::collection::vec(-3.0f32..3.0, r * c)
             .prop_map(move |data| Matrix::from_vec(r, c, data))

@@ -1,0 +1,144 @@
+//! Property-based bit-identity tests: the packed/parallel kernel fast paths
+//! must produce *bitwise* identical results to the retained serial reference
+//! kernels for every shape and thread count.
+//!
+//! This is the determinism contract of `preqr_nn::parallel`: work is
+//! partitioned by output rows, so each output element's floating-point
+//! reduction chain is the same as the serial kernel's, regardless of
+//! `PREQR_THREADS`.
+
+use proptest::prelude::*;
+
+use preqr_nn::{parallel, Matrix};
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.data().iter().map(|x| x.to_bits()).collect()
+}
+
+/// Shapes that straddle the `PAR_MIN_FMAS`/`PAR_MIN_ELEMS` dispatch
+/// thresholds as well as comfortably exceeding them, plus awkward remainders
+/// for the MR×NR tile edge paths.
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    prop_oneof![
+        // Small/general: exercises the serial path and the threshold boundary.
+        (1usize..48, 1usize..48, 1usize..48),
+        // Forced past the FLOP threshold: exercises the packed/parallel path.
+        (17usize..96, 33usize..80, 33usize..80),
+        // Exactly-at and adjacent-to the 2^16 FMA threshold.
+        Just((32, 32, 64)),
+        Just((31, 33, 63)),
+        Just((33, 32, 64)),
+    ]
+}
+
+fn matrix_of(rows: usize, cols: usize, seed: Vec<f32>) -> Matrix {
+    let data = (0..rows * cols).map(|i| seed[i % seed.len()] + (i % 7) as f32 * 0.125).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `matmul`, `matmul_transpose_b`, and `transpose_a_matmul` are
+    /// bit-identical to their serial references at 1, 2, and 8 threads.
+    #[test]
+    fn matmul_family_bit_identical(
+        (m, k, n) in dims(),
+        seed in proptest::collection::vec(-2.0f32..2.0, 8..32),
+    ) {
+        let a = matrix_of(m, k, seed.clone());
+        let b = matrix_of(k, n, seed.clone());
+        let bt = matrix_of(n, k, seed.clone());
+        let c = matrix_of(m, n, seed);
+        let want_ab = bits(&a.matmul_serial(&b));
+        let want_abt = bits(&a.matmul_transpose_b_serial(&bt));
+        let want_atc = bits(&a.transpose_a_matmul_serial(&c));
+        for threads in [1usize, 2, 8] {
+            parallel::set_thread_override(Some(threads));
+            let got_ab = bits(&a.matmul(&b));
+            let got_abt = bits(&a.matmul_transpose_b(&bt));
+            let got_atc = bits(&a.transpose_a_matmul(&c));
+            parallel::set_thread_override(None);
+            prop_assert_eq!(&got_ab, &want_ab, "matmul {}x{}x{} at {} threads", m, k, n, threads);
+            prop_assert_eq!(&got_abt, &want_abt, "matmul_transpose_b at {} threads", threads);
+            prop_assert_eq!(&got_atc, &want_atc, "transpose_a_matmul at {} threads", threads);
+        }
+    }
+
+    /// Row-wise softmax is bit-identical to the serial reference across
+    /// thread counts, including shapes past the element threshold.
+    #[test]
+    fn softmax_bit_identical(
+        rows in 1usize..96,
+        cols in 1usize..96,
+        seed in proptest::collection::vec(-4.0f32..4.0, 8..32),
+    ) {
+        let base = matrix_of(rows, cols, seed);
+        let mut want = base.clone();
+        want.softmax_rows_inplace_serial();
+        let want = bits(&want);
+        for threads in [1usize, 2, 8] {
+            parallel::set_thread_override(Some(threads));
+            let mut got = base.clone();
+            got.softmax_rows_inplace();
+            parallel::set_thread_override(None);
+            prop_assert_eq!(bits(&got), want.clone(), "softmax {}x{} at {} threads", rows, cols, threads);
+        }
+    }
+
+    /// Parallel element-wise kernels (add_assign, add_scaled_assign, map,
+    /// zip_map, scale_assign) are bit-identical across thread counts. Uses
+    /// buffers past `PAR_MIN_ELEMS` so the pool path actually runs.
+    #[test]
+    fn elementwise_bit_identical(
+        rows in 64usize..160,
+        cols in 256usize..320,
+        seed in proptest::collection::vec(-2.0f32..2.0, 8..32),
+        scale in -2.0f32..2.0,
+    ) {
+        let a = matrix_of(rows, cols, seed.clone());
+        let b = matrix_of(rows, cols, seed);
+        parallel::set_thread_override(Some(1));
+        let mut want_add = a.clone();
+        want_add.add_assign(&b);
+        let mut want_axpy = a.clone();
+        want_axpy.add_scaled_assign(&b, scale);
+        let want_map = a.map(|x| x * scale + 1.0);
+        let want_zip = a.zip_map(&b, |x, y| x * y + scale);
+        parallel::set_thread_override(None);
+        for threads in [2usize, 8] {
+            parallel::set_thread_override(Some(threads));
+            let mut got_add = a.clone();
+            got_add.add_assign(&b);
+            let mut got_axpy = a.clone();
+            got_axpy.add_scaled_assign(&b, scale);
+            let got_map = a.map(|x| x * scale + 1.0);
+            let got_zip = a.zip_map(&b, |x, y| x * y + scale);
+            parallel::set_thread_override(None);
+            prop_assert_eq!(bits(&got_add), bits(&want_add), "add_assign at {} threads", threads);
+            prop_assert_eq!(bits(&got_axpy), bits(&want_axpy), "add_scaled_assign at {} threads", threads);
+            prop_assert_eq!(bits(&got_map), bits(&want_map), "map at {} threads", threads);
+            prop_assert_eq!(bits(&got_zip), bits(&want_zip), "zip_map at {} threads", threads);
+        }
+    }
+}
+
+/// The old fast-path skip `if a_ik == 0.0 { continue; }` silently dropped
+/// `0 · inf` and `0 · NaN` contributions; IEEE 754 requires them to
+/// propagate as NaN. Both serial and packed paths must agree.
+#[test]
+fn zero_times_inf_propagates_nan() {
+    let a = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+    let b = Matrix::from_vec(2, 1, vec![f32::INFINITY, 1.0]);
+    assert!(a.matmul(&b).get(0, 0).is_nan());
+    assert!(a.matmul_serial(&b).get(0, 0).is_nan());
+    let big_a = Matrix::from_fn(40, 64, |i, j| if j == 0 { 0.0 } else { (i + j) as f32 * 0.01 });
+    let big_b = Matrix::from_fn(64, 48, |i, _| if i == 0 { f32::NEG_INFINITY } else { 1.0 });
+    let fast = big_a.matmul(&big_b);
+    let slow = big_a.matmul_serial(&big_b);
+    assert!(fast.get(0, 0).is_nan(), "0 * -inf must contribute NaN on the packed path");
+    assert_eq!(
+        fast.data().iter().map(|x| x.is_nan()).collect::<Vec<_>>(),
+        slow.data().iter().map(|x| x.is_nan()).collect::<Vec<_>>(),
+    );
+}

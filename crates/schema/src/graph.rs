@@ -155,14 +155,10 @@ impl SchemaGraph {
         let names: Vec<&str> = schema.tables().iter().map(|t| t.name.as_str()).collect();
         for (i, &a) in names.iter().enumerate() {
             for &b in names.iter().skip(i + 1) {
-                let a_to_b = schema
-                    .foreign_keys()
-                    .iter()
-                    .any(|fk| fk.from_table == a && fk.to_table == b);
-                let b_to_a = schema
-                    .foreign_keys()
-                    .iter()
-                    .any(|fk| fk.from_table == b && fk.to_table == a);
+                let a_to_b =
+                    schema.foreign_keys().iter().any(|fk| fk.from_table == a && fk.to_table == b);
+                let b_to_a =
+                    schema.foreign_keys().iter().any(|fk| fk.from_table == b && fk.to_table == a);
                 let va = g.table_vertex(a).expect("table vertex");
                 let vb = g.table_vertex(b).expect("table vertex");
                 match (a_to_b, b_to_a) {
@@ -207,9 +203,9 @@ impl SchemaGraph {
 
     /// Vertex id of a table.
     pub fn table_vertex(&self, table: &str) -> Option<usize> {
-        self.vertices.iter().position(
-            |v| matches!(&v.kind, VertexKind::Table { table: t } if t == table),
-        )
+        self.vertices
+            .iter()
+            .position(|v| matches!(&v.kind, VertexKind::Table { table: t } if t == table))
     }
 
     /// Vertex id of a column.
@@ -222,11 +218,7 @@ impl SchemaGraph {
 
     /// Directed edges with a given label, as `(src, dst)` pairs.
     pub fn edges_with_label(&self, label: EdgeLabel) -> Vec<(usize, usize)> {
-        self.edges
-            .iter()
-            .filter(|(_, l, _)| *l == label)
-            .map(|(s, _, d)| (*s, *d))
-            .collect()
+        self.edges.iter().filter(|(_, l, _)| *l == label).map(|(s, _, d)| (*s, *d)).collect()
     }
 
     /// Per-relation edge lists indexed by [`EdgeLabel::index`] (input to

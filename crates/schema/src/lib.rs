@@ -121,11 +121,7 @@ impl Schema {
     /// # Panics
     /// Panics if a table with the same name exists.
     pub fn add_table(&mut self, table: Table) -> &mut Self {
-        assert!(
-            self.table(&table.name).is_none(),
-            "duplicate table `{}`",
-            table.name
-        );
+        assert!(self.table(&table.name).is_none(), "duplicate table `{}`", table.name);
         self.tables.push(table);
         self
     }
@@ -200,8 +196,7 @@ impl Schema {
         self.foreign_keys
             .iter()
             .filter(|fk| {
-                (fk.from_table == a && fk.to_table == b)
-                    || (fk.from_table == b && fk.to_table == a)
+                (fk.from_table == a && fk.to_table == b) || (fk.from_table == b && fk.to_table == a)
             })
             .collect()
     }

@@ -115,16 +115,10 @@ impl LinToken {
 /// `[CLS]` and `[END]` tokens.
 pub fn linearize(q: &Query) -> Vec<LinToken> {
     let mut out = Vec::with_capacity(32);
-    out.push(LinToken::plain(
-        "[CLS]",
-        StateKey::new(ClauseRegion::Start, SymbolClass::Cls, 0),
-    ));
+    out.push(LinToken::plain("[CLS]", StateKey::new(ClauseRegion::Start, SymbolClass::Cls, 0)));
     linearize_select(&q.body, 0, &mut out);
     for u in &q.unions {
-        out.push(LinToken::plain(
-            "UNION",
-            StateKey::new(ClauseRegion::End, SymbolClass::Union, 0),
-        ));
+        out.push(LinToken::plain("UNION", StateKey::new(ClauseRegion::End, SymbolClass::Union, 0)));
         linearize_select(u, 0, &mut out);
     }
     out.push(LinToken::plain("[END]", StateKey::new(ClauseRegion::End, SymbolClass::End, 0)));
@@ -202,11 +196,7 @@ fn linearize_select(s: &SelectStmt, depth: u8, out: &mut Vec<LinToken>) {
     }
     if let Some(l) = s.limit {
         out.push(LinToken::plain("LIMIT", k(R::LimitClause, S::Limit)));
-        out.push(LinToken::literal(
-            None,
-            Value::Int(l as i64),
-            k(R::LimitClause, S::Value),
-        ));
+        out.push(LinToken::literal(None, Value::Int(l as i64), k(R::LimitClause, S::Value)));
     }
 }
 
@@ -301,10 +291,9 @@ fn linearize_scalar(
 ) {
     use SymbolClass as S;
     match s {
-        Scalar::Column(c) => out.push(LinToken::plain(
-            c.to_string(),
-            StateKey::new(region, S::PredColumn, depth),
-        )),
+        Scalar::Column(c) => {
+            out.push(LinToken::plain(c.to_string(), StateKey::new(region, S::PredColumn, depth)))
+        }
         Scalar::Value(v) => out.push(LinToken::literal(
             value_ctx,
             v.clone(),
@@ -355,9 +344,7 @@ mod tests {
         let toks = linearize(&q);
         let table_keys: Vec<&StateKey> = toks
             .iter()
-            .filter(|t| {
-                ["title", "t", ",", "movie_companies", "mc"].contains(&t.text.as_str())
-            })
+            .filter(|t| ["title", "t", ",", "movie_companies", "mc"].contains(&t.text.as_str()))
             .map(|t| &t.key)
             .collect();
         assert_eq!(table_keys.len(), 5);
@@ -412,11 +399,8 @@ mod tests {
         )
         .unwrap();
         let toks = linearize(&q);
-        let inner_select = toks
-            .iter()
-            .filter(|t| t.text == "SELECT")
-            .map(|t| t.key.depth)
-            .collect::<Vec<_>>();
+        let inner_select =
+            toks.iter().filter(|t| t.text == "SELECT").map(|t| t.key.depth).collect::<Vec<_>>();
         assert_eq!(inner_select, vec![0, 1]);
     }
 
@@ -433,8 +417,7 @@ mod tests {
     #[test]
     fn between_produces_two_value_tokens_with_context() {
         let q = parse("SELECT * FROM t WHERE y BETWEEN 1 AND 9").unwrap();
-        let lits: Vec<LinToken> =
-            linearize(&q).into_iter().filter(|t| t.value.is_some()).collect();
+        let lits: Vec<LinToken> = linearize(&q).into_iter().filter(|t| t.value.is_some()).collect();
         assert_eq!(lits.len(), 2);
         assert!(lits.iter().all(|t| t.value_col.as_ref().unwrap().column == "y"));
     }

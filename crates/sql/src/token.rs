@@ -349,17 +349,12 @@ pub fn lex(sql: &str) -> Result<Vec<Token>, LexError> {
                         })?));
                     }
                 } else {
-                    return Err(LexError {
-                        position: i,
-                        message: "unexpected `-`".into(),
-                    });
+                    return Err(LexError { position: i, message: "unexpected `-`".into() });
                 }
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &sql[start..i];

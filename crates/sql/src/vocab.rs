@@ -57,11 +57,8 @@ impl Vocab {
             freq.iter().filter(|(_, &c)| c >= min_freq).map(|(&w, _)| w).collect();
         words.sort_unstable();
 
-        let mut v = Self {
-            token_to_id: HashMap::new(),
-            id_to_token: Vec::new(),
-            maskable: Vec::new(),
-        };
+        let mut v =
+            Self { token_to_id: HashMap::new(), id_to_token: Vec::new(), maskable: Vec::new() };
         for s in SPECIALS {
             v.push(s.to_string(), false);
         }

@@ -8,9 +8,8 @@ use preqr_sql::normalize::{state_keys, template_text};
 use preqr_sql::parser::parse;
 
 fn ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
-        preqr_sql::token::Keyword::parse(s).is_none()
-    })
+    "[a-z][a-z0-9_]{0,8}"
+        .prop_filter("not a keyword", |s| preqr_sql::token::Keyword::parse(s).is_none())
 }
 
 fn value() -> impl Strategy<Value = Value> {
@@ -22,8 +21,7 @@ fn value() -> impl Strategy<Value = Value> {
 }
 
 fn column_ref() -> impl Strategy<Value = ColumnRef> {
-    (proptest::option::of(ident()), ident())
-        .prop_map(|(t, c)| ColumnRef { table: t, column: c })
+    (proptest::option::of(ident()), ident()).prop_map(|(t, c)| ColumnRef { table: t, column: c })
 }
 
 fn cmp_op() -> impl Strategy<Value = CmpOp> {
@@ -54,9 +52,8 @@ fn leaf_expr() -> impl Strategy<Value = Expr> {
             low: Value::Int(lo),
             high: Value::Int(lo + d),
         }),
-        (column_ref(), proptest::collection::vec(value(), 1..4), any::<bool>()).prop_map(
-            |(c, vs, neg)| Expr::InList { col: c, values: vs, negated: neg }
-        ),
+        (column_ref(), proptest::collection::vec(value(), 1..4), any::<bool>())
+            .prop_map(|(c, vs, neg)| Expr::InList { col: c, values: vs, negated: neg }),
         (column_ref(), "[a-z%_]{1,6}", any::<bool>()).prop_map(|(c, p, neg)| Expr::Like {
             col: c,
             pattern: p,
@@ -69,10 +66,8 @@ fn leaf_expr() -> impl Strategy<Value = Expr> {
 fn expr() -> impl Strategy<Value = Expr> {
     leaf_expr().prop_recursive(3, 12, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
             inner.prop_map(|a| Expr::Not(Box::new(a))),
         ]
     })

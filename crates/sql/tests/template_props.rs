@@ -9,10 +9,9 @@ use preqr_sql::Query;
 fn workload() -> impl Strategy<Value = Vec<Query>> {
     let table = prop_oneof![Just("title"), Just("orders"), Just("item")];
     let col = prop_oneof![Just("id"), Just("year"), Just("price")];
-    let one = (table, col, -500i64..500, prop_oneof![Just(">"), Just("="), Just("<")])
-        .prop_map(|(t, c, v, op)| {
-            parse(&format!("SELECT COUNT(*) FROM {t} WHERE {t}.{c} {op} {v}")).unwrap()
-        });
+    let one = (table, col, -500i64..500, prop_oneof![Just(">"), Just("="), Just("<")]).prop_map(
+        |(t, c, v, op)| parse(&format!("SELECT COUNT(*) FROM {t} WHERE {t}.{c} {op} {v}")).unwrap(),
+    );
     proptest::collection::vec(one, 1..40)
 }
 

@@ -69,14 +69,12 @@ impl SimilarityMethod<'_> {
                         .collect(),
                 )
             }
-            SimilarityMethod::Seq2Seq(embedder) => Some(center(
-                queries.iter().map(|q| embedder.embed(q)).collect(),
-            )),
+            SimilarityMethod::Seq2Seq(embedder) => {
+                Some(center(queries.iter().map(|q| embedder.embed(q)).collect()))
+            }
             SimilarityMethod::Preqr(model) => {
                 let nodes = model.cached_nodes();
-                Some(center(
-                    queries.iter().map(|q| model.cls_vector(q, nodes.as_ref())).collect(),
-                ))
+                Some(center(queries.iter().map(|q| model.cls_vector(q, nodes.as_ref())).collect()))
             }
             _ => None,
         };
@@ -88,9 +86,7 @@ impl SimilarityMethod<'_> {
                     (SimilarityMethod::Aouiche, _) => {
                         aouiche_similarity(&queries[i], &queries[j], &universe)
                     }
-                    (SimilarityMethod::Aligon, _) => {
-                        aligon_similarity(&queries[i], &queries[j])
-                    }
+                    (SimilarityMethod::Aligon, _) => aligon_similarity(&queries[i], &queries[j]),
                     (SimilarityMethod::Makiyama, _) => {
                         makiyama_similarity(&queries[i], &queries[j])
                     }
@@ -130,9 +126,7 @@ fn center(mut embeddings: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
 
 /// Distance matrix `1 − similarity` (clamped to `[0, 2]`).
 pub fn to_distance(sim: &[Vec<f64>]) -> Vec<Vec<f64>> {
-    sim.iter()
-        .map(|row| row.iter().map(|&s| (1.0 - s).clamp(0.0, 2.0)).collect())
-        .collect()
+    sim.iter().map(|row| row.iter().map(|&s| (1.0 - s).clamp(0.0, 2.0)).collect()).collect()
 }
 
 /// BetaCV of a method on a labelled dataset (smaller is better).
@@ -149,16 +143,11 @@ pub fn ch_ndcg(method: &SimilarityMethod<'_>, ch: &ChWorkload, k: usize) -> f64 
     let mut total = 0.0;
     for i in 0..n {
         let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-        others.sort_by(|&a, &b| {
-            sim[i][b].partial_cmp(&sim[i][a]).expect("finite similarity")
-        });
+        others.sort_by(|&a, &b| sim[i][b].partial_cmp(&sim[i][a]).expect("finite similarity"));
         // Relevance indexed by position in `others`.
         let relevance: Vec<f64> = (0..n).filter(|&j| j != i).map(|j| ch.overlap[i][j]).collect();
-        let index_of: std::collections::HashMap<usize, usize> = (0..n)
-            .filter(|&j| j != i)
-            .enumerate()
-            .map(|(pos, j)| (j, pos))
-            .collect();
+        let index_of: std::collections::HashMap<usize, usize> =
+            (0..n).filter(|&j| j != i).enumerate().map(|(pos, j)| (j, pos)).collect();
         let ranking: Vec<usize> = others.iter().map(|j| index_of[j]).collect();
         total += ndcg_at_k(&relevance, &ranking, k);
     }
@@ -212,14 +201,10 @@ impl Seq2SeqEmbedder {
     pub fn train(corpus: &[Query], d: usize, epochs: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         // Target vocabulary = the queries' own token texts (auto-encoding).
-        let token_texts: Vec<Vec<String>> = corpus
-            .iter()
-            .map(|q| linearize(q).iter().map(|t| t.text.clone()).collect())
-            .collect();
-        let all_words: Vec<&str> = token_texts
-            .iter()
-            .flat_map(|ts| ts.iter().map(String::as_str))
-            .collect();
+        let token_texts: Vec<Vec<String>> =
+            corpus.iter().map(|q| linearize(q).iter().map(|t| t.text.clone()).collect()).collect();
+        let all_words: Vec<&str> =
+            token_texts.iter().flat_map(|ts| ts.iter().map(String::as_str)).collect();
         let tv = TextVocab::build(all_words);
         let encoder = LstmTextEncoder::new(corpus, &tv, d, &mut rng);
         let decoder = RnnDecoder::new(&tv, d, DecoderOptions::default(), &mut rng);
@@ -256,11 +241,9 @@ mod tests {
     #[test]
     fn classic_methods_produce_valid_betacv() {
         let ds = iit_bombay();
-        for method in [
-            SimilarityMethod::Aouiche,
-            SimilarityMethod::Aligon,
-            SimilarityMethod::Makiyama,
-        ] {
+        for method in
+            [SimilarityMethod::Aouiche, SimilarityMethod::Aligon, SimilarityMethod::Makiyama]
+        {
             let b = betacv_of(&method, &ds.queries, &ds.labels);
             assert!(b.is_finite() && b > 0.0, "{} betacv {b}", method.name());
             assert!(b < 1.5, "{} betacv should be below random-ish 1.5: {b}", method.name());
@@ -285,10 +268,7 @@ mod tests {
         assert!((0.0..=1.0).contains(&ndcg), "ndcg {ndcg}");
         let gd = ch_group_distances(&m, &ch);
         assert!(gd.equivalent.is_finite());
-        assert!(
-            gd.irrelevant > gd.equivalent,
-            "irrelevant pairs must be farther: {gd:?}"
-        );
+        assert!(gd.irrelevant > gd.equivalent, "irrelevant pairs must be farther: {gd:?}");
     }
 
     #[test]

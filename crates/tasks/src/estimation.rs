@@ -114,11 +114,7 @@ fn validation_qerror(
     if valid.is_empty() {
         return f64::INFINITY;
     }
-    valid
-        .iter()
-        .map(|lq| qerror(predict(lq), target.truth(lq)))
-        .sum::<f64>()
-        / valid.len() as f64
+    valid.iter().map(|lq| qerror(predict(lq), target.truth(lq))).sum::<f64>() / valid.len() as f64
 }
 
 fn snapshot(params: &[Tensor]) -> Vec<Matrix> {
@@ -162,11 +158,8 @@ impl Estimator for PgBaseline<'_> {
                 let mut total = 0.0;
                 for s in q.selects() {
                     let Ok(plan) = est.estimate_plan(s) else { continue };
-                    let base: Vec<f64> = s
-                        .tables()
-                        .iter()
-                        .map(|t| self.stats.row_count(&t.table) as f64)
-                        .collect();
+                    let base: Vec<f64> =
+                        s.tables().iter().map(|t| self.stats.row_count(&t.table) as f64).collect();
                     total += self.cost_model.plan_cost(&base, &plan.filtered, &plan.joins);
                 }
                 total.max(1.0)
@@ -301,11 +294,7 @@ impl Estimator for LstmPredictor<'_> {
         if plan_dim > 0 {
             bitmap.extend(plan_features(self.db, &self.stats, &self.cost_model, q));
         }
-        let out = self
-            .model
-            .forward(&ids, &nums, &channel, Some(&bitmap))
-            .value_clone()
-            .get(0, 0);
+        let out = self.model.forward(&ids, &nums, &channel, Some(&bitmap)).value_clone().get(0, 0);
         self.norm.decode(out)
     }
 }
@@ -380,10 +369,7 @@ pub fn train_lstm<'a>(
                     bitmap.extend(plan_features(db, &table_stats, &cost_model, &lq.query));
                 }
                 norm.decode(
-                    model
-                        .forward(&ids, &nums, &channel, Some(&bitmap))
-                        .value_clone()
-                        .get(0, 0),
+                    model.forward(&ids, &nums, &channel, Some(&bitmap)).value_clone().get(0, 0),
                 )
             },
             target,
@@ -407,7 +393,18 @@ pub fn train_lstm<'a>(
     if let Some(snap) = &best_snap {
         restore(&params, snap);
     }
-    LstmPredictor { db, vocab, model, sampler, bitmap_dim, norm, target, stats: table_stats, cost_model, history }
+    LstmPredictor {
+        db,
+        vocab,
+        model,
+        sampler,
+        bitmap_dim,
+        norm,
+        target,
+        stats: table_stats,
+        cost_model,
+        history,
+    }
 }
 
 /// Trained PreQR estimator: frozen lower layers + fine-tuned last
@@ -547,10 +544,7 @@ impl PreqrPredictor<'_> {
         let lower = self.model.lower_states(&pq, self.nodes.as_ref());
         let reps = self.model.last_layer_encode(&lower, self.nodes.as_ref());
         restore(&live, &current);
-        let mut bits = self
-            .sampler
-            .map(|s| sample_features(self.db, s, q))
-            .unwrap_or_default();
+        let mut bits = self.sampler.map(|s| sample_features(self.db, s, q)).unwrap_or_default();
         bits.extend(plan_features(self.db, &self.stats, &self.cost_model, q));
         preqr_features(&reps, &bits, self.bitmap_dim)
     }
@@ -600,8 +594,7 @@ pub fn train_preqr<'a>(
         .map(|l| {
             let pq = model.prepare(&l.query);
             let lower = model.lower_states(&pq, nodes.as_ref());
-            let mut bits =
-                sampler.map(|s| sample_features(db, s, &l.query)).unwrap_or_default();
+            let mut bits = sampler.map(|s| sample_features(db, s, &l.query)).unwrap_or_default();
             bits.extend(plan_features(db, &table_stats, &cost_model, &l.query));
             (lower, bits, norm.encode(target.log_truth(l)))
         })
@@ -788,10 +781,8 @@ mod tests {
     fn sample_features_have_fixed_width_and_track_joins() {
         let (db, labeled) = setup();
         let sampler = BitmapSampler::new(&db, 32, 1);
-        let zero_join =
-            labeled.iter().find(|l| l.num_joins == 0).expect("0-join query");
-        let two_join =
-            labeled.iter().find(|l| l.num_joins == 2).expect("2-join query");
+        let zero_join = labeled.iter().find(|l| l.num_joins == 0).expect("0-join query");
+        let two_join = labeled.iter().find(|l| l.num_joins == 2).expect("2-join query");
         let f0 = sample_features(&db, &sampler, &zero_join.query);
         let f2 = sample_features(&db, &sampler, &two_join.query);
         assert_eq!(f0.len(), SAMPLE_FEATURES);
@@ -869,8 +860,7 @@ mod tests {
         for t in db.schema().tables() {
             for c in &t.columns {
                 if let Some(col) = db.column(&t.name, &c.name) {
-                    let samples: Vec<f64> =
-                        (0..col.len()).filter_map(|r| col.get_f64(r)).collect();
+                    let samples: Vec<f64> = (0..col.len()).filter_map(|r| col.get_f64(r)).collect();
                     if !samples.is_empty() {
                         buckets.insert(&t.name, &c.name, samples);
                     }

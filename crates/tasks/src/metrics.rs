@@ -34,8 +34,7 @@ impl QErrorStats {
     pub fn compute(preds: &[f64], truths: &[f64]) -> Self {
         assert_eq!(preds.len(), truths.len(), "pred/truth length mismatch");
         assert!(!preds.is_empty(), "no predictions");
-        let mut errs: Vec<f64> =
-            preds.iter().zip(truths).map(|(&p, &t)| qerror(p, t)).collect();
+        let mut errs: Vec<f64> = preds.iter().zip(truths).map(|(&p, &t)| qerror(p, t)).collect();
         errs.sort_by(|a, b| a.partial_cmp(b).expect("finite q-errors"));
         let pct = |p: f64| -> f64 {
             let idx = ((errs.len() as f64 - 1.0) * p).round() as usize;
@@ -101,12 +100,8 @@ pub fn ndcg_at_k(relevance: &[f64], ranking: &[usize], k: usize) -> f64 {
         .sum();
     let mut ideal: Vec<f64> = relevance.to_vec();
     ideal.sort_by(|a, b| b.partial_cmp(a).expect("finite relevance"));
-    let idcg: f64 = ideal
-        .iter()
-        .take(k)
-        .enumerate()
-        .map(|(pos, &g)| g / ((pos + 2) as f64).log2())
-        .sum();
+    let idcg: f64 =
+        ideal.iter().take(k).enumerate().map(|(pos, &g)| g / ((pos + 2) as f64).log2()).sum();
     if idcg <= 0.0 {
         1.0
     } else {
@@ -129,9 +124,7 @@ pub fn bleu(candidates: &[Vec<String>], references: &[Vec<Vec<String>>]) -> f64 
         ref_len += refs
             .iter()
             .map(Vec::len)
-            .min_by_key(|&l| {
-                (l as i64 - cand.len() as i64).abs() * 2 + i64::from(l < cand.len())
-            })
+            .min_by_key(|&l| (l as i64 - cand.len() as i64).abs() * 2 + i64::from(l < cand.len()))
             .unwrap_or(0);
         for n in 1..=max_n {
             if cand.len() < n {
@@ -174,11 +167,7 @@ pub fn bleu(candidates: &[Vec<String>], references: &[Vec<Vec<String>>]) -> f64 
     if orders == 0 {
         return 0.0;
     }
-    let bp = if cand_len >= ref_len {
-        1.0
-    } else {
-        (1.0 - ref_len as f64 / cand_len as f64).exp()
-    };
+    let bp = if cand_len >= ref_len { 1.0 } else { (1.0 - ref_len as f64 / cand_len as f64).exp() };
     bp * (log_sum / orders as f64).exp()
 }
 

@@ -106,8 +106,7 @@ impl GenModel<'_> {
     pub fn evaluate(&self, test: &[TextPair]) -> f64 {
         let candidates: Vec<Vec<String>> =
             test.iter().map(|p| self.generate(&p.query, 24)).collect();
-        let references: Vec<Vec<Vec<String>>> =
-            test.iter().map(|p| p.references.clone()).collect();
+        let references: Vec<Vec<Vec<String>>> = test.iter().map(|p| p.references.clone()).collect();
         bleu(&candidates, &references)
     }
 }
@@ -123,10 +122,7 @@ pub fn train_generator<'a>(
     let mut rng = StdRng::seed_from_u64(seed);
     let name = kind.name();
     let vocab = TextVocab::build(
-        train
-            .iter()
-            .flat_map(|p| p.references.iter().flatten())
-            .map(String::as_str),
+        train.iter().flat_map(|p| p.references.iter().flatten()).map(String::as_str),
     );
     let corpus: Vec<Query> = train.iter().map(|p| p.query.clone()).collect();
     let (encoder, options): (Box<dyn TextEncoder + 'a>, DecoderOptions) = match kind {

@@ -34,8 +34,15 @@ fn main() {
     // Fine-tune the last SQLBERT layer + a 3-layer FC head (§4.3.2).
     println!("fine-tuning PreQR head…");
     let preqr = train_preqr(
-        &db, &model, Some(&sampler), &train, &valid,
-        Target::Cardinality, 6, 7, "PreQRCard",
+        &db,
+        &model,
+        Some(&sampler),
+        &train,
+        &valid,
+        Target::Cardinality,
+        6,
+        7,
+        "PreQRCard",
     );
     let pg = PgBaseline::new(&db, &stats, Target::Cardinality);
 

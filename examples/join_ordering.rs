@@ -48,10 +48,7 @@ fn greedy_order(q: &Query, est: &dyn Estimator) -> Vec<usize> {
 fn partial_query(q: &Query, tables: &[usize]) -> Query {
     let all = q.body.tables();
     let keep: Vec<String> = tables.iter().map(|&i| all[i].binding().to_string()).collect();
-    let mut stmt = SelectStmt {
-        projections: q.body.projections.clone(),
-        ..Default::default()
-    };
+    let mut stmt = SelectStmt { projections: q.body.projections.clone(), ..Default::default() };
     for &i in tables {
         stmt.from.push(q.body.tables()[i].clone());
     }
@@ -85,12 +82,8 @@ fn true_cost(db: &preqr_engine::Database, q: &Query, order: &[usize], cm: &CostM
     // joins in our workloads).
     match execute(db, &reordered) {
         Ok(r) => {
-            let base: Vec<f64> = reordered
-                .body
-                .tables()
-                .iter()
-                .map(|t| db.row_count(&t.table) as f64)
-                .collect();
+            let base: Vec<f64> =
+                reordered.body.tables().iter().map(|t| db.row_count(&t.table) as f64).collect();
             cm.cost_from_steps(&base, &r.step_cardinalities, base.len())
         }
         Err(_) => f64::INFINITY,
@@ -110,7 +103,15 @@ fn main() {
     let valid = workloads::label(&db, &workloads::synthetic(&db, 40, 22), &cm);
     println!("fine-tuning the cardinality head…");
     let preqr = train_preqr(
-        &db, &model, Some(&sampler), &train, &valid, Target::Cardinality, 6, 7, "PreQRCard",
+        &db,
+        &model,
+        Some(&sampler),
+        &train,
+        &valid,
+        Target::Cardinality,
+        6,
+        7,
+        "PreQRCard",
     );
     let pg = PgBaseline::new(&db, &stats, Target::Cardinality);
 

@@ -28,7 +28,10 @@ fn main() {
 
     // 4. Masked-language-model pre-training (§3.5.2).
     for s in model.pretrain(&corpus, 2, 1e-3) {
-        println!("epoch {}: mlm loss {:.3}, masked-token accuracy {:.2}", s.epoch, s.loss, s.accuracy);
+        println!(
+            "epoch {}: mlm loss {:.3}, masked-token accuracy {:.2}",
+            s.epoch, s.loss, s.accuracy
+        );
     }
 
     // 5. Encode a query. The representation is `Concat(e_q, e_g)` per

@@ -32,14 +32,10 @@ fn main() {
     println!("\nquery: {q}\n");
     println!("per-token top-3 schema vertices (first-layer attention):");
     for (i, tok) in pq.tokens.iter().enumerate().take(attn.rows()) {
-        let mut scored: Vec<(usize, f32)> =
-            attn.row(i).iter().copied().enumerate().collect();
+        let mut scored: Vec<(usize, f32)> = attn.row(i).iter().copied().enumerate().collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
-        let top: Vec<String> = scored
-            .iter()
-            .take(3)
-            .map(|(j, w)| format!("{} ({:.2})", names[*j], w))
-            .collect();
+        let top: Vec<String> =
+            scored.iter().take(3).map(|(j, w)| format!("{} ({:.2})", names[*j], w)).collect();
         println!("  {:<28} → {}", tok.text, top.join(", "));
     }
 

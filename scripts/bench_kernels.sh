@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Kernel benchmark: serial reference kernels vs packed/parallel fast paths.
+#
+# Preferred path runs the cargo binary. When the registry is unreachable
+# (offline container), falls back to a plain-rustc harness that compiles the
+# real kernel sources (crates/nn/src/{parallel,matrix,rowops}.rs) with
+# std-based shims for crossbeam/parking_lot — see
+# scripts/standalone_bench_kernels.rs. Both writers emit the same
+# results/BENCH_kernels.json schema.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+
+# Benchmark builds target the host CPU so the packed microkernel's register
+# tile actually lands in AVX2/AVX-512 registers (results stay bit-identical:
+# Rust never contracts mul+add into FMA, so only instruction selection
+# changes, not floating-point semantics).
+export RUSTFLAGS="${RUSTFLAGS:--C target-cpu=native}"
+
+if cargo build --release -p preqr-bench --bin bench_kernels 2>/dev/null; then
+    exec cargo run --release -p preqr-bench --bin bench_kernels
+fi
+
+echo "cargo build unavailable (offline registry?); using standalone rustc harness" >&2
+
+BUILD_DIR="$(mktemp -d)"
+trap 'rm -rf "$BUILD_DIR"' EXIT
+
+cp scripts/standalone_bench_kernels.rs "$BUILD_DIR/main.rs"
+
+# Real kernel sources, with only their external imports rewritten to the
+# harness's std-based compat shims.
+sed -e 's|use crossbeam::channel::{unbounded, Receiver, Sender};|use crate::compat::channel::{unbounded, Receiver, Sender};|' \
+    -e 's|use parking_lot::{Condvar, Mutex};|use crate::compat::sync::{Condvar, Mutex};|' \
+    crates/nn/src/parallel.rs > "$BUILD_DIR/parallel.rs"
+
+sed -e '/^use serde::{Deserialize, Serialize};$/d' \
+    -e 's|#\[derive(Clone, Debug, PartialEq, Serialize, Deserialize)\]|#[derive(Clone, Debug, PartialEq)]|' \
+    crates/nn/src/matrix.rs > "$BUILD_DIR/matrix.rs"
+
+cp crates/nn/src/rowops.rs "$BUILD_DIR/rowops.rs"
+
+rustc --edition 2021 -C opt-level=3 $RUSTFLAGS -o "$BUILD_DIR/bench_kernels" "$BUILD_DIR/main.rs"
+"$BUILD_DIR/bench_kernels"

@@ -1,0 +1,419 @@
+//! Standalone kernel benchmark + bit-identity checker for `preqr-nn`.
+//!
+//! `scripts/bench_kernels.sh` normally runs the cargo binary
+//! (`cargo run --release -p preqr-bench --bin bench_kernels`). In offline
+//! environments where the crates.io registry is unreachable the script
+//! falls back to this harness: it copies the *real* kernel sources
+//! (`crates/nn/src/{parallel,matrix,rowops}.rs`) next to this file, rewrites
+//! only their external imports (crossbeam/parking_lot → the std-based
+//! `compat` shims below, serde derive dropped), and compiles the result with
+//! plain `rustc -O`. The kernels under test are therefore byte-for-byte the
+//! shipped ones; only the channel/lock plumbing differs.
+//!
+//! Output: `results/BENCH_kernels.json` (same schema as the cargo binary)
+//! after a full bit-identity sweep of the parallel kernels against the
+//! serial references.
+
+#![allow(dead_code)]
+
+#[path = "parallel.rs"]
+mod parallel;
+
+#[path = "matrix.rs"]
+mod matrix;
+
+#[path = "rowops.rs"]
+mod rowops;
+
+/// Std-based stand-ins for the crossbeam / parking_lot APIs `parallel.rs`
+/// uses, so the harness builds with nothing but the Rust toolchain.
+mod compat {
+    pub mod channel {
+        use std::sync::mpsc;
+        use std::sync::{Arc, Mutex};
+
+        pub struct Sender<T>(mpsc::Sender<T>);
+
+        impl<T> Clone for Sender<T> {
+            fn clone(&self) -> Self {
+                Sender(self.0.clone())
+            }
+        }
+
+        impl<T> Sender<T> {
+            pub fn send(&self, t: T) -> Result<(), mpsc::SendError<T>> {
+                self.0.send(t)
+            }
+        }
+
+        pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+        impl<T> Clone for Receiver<T> {
+            fn clone(&self) -> Self {
+                Receiver(Arc::clone(&self.0))
+            }
+        }
+
+        impl<T> Receiver<T> {
+            pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+                let rx = self.0.lock().expect("compat receiver poisoned");
+                rx.recv()
+            }
+        }
+
+        pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+            let (tx, rx) = mpsc::channel();
+            (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+        }
+    }
+
+    pub mod sync {
+        use std::ops::{Deref, DerefMut};
+        use std::sync;
+
+        pub struct Mutex<T>(sync::Mutex<T>);
+
+        pub struct MutexGuard<'a, T>(Option<sync::MutexGuard<'a, T>>);
+
+        impl<T> Mutex<T> {
+            pub fn new(t: T) -> Self {
+                Mutex(sync::Mutex::new(t))
+            }
+
+            pub fn lock(&self) -> MutexGuard<'_, T> {
+                MutexGuard(Some(self.0.lock().expect("compat mutex poisoned")))
+            }
+
+            pub fn into_inner(self) -> T {
+                self.0.into_inner().expect("compat mutex poisoned")
+            }
+        }
+
+        impl<T> Deref for MutexGuard<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                self.0.as_ref().expect("guard taken")
+            }
+        }
+
+        impl<T> DerefMut for MutexGuard<'_, T> {
+            fn deref_mut(&mut self) -> &mut T {
+                self.0.as_mut().expect("guard taken")
+            }
+        }
+
+        #[derive(Default)]
+        pub struct Condvar(sync::Condvar);
+
+        impl Condvar {
+            pub fn new() -> Self {
+                Condvar(sync::Condvar::new())
+            }
+
+            pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+                let inner = guard.0.take().expect("guard taken");
+                guard.0 = Some(self.0.wait(inner).expect("compat condvar poisoned"));
+            }
+
+            pub fn notify_all(&self) {
+                self.0.notify_all();
+            }
+        }
+    }
+}
+
+use std::time::Instant;
+
+use matrix::Matrix;
+
+/// Deterministic xorshift data generator (no `rand` dependency).
+struct Xs(u64);
+
+impl Xs {
+    fn next_f32(&mut self) -> f32 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        ((self.0 >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+    }
+
+    fn matrix(&mut self, rows: usize, cols: usize) -> Matrix {
+        let data = (0..rows * cols).map(|_| self.next_f32()).collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.data().iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_bit_identical(label: &str, got: &Matrix, want: &Matrix) {
+    assert_eq!(got.shape(), want.shape(), "{label}: shape mismatch");
+    assert_eq!(bits(got), bits(want), "{label}: outputs differ bitwise");
+}
+
+fn check_bit_identity() {
+    let mut rng = Xs(0x9e3779b97f4a7c15);
+    // Shapes straddle the PAR_MIN_FMAS = 2^16 threshold boundary
+    // (32·32·64 = 65536 is exactly at it) and include awkward remainders
+    // for the MR×NR edge paths.
+    let shapes = [
+        (1usize, 7usize, 5usize),
+        (9, 16, 11),
+        (31, 33, 63), // just below the threshold
+        (32, 32, 64), // exactly at the threshold
+        (33, 32, 64), // just above
+        (48, 64, 64),
+        (61, 67, 59),
+        (128, 96, 80),
+    ];
+    for &(m, k, n) in &shapes {
+        let a = rng.matrix(m, k);
+        let b = rng.matrix(k, n);
+        let bt = rng.matrix(n, k);
+        let c = rng.matrix(m, n);
+        for threads in [1usize, 2, 4, 8] {
+            parallel::set_thread_override(Some(threads));
+            assert_bit_identical(
+                &format!("matmul {m}x{k}x{n} t{threads}"),
+                &a.matmul(&b),
+                &a.matmul_serial(&b),
+            );
+            assert_bit_identical(
+                &format!("matmul_transpose_b {m}x{k}x{n} t{threads}"),
+                &a.matmul_transpose_b(&bt),
+                &a.matmul_transpose_b_serial(&bt),
+            );
+            assert_bit_identical(
+                &format!("transpose_a_matmul {m}x{k}x{n} t{threads}"),
+                &a.transpose_a_matmul(&c),
+                &a.transpose_a_matmul_serial(&c),
+            );
+            let mut s_par = rng.matrix(m.max(2) * 4, n.max(2) * 4);
+            let mut s_ser = s_par.clone();
+            s_par.softmax_rows_inplace();
+            s_ser.softmax_rows_inplace_serial();
+            assert_bit_identical(&format!("softmax {m}x{n} t{threads}"), &s_par, &s_ser);
+            parallel::set_thread_override(None);
+        }
+    }
+    // Layer-norm helpers: parallel partition vs single-thread run.
+    let rows = 96;
+    let d = 384; // rows*d > PAR_MIN_ELEMS so the pool path runs
+    let x = rng.matrix(rows, d);
+    let gamma = rng.matrix(1, d);
+    let beta = rng.matrix(1, d);
+    let g = rng.matrix(rows, d);
+    parallel::set_thread_override(Some(4));
+    let (xhat_p, istd_p, out_p) =
+        rowops::layer_norm_forward(x.data(), rows, d, gamma.row(0), beta.row(0), 1e-5);
+    let dx_p = rowops::layer_norm_backward_dx(g.data(), rows, d, gamma.row(0), &xhat_p, &istd_p);
+    parallel::set_thread_override(Some(1));
+    let (xhat_s, istd_s, out_s) =
+        rowops::layer_norm_forward(x.data(), rows, d, gamma.row(0), beta.row(0), 1e-5);
+    let dx_s = rowops::layer_norm_backward_dx(g.data(), rows, d, gamma.row(0), &xhat_s, &istd_s);
+    parallel::set_thread_override(None);
+    assert_bit_identical("layer_norm xhat", &xhat_p, &xhat_s);
+    assert_bit_identical("layer_norm out", &out_p, &out_s);
+    assert_bit_identical("layer_norm dx", &dx_p, &dx_s);
+    assert_eq!(
+        istd_p.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        istd_s.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        "layer_norm inv_std differs"
+    );
+    // Element-wise kernels: buffers past PAR_MIN_ELEMS so the pool runs.
+    let ea = rng.matrix(128, 300);
+    let eb = rng.matrix(128, 300);
+    parallel::set_thread_override(Some(1));
+    let mut want_add = ea.clone();
+    want_add.add_assign(&eb);
+    let mut want_axpy = ea.clone();
+    want_axpy.add_scaled_assign(&eb, 0.37);
+    let want_map = ea.map(|x| x * 1.5 - 0.25);
+    let want_zip = ea.zip_map(&eb, |x, y| x * y + 0.5);
+    for threads in [2usize, 4, 8] {
+        parallel::set_thread_override(Some(threads));
+        let mut got_add = ea.clone();
+        got_add.add_assign(&eb);
+        let mut got_axpy = ea.clone();
+        got_axpy.add_scaled_assign(&eb, 0.37);
+        assert_bit_identical(&format!("add_assign t{threads}"), &got_add, &want_add);
+        assert_bit_identical(&format!("add_scaled t{threads}"), &got_axpy, &want_axpy);
+        assert_bit_identical(&format!("map t{threads}"), &ea.map(|x| x * 1.5 - 0.25), &want_map);
+        assert_bit_identical(
+            &format!("zip_map t{threads}"),
+            &ea.zip_map(&eb, |x, y| x * y + 0.5),
+            &want_zip,
+        );
+    }
+    parallel::set_thread_override(None);
+    // IEEE semantics: the old `a_ik == 0.0` skip dropped 0·inf = NaN.
+    let za = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+    let zb = Matrix::from_vec(2, 1, vec![f32::INFINITY, 1.0]);
+    assert!(za.matmul(&zb).get(0, 0).is_nan(), "0*inf must produce NaN");
+    println!("bit-identity sweep: OK");
+}
+
+/// Times `f` (ns/iter): two warmup calls, then batches until ≥250 ms total.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    f();
+    f();
+    let mut iters = 0u64;
+    let start = Instant::now();
+    loop {
+        f();
+        iters += 1;
+        let elapsed = start.elapsed();
+        if elapsed.as_secs_f64() >= 0.25 && iters >= 3 {
+            return elapsed.as_nanos() as f64 / iters as f64;
+        }
+        if iters >= 1_000_000 {
+            return start.elapsed().as_nanos() as f64 / iters as f64;
+        }
+    }
+}
+
+struct Entry {
+    method: &'static str,
+    shape: String,
+    variant: &'static str,
+    threads: usize,
+    ns_per_iter: f64,
+    speedup: f64,
+}
+
+fn push_sweep(
+    entries: &mut Vec<Entry>,
+    method: &'static str,
+    shape: String,
+    serial: impl Fn(),
+    parallel_run: impl Fn(),
+) {
+    let serial_ns = time_ns(|| serial());
+    entries.push(Entry {
+        method,
+        shape: shape.clone(),
+        variant: "serial",
+        threads: 1,
+        ns_per_iter: serial_ns,
+        speedup: 1.0,
+    });
+    for threads in [1usize, 2, 4, 8] {
+        parallel::set_thread_override(Some(threads));
+        let ns = time_ns(|| parallel_run());
+        parallel::set_thread_override(None);
+        let speedup = serial_ns / ns;
+        println!(
+            "{method:>18} {shape:>14} threads={threads}: {:.0} ns/iter (serial {:.0}), speedup {speedup:.2}x",
+            ns, serial_ns
+        );
+        entries.push(Entry {
+            method,
+            shape: shape.clone(),
+            variant: "parallel",
+            threads,
+            ns_per_iter: ns,
+            speedup,
+        });
+    }
+}
+
+fn main() {
+    check_bit_identity();
+    let mut rng = Xs(0xdeadbeefcafef00d);
+    let mut entries = Vec::new();
+
+    for &s in &[64usize, 128, 256, 384] {
+        let a = rng.matrix(s, s);
+        let b = rng.matrix(s, s);
+        push_sweep(
+            &mut entries,
+            "matmul",
+            format!("{s}x{s}x{s}"),
+            || {
+                std::hint::black_box(a.matmul_serial(&b));
+            },
+            || {
+                std::hint::black_box(a.matmul(&b));
+            },
+        );
+    }
+
+    // Attention-scores shape: seq=128, head_dim=64 → q @ k^T.
+    let q = rng.matrix(128, 64);
+    let kmat = rng.matrix(128, 64);
+    push_sweep(
+        &mut entries,
+        "matmul_transpose_b",
+        "128x64x128".to_string(),
+        || {
+            std::hint::black_box(q.matmul_transpose_b_serial(&kmat));
+        },
+        || {
+            std::hint::black_box(q.matmul_transpose_b(&kmat));
+        },
+    );
+
+    for &(r, c) in &[(256usize, 256usize), (1024, 256)] {
+        let base = rng.matrix(r, c);
+        push_sweep(
+            &mut entries,
+            "softmax_rows",
+            format!("{r}x{c}"),
+            || {
+                let mut m = base.clone();
+                m.softmax_rows_inplace_serial();
+                std::hint::black_box(&m);
+            },
+            || {
+                let mut m = base.clone();
+                m.softmax_rows_inplace();
+                std::hint::black_box(&m);
+            },
+        );
+    }
+
+    // Single-head attention core: softmax(q k^T / sqrt(d)) @ v.
+    let v = rng.matrix(128, 64);
+    let scale = 1.0 / (64f32).sqrt();
+    push_sweep(
+        &mut entries,
+        "attention_core",
+        "seq128_d64".to_string(),
+        || {
+            let mut scores = q.matmul_transpose_b_serial(&kmat);
+            scores.scale_assign(scale);
+            scores.softmax_rows_inplace_serial();
+            std::hint::black_box(scores.matmul_serial(&v));
+        },
+        || {
+            let mut scores = q.matmul_transpose_b(&kmat);
+            scores.scale_assign(scale);
+            scores.softmax_rows_inplace();
+            std::hint::black_box(scores.matmul(&v));
+        },
+    );
+
+    let mut json = String::from("{\n  \"schema\": \"preqr-bench-kernels-v1\",\n");
+    json.push_str("  \"generated_by\": \"scripts/standalone_bench_kernels.rs\",\n");
+    json.push_str(&format!(
+        "  \"host_available_parallelism\": {},\n  \"entries\": [\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    ));
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"method\": \"{}\", \"shape\": \"{}\", \"variant\": \"{}\", \"threads\": {}, \"ns_per_iter\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            e.method,
+            e.shape,
+            e.variant,
+            e.threads,
+            e.ns_per_iter,
+            e.speedup,
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("wrote results/BENCH_kernels.json ({} entries)", entries.len());
+}

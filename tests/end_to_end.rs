@@ -20,7 +20,15 @@ fn pretrain_encode_finetune_evaluate() {
     let (train, valid) = labeled.split_at(100);
     let sampler = BitmapSampler::new(&db, 32, 1);
     let pred = train_preqr(
-        &db, &model, Some(&sampler), train, valid, Target::Cardinality, 3, 7, "PreQRCard",
+        &db,
+        &model,
+        Some(&sampler),
+        train,
+        valid,
+        Target::Cardinality,
+        3,
+        7,
+        "PreQRCard",
     );
     let test = workloads::label(&db, &workloads::job_light(&db, 41), &cm);
     let s = evaluate(&pred, Target::Cardinality, &test);
@@ -31,7 +39,15 @@ fn pretrain_encode_finetune_evaluate() {
     // as the PG baseline even at this tiny test scale. (The full-scale
     // PG-beating result is the table08 reproduction binary's job.)
     let untrained = train_preqr(
-        &db, &model, Some(&sampler), train, valid, Target::Cardinality, 0, 7, "untrained",
+        &db,
+        &model,
+        Some(&sampler),
+        train,
+        valid,
+        Target::Cardinality,
+        0,
+        7,
+        "untrained",
     );
     let u = evaluate(&untrained, Target::Cardinality, &test);
     assert!(s.mean < u.mean, "training must help: {} vs {}", s.mean, u.mean);
@@ -77,10 +93,7 @@ fn automaton_covers_generated_workloads() {
     // Unseen queries from the same families should have high structural
     // coverage through the merged automaton.
     let unseen = workloads::synthetic(&db, 40, 999);
-    let mean_cov: f64 = unseen
-        .iter()
-        .map(|q| model.prepare(q).structure_coverage)
-        .sum::<f64>()
+    let mean_cov: f64 = unseen.iter().map(|q| model.prepare(q).structure_coverage).sum::<f64>()
         / unseen.len() as f64;
     assert!(mean_cov > 0.95, "automaton coverage too low: {mean_cov}");
 }

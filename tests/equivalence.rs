@@ -31,20 +31,12 @@ fn shared_signature(
 ) -> (Vec<(String, Vec<u32>)>, Vec<(String, Vec<u32>)>) {
     let names_b: std::collections::HashSet<&String> =
         b.table_row_ids.iter().map(|(t, _)| t).collect();
-    let sa: Vec<(String, Vec<u32>)> = a
-        .table_row_ids
-        .iter()
-        .filter(|(t, _)| names_b.contains(t))
-        .cloned()
-        .collect();
+    let sa: Vec<(String, Vec<u32>)> =
+        a.table_row_ids.iter().filter(|(t, _)| names_b.contains(t)).cloned().collect();
     let names_a: std::collections::HashSet<&String> =
         a.table_row_ids.iter().map(|(t, _)| t).collect();
-    let sb: Vec<(String, Vec<u32>)> = b
-        .table_row_ids
-        .iter()
-        .filter(|(t, _)| names_a.contains(t))
-        .cloned()
-        .collect();
+    let sb: Vec<(String, Vec<u32>)> =
+        b.table_row_ids.iter().filter(|(t, _)| names_a.contains(t)).cloned().collect();
     (sa, sb)
 }
 

@@ -48,10 +48,7 @@ fn model_handles_out_of_schema_queries_gracefully() {
     // Queries over tables the schema never mentioned still encode (they
     // just see unknown automaton states and fallback value buckets).
     let mut s = Schema::new();
-    s.add_table(Table::new(
-        "title",
-        vec![Column::primary("id", ColumnType::Int)],
-    ));
+    s.add_table(Table::new("title", vec![Column::primary("id", ColumnType::Int)]));
     let corpus = vec![parse("SELECT COUNT(*) FROM title t WHERE t.id > 5").unwrap()];
     let model = SqlBert::new(&corpus, &s, ValueBuckets::new(4), PreqrConfig::test());
     let alien = parse("SELECT weird FROM elsewhere WHERE thing LIKE '%x%'").unwrap();
