@@ -61,16 +61,17 @@ fn pretrain_loss_sequence_is_thread_count_invariant() {
 }
 
 #[test]
-fn env_var_sizing_is_equivalent_to_override() {
-    // `PREQR_THREADS` is re-read on every dispatch, so setting it at
-    // runtime behaves exactly like the programmatic override.
-    std::env::set_var("PREQR_THREADS", "3");
-    let from_env = {
+fn default_sizing_is_equivalent_to_override() {
+    // With no override the pool sizes from `PREQR_THREADS` (read once at
+    // first dispatch, then cached) or hardware parallelism. Whatever width
+    // that resolves to, the loss trajectory must be bit-identical to a
+    // pinned thread count.
+    let from_default = {
+        parallel::set_thread_override(None);
         let mut m = model();
         let stats = m.pretrain(&corpus(), 1, 1e-3);
         stats.into_iter().map(|s| s.loss).collect::<Vec<_>>()
     };
-    std::env::remove_var("PREQR_THREADS");
     let from_override = pretrain_losses(3);
-    assert_eq!(from_env, from_override);
+    assert_eq!(from_default, from_override);
 }

@@ -2,8 +2,27 @@
 //!
 //! A lazily-initialized, persistent worker pool distributes row-partitioned
 //! work across OS threads. Sizing comes from the `PREQR_THREADS` environment
-//! variable (re-read on every dispatch so tests and benchmarks can change it
-//! at runtime), falling back to [`std::thread::available_parallelism`].
+//! variable (read once at first dispatch and cached — `std::env::var` takes a
+//! process-global lock, too costly for hot kernels), falling back to
+//! [`std::thread::available_parallelism`]. Tests and benchmarks change the
+//! width at runtime through [`set_thread_override`] instead.
+//!
+//! # Panic safety
+//!
+//! Dispatching functions hand pool workers lifetime-erased pointers to
+//! stack-borrowed closures, so they must never return — including by
+//! unwinding — while a worker may still touch the closure. A [`WaitGuard`]
+//! blocks on the completion latch from `Drop`, which runs even when the
+//! dispatcher's own inline chunk (or the left side of [`join`]) panics.
+//! Worker-side panics are caught, flagged, and re-raised at the dispatch
+//! site once every task has finished.
+//!
+//! # Nesting
+//!
+//! A dispatch from inside a pool worker runs inline on that worker instead
+//! of re-entering the pool: a worker blocked in a latch wait never drains
+//! the queue, so nested dispatch could otherwise leave every worker waiting
+//! on inner jobs that no free worker will ever run.
 //!
 //! # Determinism contract
 //!
@@ -15,6 +34,7 @@
 //! bit-identical, and seeded runs reproduce the same numbers under any
 //! `PREQR_THREADS`.
 
+use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -62,6 +82,29 @@ impl Latch {
             self.cond.wait(&mut left);
         }
     }
+}
+
+/// Blocks on the latch when dropped — including during unwinding. Holding
+/// one across the dispatcher's own inline work is what keeps the
+/// lifetime-erased [`TaskRef`] sound when that work panics: the unwind
+/// cannot pop the borrowed closure's frame until every worker is done.
+struct WaitGuard<'a> {
+    latch: &'a Latch,
+}
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        self.latch.wait();
+    }
+}
+
+thread_local! {
+    /// True on pool worker threads; see the module-level "Nesting" notes.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn in_pool_worker() -> bool {
+    IN_POOL_WORKER.with(Cell::get)
 }
 
 /// Lifetime-erased pointer to a caller-owned `Fn(Range<usize>) + Sync`
@@ -116,6 +159,7 @@ impl Pool {
 }
 
 fn worker_loop(rx: Receiver<Job>) {
+    IN_POOL_WORKER.with(|flag| flag.set(true));
     while let Ok(job) = rx.recv() {
         // SAFETY: see `TaskRef` — the dispatcher keeps the closure alive
         // until the latch opens.
@@ -140,34 +184,48 @@ fn pool() -> &'static Pool {
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 /// Overrides the thread count for subsequent kernel dispatches (benchmarks
-/// sweep this; tests pin it). `None` restores `PREQR_THREADS`/hardware
-/// sizing. Results are unaffected either way — see the module docs.
+/// sweep this; tests pin it). `None` restores the cached
+/// `PREQR_THREADS`/hardware default. Results are unaffected either way —
+/// see the module docs.
 pub fn set_thread_override(threads: Option<usize>) {
     THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Release);
 }
 
+/// Parses a `PREQR_THREADS` value; `0`, empty, and garbage mean "unset".
+fn parse_thread_count(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// Default width when no override is set: `PREQR_THREADS`, else
+/// [`std::thread::available_parallelism`]. Computed once and cached —
+/// `std::env::var` takes a process-global lock, which every hot kernel
+/// dispatch would otherwise contend on.
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("PREQR_THREADS").ok().and_then(|v| parse_thread_count(&v)).unwrap_or_else(
+            || std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
+        )
+    })
+}
+
 /// Number of threads a dispatch may use right now: the override if set,
-/// else `PREQR_THREADS`, else [`std::thread::available_parallelism`].
+/// else the cached `PREQR_THREADS`/hardware default ([`default_threads`]).
 pub fn effective_threads() -> usize {
     let over = THREAD_OVERRIDE.load(Ordering::Acquire);
     if over > 0 {
         return over;
     }
-    if let Ok(v) = std::env::var("PREQR_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    default_threads()
 }
 
 /// Splits `0..rows` into at most [`effective_threads`] contiguous chunks of
 /// at least `min_rows` rows and runs `f` on each, using the worker pool for
 /// all but the last chunk (which runs on the calling thread). Returns after
 /// every chunk has completed. With one thread (or one chunk) this is a plain
-/// inline call — no pool traffic at all.
+/// inline call — no pool traffic at all. Calls from inside a pool worker
+/// also run inline (see the module-level "Nesting" notes), so `f` may itself
+/// dispatch parallel kernels without deadlocking.
 pub fn for_each_row_chunk(rows: usize, min_rows: usize, f: impl Fn(Range<usize>) + Sync) {
     if rows == 0 {
         return;
@@ -175,7 +233,7 @@ pub fn for_each_row_chunk(rows: usize, min_rows: usize, f: impl Fn(Range<usize>)
     let threads = effective_threads();
     let max_chunks = rows.div_ceil(min_rows.max(1));
     let chunks = threads.min(max_chunks).max(1);
-    if chunks == 1 {
+    if chunks == 1 || in_pool_worker() {
         f(0..rows);
         return;
     }
@@ -185,13 +243,20 @@ pub fn for_each_row_chunk(rows: usize, min_rows: usize, f: impl Fn(Range<usize>)
     let task: &(dyn Fn(Range<usize>) + Sync) = &f;
     let base = rows / chunks;
     let rem = rows % chunks;
+    // SAFETY: once any job is in flight, this function must not return —
+    // even by unwinding — until every worker has finished with `task`. The
+    // guard's Drop blocks on the latch, so a panic in the inline chunk
+    // below still waits for the workers before the closure's frame is
+    // popped. (A send failure would hang in the guard instead of unwinding
+    // unsoundly, but the pool's receiver lives forever, so send can't fail.)
+    let guard = WaitGuard { latch: &latch };
     let mut start = 0usize;
+    let mut inline = 0..0;
     for c in 0..chunks {
         let end = start + base + usize::from(c < rem);
         if c == chunks - 1 {
-            f(start..end);
+            inline = start..end;
         } else {
-            // SAFETY: `latch.wait()` below keeps `f` alive past the last use.
             let job = Job {
                 task: unsafe { TaskRef::erase(task) },
                 range: start..end,
@@ -201,7 +266,8 @@ pub fn for_each_row_chunk(rows: usize, min_rows: usize, f: impl Fn(Range<usize>)
         }
         start = end;
     }
-    latch.wait();
+    f(inline);
+    drop(guard);
     assert!(!latch.panicked.load(Ordering::Acquire), "a preqr worker task panicked");
 }
 
@@ -236,12 +302,13 @@ pub fn for_each_row_chunk_mut(
 
 /// Runs `a` on the calling thread and `b` on a pool worker, returning both
 /// results. Falls back to sequential execution when only one thread is
-/// available.
+/// available or when called from inside a pool worker (see the module-level
+/// "Nesting" notes).
 pub fn join<RA, RB>(a: impl FnOnce() -> RA, b: impl FnOnce() -> RB + Send) -> (RA, RB)
 where
     RB: Send,
 {
-    if effective_threads() < 2 {
+    if effective_threads() < 2 || in_pool_worker() {
         return (a(), b());
     }
     let pool = pool();
@@ -255,13 +322,15 @@ where
         }
     };
     let task: &(dyn Fn(Range<usize>) + Sync) = &wrapper;
-    // SAFETY: `latch.wait()` below keeps `wrapper` (and its borrows of
-    // `b_fn`/`b_out`) alive past the worker's last use.
+    // SAFETY: the guard's Drop blocks on the latch, keeping `wrapper` (and
+    // its borrows of `b_fn`/`b_out`) alive past the worker's last use even
+    // when `a()` panics and unwinds through this frame.
+    let guard = WaitGuard { latch: &latch };
     pool.tx
         .send(Job { task: unsafe { TaskRef::erase(task) }, range: 0..0, latch: latch.clone() })
         .expect("preqr worker pool channel closed");
     let ra = a();
-    latch.wait();
+    drop(guard);
     assert!(!latch.panicked.load(Ordering::Acquire), "a preqr join task panicked");
     let rb = b_out.into_inner().expect("join task did not run");
     (ra, rb)
@@ -346,14 +415,108 @@ mod tests {
     }
 
     #[test]
-    fn env_var_controls_sizing() {
+    fn thread_count_parsing() {
+        assert_eq!(parse_thread_count("3"), Some(3));
+        assert_eq!(parse_thread_count(" 8 "), Some(8));
+        assert_eq!(parse_thread_count("0"), None);
+        assert_eq!(parse_thread_count("not-a-number"), None);
+        assert_eq!(parse_thread_count(""), None);
+    }
+
+    #[test]
+    fn default_sizing_is_cached_and_positive() {
         let _g = global_lock();
-        // Only exercised when the override is unset.
         set_thread_override(None);
-        std::env::set_var("PREQR_THREADS", "3");
-        assert_eq!(effective_threads(), 3);
-        std::env::set_var("PREQR_THREADS", "not-a-number");
-        assert!(effective_threads() >= 1);
+        let first = effective_threads();
+        assert!(first >= 1);
+        // The env var is read once at first dispatch; later changes are
+        // deliberately ignored (the override is the runtime knob).
+        std::env::set_var("PREQR_THREADS", "999");
+        assert_eq!(effective_threads(), first);
         std::env::remove_var("PREQR_THREADS");
+        set_thread_override(Some(2));
+        assert_eq!(effective_threads(), 2);
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn panic_in_inline_chunk_waits_for_workers() {
+        let _g = global_lock();
+        set_thread_override(Some(4));
+        let rows_seen = Arc::new(AtomicUsize::new(0));
+        let rows = 16;
+        let seen = rows_seen.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for_each_row_chunk(rows, 1, |range| {
+                seen.fetch_add(range.len(), Ordering::SeqCst);
+                // The calling thread always runs the last chunk.
+                if range.end == rows {
+                    panic!("inline chunk boom");
+                }
+            });
+        }));
+        set_thread_override(None);
+        assert!(result.is_err(), "inline panic must propagate");
+        // Every worker chunk finished before the dispatcher unwound — the
+        // WaitGuard held the closure's frame alive until the latch opened.
+        assert_eq!(rows_seen.load(Ordering::SeqCst), rows);
+    }
+
+    #[test]
+    fn worker_panic_is_reraised_at_dispatch_site() {
+        let _g = global_lock();
+        set_thread_override(Some(4));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for_each_row_chunk(16, 1, |range| {
+                // The first chunk always goes to a pool worker.
+                if range.start == 0 {
+                    panic!("worker boom");
+                }
+            });
+        }));
+        set_thread_override(None);
+        assert!(result.is_err(), "worker panic must re-raise on the dispatcher");
+    }
+
+    #[test]
+    fn join_waits_for_pool_task_when_left_side_panics() {
+        let _g = global_lock();
+        set_thread_override(Some(2));
+        let done = Arc::new(AtomicBool::new(false));
+        let done_in_task = done.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            join(
+                || panic!("left boom"),
+                move || {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    done_in_task.store(true, Ordering::SeqCst);
+                },
+            );
+        }));
+        set_thread_override(None);
+        assert!(result.is_err(), "left-side panic must propagate");
+        assert!(
+            done.load(Ordering::SeqCst),
+            "join unwound before the pool task finished with its borrows"
+        );
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline_without_deadlock() {
+        let _g = global_lock();
+        set_thread_override(Some(2));
+        let cells = AtomicUsize::new(0);
+        for_each_row_chunk(8, 1, |outer| {
+            for_each_row_chunk(4, 1, |inner| {
+                cells.fetch_add(outer.len() * inner.len(), Ordering::Relaxed);
+            });
+        });
+        // The right side runs on a pool worker; its nested join must run
+        // inline there instead of waiting on the (busy) pool.
+        let (a, b) = join(|| 3, || join(|| 1, || 2));
+        set_thread_override(None);
+        // Each outer chunk's inner dispatch covers all 4 inner rows.
+        assert_eq!(cells.load(Ordering::Relaxed), 8 * 4);
+        assert_eq!((a, b), (3, (1, 2)));
     }
 }

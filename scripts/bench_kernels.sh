@@ -41,5 +41,19 @@ sed -e '/^use serde::{Deserialize, Serialize};$/d' \
 
 cp crates/nn/src/rowops.rs "$BUILD_DIR/rowops.rs"
 
+# The harness benchmarks the *shipped* kernels: the only allowed difference
+# from crates/nn is the import rewrite above. Fail loudly if the rewrite no
+# longer matches (e.g. the import lines changed upstream) rather than let
+# the fallback drift from the real sources.
+if grep -qE 'crossbeam|parking_lot' "$BUILD_DIR/parallel.rs"; then
+    echo "error: import rewrite failed for crates/nn/src/parallel.rs;" >&2
+    echo "       update the sed patterns in scripts/bench_kernels.sh" >&2
+    exit 1
+fi
+if grep -q 'serde' "$BUILD_DIR/matrix.rs"; then
+    echo "error: serde strip failed for crates/nn/src/matrix.rs;" >&2
+    echo "       update the sed patterns in scripts/bench_kernels.sh" >&2
+    exit 1
+fi
 rustc --edition 2021 -C opt-level=3 $RUSTFLAGS -o "$BUILD_DIR/bench_kernels" "$BUILD_DIR/main.rs"
 "$BUILD_DIR/bench_kernels"
