@@ -1,0 +1,165 @@
+//! `pipeline` — end-to-end tiny-pipeline probe feeding
+//! `results/BENCH_pipeline.json`.
+//!
+//! Runs a miniature pretrain → encode → fine-tune → execute pipeline
+//! twice — with tracing disabled (the default production configuration)
+//! and with a JSONL trace sink installed — and appends best-of-N phase
+//! timings plus the traced run's metric counters to the trajectory file.
+//! Comparing the `obs_off` rows against the `pre_obs` baseline rows
+//! demonstrates the disabled-path overhead bound; the `obs_on` rows
+//! record what full tracing costs.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use preqr::{PreqrConfig, SqlBert};
+use preqr_bench::trajectory::{append, PipelineEntry};
+use preqr_data::imdb::{generate, ImdbConfig};
+use preqr_data::workloads::{self, LabeledQuery};
+use preqr_engine::{execute, BitmapSampler, CostModel, Database};
+use preqr_obs as obs;
+use preqr_sql::ast::Query;
+use preqr_tasks::estimation::{train_preqr, Target};
+use preqr_tasks::setup::value_buckets_from_db;
+
+const REPS: usize = 3;
+
+struct Tiny {
+    db: Database,
+    corpus: Vec<Query>,
+    train: Vec<LabeledQuery>,
+    valid: Vec<LabeledQuery>,
+}
+
+fn tiny() -> Tiny {
+    let db = generate(ImdbConfig::tiny());
+    let corpus = workloads::pretrain_corpus(&db, 120, 7);
+    let cost_model = CostModel::default();
+    let train = workloads::label(&db, &workloads::synthetic(&db, 60, 21), &cost_model);
+    let valid = workloads::label(&db, &workloads::synthetic(&db, 12, 22), &cost_model);
+    Tiny { db, corpus, train, valid }
+}
+
+fn best_of<F: FnMut() -> ()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Runs the four pipeline phases once, returning per-phase best-of-N
+/// wall-clock seconds.
+fn run_phases(t: &Tiny) -> Vec<(&'static str, f64)> {
+    let buckets = value_buckets_from_db(&t.db, 8);
+    let mut model = SqlBert::new(&t.corpus, t.db.schema(), buckets, PreqrConfig::test());
+    let mut out = Vec::new();
+
+    let pretrain = best_of(|| {
+        let stats = model.pretrain(&t.corpus, 2, 1e-3);
+        assert!(stats.iter().all(|s| s.loss.is_finite()));
+    });
+    out.push(("pretrain", pretrain));
+
+    let encode = best_of(|| {
+        for q in t.corpus.iter().take(40) {
+            let m = model.encode(q);
+            assert!(m.get(0, 0).is_finite());
+        }
+    });
+    out.push(("encode", encode));
+
+    let sampler = BitmapSampler::new(&t.db, 16, 1);
+    let finetune = best_of(|| {
+        let p = train_preqr(
+            &t.db,
+            &model,
+            Some(&sampler),
+            &t.train,
+            &t.valid,
+            Target::Cardinality,
+            2,
+            7,
+            "PreQR",
+        );
+        assert!(!p.history.is_empty());
+    });
+    out.push(("finetune", finetune));
+
+    let exec = best_of(|| {
+        let mut rows = 0usize;
+        for lq in &t.train {
+            if let Ok(r) = execute(&t.db, &lq.query) {
+                rows += r.rows.len();
+            }
+        }
+        assert!(rows > 0);
+    });
+    out.push(("execute", exec));
+    out
+}
+
+fn main() {
+    let threads: usize =
+        std::env::var("PREQR_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
+    preqr_nn::parallel::set_thread_override(Some(threads));
+    let t = tiny();
+    let mut entries = Vec::new();
+
+    // Warm-up: fault in the worker pool and allocator before timing, so
+    // the first timed pass isn't charged for one-time setup.
+    {
+        let buckets = value_buckets_from_db(&t.db, 8);
+        let mut warm = SqlBert::new(&t.corpus, t.db.schema(), buckets, PreqrConfig::test());
+        warm.pretrain(&t.corpus[..20], 1, 2e-3);
+    }
+
+    // Pass 1: tracing disabled (the default) — the overhead-bound rows.
+    obs::clear_sink();
+    obs::set_metrics_enabled(false);
+    eprintln!("[pipeline] timing with tracing disabled ({threads} threads)…");
+    for (phase, secs) in run_phases(&t) {
+        eprintln!("[pipeline]   {phase}: {secs:.3}s");
+        entries.push(PipelineEntry {
+            label: "obs_off".into(),
+            phase: phase.into(),
+            threads,
+            trace: false,
+            seconds: secs,
+            counters: vec![],
+        });
+    }
+
+    // Pass 2: JSONL sink installed, metrics on — what full tracing costs.
+    let trace_path = Path::new("results").join("pipeline_trace.jsonl");
+    std::fs::create_dir_all("results").expect("create results/");
+    let sink = obs::JsonlSink::create(&trace_path).expect("create trace sink");
+    obs::reset_metrics();
+    obs::install_sink(Arc::new(sink));
+    eprintln!("[pipeline] timing with tracing enabled…");
+    let timed = run_phases(&t);
+    obs::flush_metrics();
+    obs::clear_sink();
+    let snap = obs::snapshot();
+    let counters: Vec<(String, u64)> =
+        snap.counters.iter().filter(|(_, v)| *v > 0).map(|(k, v)| (k.to_string(), *v)).collect();
+    for (phase, secs) in timed {
+        eprintln!("[pipeline]   {phase}: {secs:.3}s");
+        entries.push(PipelineEntry {
+            label: "obs_on".into(),
+            phase: phase.into(),
+            threads,
+            trace: true,
+            seconds: secs,
+            counters: counters.clone(),
+        });
+    }
+
+    let out = Path::new("results").join("BENCH_pipeline.json");
+    append(&out, &entries).expect("write BENCH_pipeline.json");
+    println!("wrote {} ({} new entries)", out.display(), entries.len());
+    println!("trace at {}", trace_path.display());
+}

@@ -19,6 +19,7 @@ use preqr_data::workloads::{self, LabeledQuery};
 use preqr_engine::{BitmapSampler, CostModel, Database, TableStats};
 use preqr_nn::layers::Module;
 use preqr_nn::serialize;
+use preqr_obs as obs;
 use preqr_sql::ast::Query;
 use preqr_tasks::setup::value_buckets_from_db;
 
@@ -118,6 +119,7 @@ impl Ctx {
     /// Builds the context for the current scale.
     pub fn build() -> Self {
         let sizes = Sizes::of(scale());
+        let _span = obs::span("bench.ctx_build").field("movies", sizes.movies);
         eprintln!("[ctx] generating mini-IMDB ({} movies)…", sizes.movies);
         let db = generate(ImdbConfig { movies: sizes.movies, ..ImdbConfig::default() });
         let stats = TableStats::analyze(&db);
@@ -169,6 +171,7 @@ impl Ctx {
     /// and vocabulary/automaton construction is deterministic, so cached
     /// parameters always match the freshly-built architecture.
     pub fn pretrained(&self, tag: &str, config: PreqrConfig) -> SqlBert {
+        let _span = obs::span("bench.pretrained").field("tag", tag);
         let corpus = self.pretrain_corpus();
         let buckets = value_buckets_from_db(&self.db, config.value_buckets);
         let mut model = SqlBert::new(&corpus, self.db.schema(), buckets, config);
@@ -255,3 +258,4 @@ mod tests {
 }
 
 pub mod runner;
+pub mod trajectory;

@@ -35,6 +35,9 @@ pub fn run_estimation(
     rows: RowSelection,
     preqr_label: &str,
 ) -> TableRows {
+    let _span = preqr_obs::span("bench.run_estimation")
+        .field("label", preqr_label)
+        .field("workloads", tests.len());
     let mut out = TableRows::new();
     let sampler = Some(&ctx.sampler);
     let epochs = ctx.sizes.est_epochs;

@@ -2,6 +2,7 @@
 //! embeddings and query-aware schema states, pre-trained with masked
 //! language modelling (§3.5.2).
 
+use preqr_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -212,6 +213,10 @@ impl SqlBert {
     /// micro-batches of 8 (the schema node states are shared within a
     /// micro-batch). Returns per-epoch statistics.
     pub fn pretrain(&mut self, corpus: &[Query], epochs: usize, lr: f32) -> Vec<EpochStats> {
+        let run_span = obs::span("pretrain")
+            .field("queries", corpus.len())
+            .field("epochs", epochs)
+            .field("lr", lr);
         let params = self.params();
         let mut opt = Adam::new(params, lr);
         let total_steps = (epochs * corpus.len().max(1) / 8 + 1) as u64;
@@ -221,6 +226,7 @@ impl SqlBert {
         let mut stats = Vec::with_capacity(epochs);
         let mut step: u64 = 0;
         for epoch in 0..epochs {
+            let mut epoch_span = obs::span("pretrain.epoch").field("epoch", epoch);
             let mut order: Vec<usize> = (0..prepared.len()).collect();
             // Fisher–Yates with the model rng for determinism.
             for i in (1..order.len()).rev() {
@@ -230,6 +236,7 @@ impl SqlBert {
             let mut total_masked = 0usize;
             let mut total_correct = 0usize;
             let mut samples = 0usize;
+            let epoch_start_step = step;
             for chunk in order.chunks(8) {
                 let nodes = self.node_states();
                 for &idx in chunk {
@@ -245,12 +252,22 @@ impl SqlBert {
                 opt.step();
                 step += 1;
             }
-            stats.push(EpochStats {
-                epoch,
-                loss: total_loss / samples.max(1) as f64,
-                accuracy: total_correct as f64 / total_masked.max(1) as f64,
-            });
+            let epoch_loss = total_loss / samples.max(1) as f64;
+            let epoch_acc = total_correct as f64 / total_masked.max(1) as f64;
+            obs::counter_add(obs::Metric::PretrainEpochs, 1);
+            obs::counter_add(obs::Metric::PretrainSamples, samples as u64);
+            obs::counter_add(obs::Metric::PretrainSteps, step - epoch_start_step);
+            obs::counter_add(obs::Metric::PretrainMaskedTokens, total_masked as u64);
+            obs::counter_add(obs::Metric::PretrainCorrectTokens, total_correct as u64);
+            obs::record_hist(obs::HistMetric::PretrainEpochLoss, epoch_loss);
+            epoch_span.add_field("loss", epoch_loss);
+            epoch_span.add_field("accuracy", epoch_acc);
+            epoch_span.add_field("samples", samples);
+            epoch_span.end();
+            stats.push(EpochStats { epoch, loss: epoch_loss, accuracy: epoch_acc });
         }
+        run_span.end();
+        obs::flush_metrics();
         stats
     }
 

@@ -69,7 +69,7 @@ fn default_sizing_is_equivalent_to_override() {
     let from_default = {
         parallel::set_thread_override(None);
         let mut m = model();
-        let stats = m.pretrain(&corpus(), 1, 1e-3);
+        let stats = m.pretrain(&corpus(), 2, 1e-3);
         stats.into_iter().map(|s| s.loss).collect::<Vec<_>>()
     };
     let from_override = pretrain_losses(3);

@@ -8,6 +8,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use preqr_obs as obs;
 use preqr_sql::ast::{AggFunc, Expr, Query, Scalar, SelectItem, SelectStmt};
 
 use crate::bind::{Bindings, BoundColumn, ExecError};
@@ -71,6 +72,17 @@ pub struct QueryResult {
 /// Name-resolution failures, unsupported shapes, or blowing the
 /// intermediate-size cap.
 pub fn execute(db: &Database, q: &Query) -> Result<QueryResult, ExecError> {
+    obs::counter_add(obs::Metric::EngineQueries, 1);
+    let result = execute_query(db, q);
+    match &result {
+        Ok(r) => obs::record_hist(obs::HistMetric::EngineJoinCard, r.join_cardinality as f64),
+        Err(ExecError::TooLarge(_)) => obs::counter_add(obs::Metric::EngineCapHits, 1),
+        Err(_) => obs::counter_add(obs::Metric::EngineErrors, 1),
+    }
+    result
+}
+
+fn execute_query(db: &Database, q: &Query) -> Result<QueryResult, ExecError> {
     let mut result = execute_select(db, &q.body)?;
     if !q.unions.is_empty() {
         // UNION has set semantics: duplicates are removed across *and*
@@ -155,6 +167,7 @@ fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<QueryResult, ExecE
         let table = db
             .table(bindings.table_name(t))
             .ok_or_else(|| ExecError::UnknownTable(bindings.table_name(t).to_string()))?;
+        obs::counter_add(obs::Metric::EngineRowsScanned, table.row_count() as u64);
         if table_preds[t].is_empty() {
             filtered.push((0..table.row_count() as u32).collect());
         } else {

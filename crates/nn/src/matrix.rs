@@ -11,6 +11,7 @@
 //! serial references, so the two paths are **bit-identical** at any thread
 //! count (property-tested in `tests/prop_parallel.rs`).
 
+use preqr_obs as obs;
 use serde::{Deserialize, Serialize};
 
 use crate::parallel;
@@ -166,6 +167,8 @@ impl Matrix {
             "matmul shape mismatch: {}x{} @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        obs::counter_add(obs::Metric::NnMatmulCalls, 1);
+        let _t = obs::timer(obs::HistMetric::NnMatmulUs);
         let (m, k, n) = (self.rows, self.cols, other.cols);
         if m * k * n < parallel::PAR_MIN_FMAS || m < 2 * MR {
             return self.matmul_serial(other);
@@ -206,6 +209,8 @@ impl Matrix {
             "matmul_transpose_b shape mismatch: {}x{} @ ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
+        obs::counter_add(obs::Metric::NnMatmulCalls, 1);
+        let _t = obs::timer(obs::HistMetric::NnMatmulUs);
         let (m, k, n) = (self.rows, self.cols, other.rows);
         if m * k * n < parallel::PAR_MIN_FMAS || m < 2 {
             return self.matmul_transpose_b_serial(other);
@@ -258,6 +263,8 @@ impl Matrix {
             "transpose_a_matmul shape mismatch: ({}x{})^T @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        obs::counter_add(obs::Metric::NnMatmulCalls, 1);
+        let _t = obs::timer(obs::HistMetric::NnMatmulUs);
         let (k, m, n) = (self.rows, self.cols, other.cols);
         if m * k * n < parallel::PAR_MIN_FMAS || m < 2 * MR {
             return self.transpose_a_matmul_serial(other);

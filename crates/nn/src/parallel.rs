@@ -41,6 +41,7 @@ use std::sync::{Arc, OnceLock};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
+use preqr_obs as obs;
 
 /// Minimum number of fused multiply-adds (`m·k·n`) before a matmul-family
 /// kernel takes the packed/parallel fast path.
@@ -234,9 +235,11 @@ pub fn for_each_row_chunk(rows: usize, min_rows: usize, f: impl Fn(Range<usize>)
     let max_chunks = rows.div_ceil(min_rows.max(1));
     let chunks = threads.min(max_chunks).max(1);
     if chunks == 1 || in_pool_worker() {
+        obs::counter_add(obs::Metric::NnDispatchInline, 1);
         f(0..rows);
         return;
     }
+    obs::counter_add(obs::Metric::NnDispatchPool, 1);
     let pool = pool();
     pool.ensure_workers(chunks - 1);
     let latch = Arc::new(Latch::new(chunks - 1));
@@ -309,8 +312,10 @@ where
     RB: Send,
 {
     if effective_threads() < 2 || in_pool_worker() {
+        obs::counter_add(obs::Metric::NnJoinInline, 1);
         return (a(), b());
     }
+    obs::counter_add(obs::Metric::NnJoinPool, 1);
     let pool = pool();
     pool.ensure_workers(1);
     let latch = Arc::new(Latch::new(1));

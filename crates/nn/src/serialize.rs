@@ -1,7 +1,16 @@
 //! Checkpoint format: named parameter matrices in a small binary container.
 //!
-//! Layout: magic `PRQR`, version u32, count u32, then per entry
-//! `name_len u32 | name bytes | rows u32 | cols u32 | f32 LE data`.
+//! Layout (version 2): magic `PRQR`, version u32, count u32, then per entry
+//! `name_len u32 | name bytes | rows u32 | cols u32 | f32 LE data`, then a
+//! trailing FNV-1a-64 checksum (u64 LE) over every preceding byte.
+//!
+//! The checksum makes corruption detection exact: two byte streams that
+//! differ in any single byte hash differently (each FNV step is an
+//! invertible map of the running state, so a difference can never cancel),
+//! so truncated or bit-flipped checkpoints always fail with an error —
+//! never a panic, and never silently loading wrong weights. Header fields
+//! are also bounds-checked before any allocation so a corrupt length can't
+//! trigger a huge allocation. Property-tested in `tests/prop_serialize.rs`.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -11,58 +20,146 @@ use crate::matrix::Matrix;
 use crate::tensor::Tensor;
 
 const MAGIC: &[u8; 4] = b"PRQR";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
-/// Writes named parameters to `w`.
-pub fn write_params<W: Write>(w: &mut W, params: &[(String, Tensor)]) -> io::Result<()> {
-    w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
-    w.write_all(&(params.len() as u32).to_le_bytes())?;
-    for (name, t) in params {
-        let bytes = name.as_bytes();
-        w.write_all(&(bytes.len() as u32).to_le_bytes())?;
-        w.write_all(bytes)?;
-        let v = t.value();
-        w.write_all(&(v.rows() as u32).to_le_bytes())?;
-        w.write_all(&(v.cols() as u32).to_le_bytes())?;
-        for &x in v.data() {
-            w.write_all(&x.to_le_bytes())?;
+/// Largest accepted parameter-name length in bytes.
+const MAX_NAME_LEN: usize = 1 << 16;
+/// Largest accepted matrix dimension.
+const MAX_DIM: usize = 1 << 24;
+/// Largest accepted element count per matrix (256 MiB of f32).
+const MAX_ELEMS: usize = 1 << 26;
+/// Largest accepted parameter count.
+const MAX_COUNT: usize = 1 << 20;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Incremental FNV-1a-64.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
         }
     }
-    Ok(())
 }
 
-/// Reads named matrices from `r`.
+/// Write adapter that hashes everything passing through.
+struct HashingWriter<'a, W: Write> {
+    inner: &'a mut W,
+    hash: Fnv,
+}
+
+impl<W: Write> Write for HashingWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hash.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Read adapter that hashes everything passing through.
+struct HashingReader<'a, R: Read> {
+    inner: &'a mut R,
+    hash: Fnv,
+}
+
+impl<R: Read> Read for HashingReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hash.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes named parameters to `w` (format v2, checksummed).
+pub fn write_params<W: Write>(w: &mut W, params: &[(String, Tensor)]) -> io::Result<()> {
+    let mut hw = HashingWriter { inner: w, hash: Fnv::new() };
+    hw.write_all(MAGIC)?;
+    hw.write_all(&VERSION.to_le_bytes())?;
+    hw.write_all(&(params.len() as u32).to_le_bytes())?;
+    for (name, t) in params {
+        let bytes = name.as_bytes();
+        hw.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        hw.write_all(bytes)?;
+        let v = t.value();
+        hw.write_all(&(v.rows() as u32).to_le_bytes())?;
+        hw.write_all(&(v.cols() as u32).to_le_bytes())?;
+        for &x in v.data() {
+            hw.write_all(&x.to_le_bytes())?;
+        }
+    }
+    let digest = hw.hash.0;
+    hw.inner.write_all(&digest.to_le_bytes())
+}
+
+/// Reads named matrices from `r`, verifying the trailing checksum.
+///
+/// # Errors
+/// Any structural problem — bad magic, unsupported version, out-of-range
+/// lengths, truncation, checksum mismatch — returns `InvalidData` /
+/// `UnexpectedEof`; this function never panics on malformed input.
 pub fn read_params<R: Read>(r: &mut R) -> io::Result<HashMap<String, Matrix>> {
+    let mut hr = HashingReader { inner: r, hash: Fnv::new() };
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
+    hr.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint magic"));
+        return Err(bad_data("bad checkpoint magic"));
     }
-    let version = read_u32(r)?;
+    let version = read_u32(&mut hr)?;
     if version != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported checkpoint version {version}"),
-        ));
+        return Err(bad_data(format!("unsupported checkpoint version {version}")));
     }
-    let count = read_u32(r)? as usize;
+    let count = read_u32(&mut hr)? as usize;
+    if count > MAX_COUNT {
+        return Err(bad_data(format!("checkpoint parameter count {count} exceeds {MAX_COUNT}")));
+    }
     let mut out = HashMap::with_capacity(count);
     for _ in 0..count {
-        let name_len = read_u32(r)? as usize;
+        let name_len = read_u32(&mut hr)? as usize;
+        if name_len > MAX_NAME_LEN {
+            return Err(bad_data(format!(
+                "parameter name length {name_len} exceeds {MAX_NAME_LEN}"
+            )));
+        }
         let mut name = vec![0u8; name_len];
-        r.read_exact(&mut name)?;
-        let name =
-            String::from_utf8(name).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let rows = read_u32(r)? as usize;
-        let cols = read_u32(r)? as usize;
-        let mut data = vec![0f32; rows * cols];
+        hr.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|e| bad_data(e.to_string()))?;
+        let rows = read_u32(&mut hr)? as usize;
+        let cols = read_u32(&mut hr)? as usize;
+        if rows > MAX_DIM || cols > MAX_DIM {
+            return Err(bad_data(format!("matrix dimension {rows}x{cols} exceeds {MAX_DIM}")));
+        }
+        let elems = rows.checked_mul(cols).filter(|&n| n <= MAX_ELEMS).ok_or_else(|| {
+            bad_data(format!("matrix {rows}x{cols} exceeds {MAX_ELEMS} elements"))
+        })?;
+        let mut data = vec![0f32; elems];
         let mut buf = [0u8; 4];
         for x in data.iter_mut() {
-            r.read_exact(&mut buf)?;
+            hr.read_exact(&mut buf)?;
             *x = f32::from_le_bytes(buf);
         }
         out.insert(name, Matrix::from_vec(rows, cols, data));
+    }
+    let computed = hr.hash.0;
+    let mut digest = [0u8; 8];
+    hr.inner.read_exact(&mut digest)?;
+    if u64::from_le_bytes(digest) != computed {
+        return Err(bad_data("checkpoint checksum mismatch"));
     }
     Ok(out)
 }
@@ -76,7 +173,8 @@ fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
 /// Saves named parameters to a file.
 pub fn save_to_file(path: impl AsRef<Path>, params: &[(String, Tensor)]) -> io::Result<()> {
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    write_params(&mut f, params)
+    write_params(&mut f, params)?;
+    f.flush()
 }
 
 /// Loads named matrices from a file.
@@ -88,7 +186,9 @@ pub fn load_from_file(path: impl AsRef<Path>) -> io::Result<HashMap<String, Matr
 /// Copies loaded matrices into matching parameters.
 ///
 /// Returns the number of applied parameters. Errors if a named parameter is
-/// missing from the checkpoint or has a mismatched shape.
+/// missing from the checkpoint or has a mismatched shape — checked for
+/// **every** parameter before anything is written, so a failed apply never
+/// leaves the model half-loaded.
 pub fn apply_params(
     params: &[(String, Tensor)],
     loaded: &HashMap<String, Matrix>,
@@ -103,7 +203,9 @@ pub fn apply_params(
                 t.shape()
             ));
         }
-        t.set_value(m.clone());
+    }
+    for (name, t) in params {
+        t.set_value(loaded[name].clone());
     }
     Ok(params.len())
 }
@@ -154,8 +256,83 @@ mod tests {
     }
 
     #[test]
+    fn failed_apply_leaves_params_untouched() {
+        let params = sample_params();
+        let mut loaded = HashMap::new();
+        // First parameter present, second mismatched: nothing may change.
+        loaded.insert("a.w".to_string(), Matrix::zeros(2, 2));
+        loaded.insert("a.b".to_string(), Matrix::zeros(3, 3));
+        assert!(apply_params(&params, &loaded).is_err());
+        assert_eq!(params[0].1.value_clone().data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         let bytes = b"NOPE\0\0\0\0";
         assert!(read_params(&mut &bytes[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_old_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let err = read_params(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn rejects_every_truncation() {
+        let params = sample_params();
+        let mut buf = Vec::new();
+        write_params(&mut buf, &params).unwrap();
+        for len in 0..buf.len() {
+            assert!(read_params(&mut &buf[..len]).is_err(), "prefix of {len} bytes must fail");
+        }
+    }
+
+    #[test]
+    fn rejects_every_single_bit_flip() {
+        let params = sample_params();
+        let mut buf = Vec::new();
+        write_params(&mut buf, &params).unwrap();
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                let mut corrupt = buf.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    read_params(&mut corrupt.as_slice()).is_err(),
+                    "flip of byte {byte} bit {bit} must fail"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_absurd_lengths_without_allocating() {
+        // count = u32::MAX
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_params(&mut buf.as_slice()).is_err());
+        // name_len = u32::MAX
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_params(&mut buf.as_slice()).is_err());
+        // rows × cols overflowing the element cap
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(b'x');
+        buf.extend_from_slice(&16_000_000u32.to_le_bytes());
+        buf.extend_from_slice(&16_000_000u32.to_le_bytes());
+        assert!(read_params(&mut buf.as_slice()).is_err());
     }
 }

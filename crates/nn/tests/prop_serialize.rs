@@ -1,0 +1,138 @@
+//! Property-based tests for the checkpoint format (`preqr_nn::serialize`):
+//! round-trips are bit-exact, and corrupted buffers — truncated at any
+//! point or with any single bit flipped — are rejected with `Err`, never
+//! a panic and never a silently mis-applied parameter set.
+
+use proptest::prelude::*;
+
+use preqr_nn::serialize::{apply_params, read_params, write_params};
+use preqr_nn::{Matrix, Tensor};
+
+/// A named parameter list with random shapes and values (including the
+/// non-finite floats a checksum must still protect).
+fn params() -> impl Strategy<Value = Vec<(String, Tensor)>> {
+    proptest::collection::vec(
+        (
+            "[a-z]{1,12}(\\.[a-z]{1,8}){0,2}",
+            1usize..5,
+            1usize..5,
+            proptest::collection::vec(
+                prop_oneof![
+                    8 => -100.0f32..100.0,
+                    1 => Just(f32::NAN),
+                    1 => Just(f32::INFINITY),
+                ],
+                16,
+            ),
+        )
+            .prop_map(|(name, r, c, data)| {
+                (name, Tensor::param(Matrix::from_vec(r, c, data[..r * c].to_vec())))
+            }),
+        0..6,
+    )
+    .prop_map(|mut v| {
+        // Duplicate names would make the round-trip map lossy by design;
+        // keep names unique so equality is assertable.
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v.dedup_by(|a, b| a.0 == b.0);
+        v
+    })
+}
+
+fn encode(params: &[(String, Tensor)]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_params(&mut buf, params).expect("writing to a Vec cannot fail");
+    buf
+}
+
+/// Bit-exact equality (NaN bit patterns included).
+fn bits_equal(a: &Matrix, b: &Matrix) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.data().iter().zip(b.data()).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// write → read recovers every tensor bit-for-bit.
+    #[test]
+    fn round_trip_is_bit_exact(ps in params()) {
+        let buf = encode(&ps);
+        let loaded = read_params(&mut buf.as_slice()).expect("round trip");
+        prop_assert_eq!(loaded.len(), ps.len());
+        for (name, t) in &ps {
+            let m = loaded.get(name).expect("name survives round trip");
+            prop_assert!(bits_equal(m, &t.value_clone()), "bits diverged for {}", name);
+        }
+    }
+
+    /// Applying a round-tripped checkpoint restores parameter values.
+    #[test]
+    fn apply_restores_values(ps in params()) {
+        let buf = encode(&ps);
+        let loaded = read_params(&mut buf.as_slice()).expect("round trip");
+        // Scramble the in-memory parameters, then restore from the map.
+        for (_, t) in &ps {
+            let v = t.value_clone();
+            t.set_value(v.map(|x| x + 1.0));
+        }
+        apply_params(&ps, &loaded).expect("apply round-tripped params");
+        for (name, t) in &ps {
+            prop_assert!(
+                bits_equal(&t.value_clone(), &loaded[name]),
+                "apply did not restore {}",
+                name
+            );
+        }
+    }
+
+    /// Every strict prefix of a checkpoint is rejected (EOF mid-header,
+    /// mid-payload, or mid-checksum — all of them), without panicking.
+    #[test]
+    fn truncation_always_errs(ps in params(), frac in 0.0f64..1.0) {
+        let buf = encode(&ps);
+        let cut = (((buf.len() as f64) * frac) as usize).min(buf.len() - 1);
+        prop_assert!(
+            read_params(&mut buf[..cut].as_ref()).is_err(),
+            "truncation to {} of {} bytes must be detected",
+            cut,
+            buf.len()
+        );
+    }
+
+    /// Any single bit flip anywhere in the buffer is rejected: the FNV-1a
+    /// update is invertible per byte, so one changed byte always changes
+    /// the trailing checksum.
+    #[test]
+    fn single_bit_flip_always_errs(ps in params(), pos in 0.0f64..1.0, bit in 0u8..8) {
+        let mut buf = encode(&ps);
+        let idx = ((buf.len() as f64) * pos) as usize % buf.len();
+        buf[idx] ^= 1 << bit;
+        prop_assert!(
+            read_params(&mut buf.as_slice()).is_err(),
+            "bit {} of byte {} flipped without detection",
+            bit,
+            idx
+        );
+    }
+
+    /// Corrupted input never half-applies: if `read_params` errs, the
+    /// parameters passed to a prior `apply_params` stay untouched.
+    #[test]
+    fn corrupt_reads_never_mutate(ps in params(), pos in 0.0f64..1.0) {
+        prop_assume!(!ps.is_empty());
+        let mut buf = encode(&ps);
+        let idx = ((buf.len() as f64) * pos) as usize % buf.len();
+        buf[idx] ^= 0x55;
+        let before: Vec<Matrix> = ps.iter().map(|(_, t)| t.value_clone()).collect();
+        if let Ok(loaded) = read_params(&mut buf.as_slice()) {
+            // Checksum collisions are impossible for single-byte edits;
+            // reaching here would itself be the bug.
+            prop_assert!(false, "corrupt buffer decoded: {} entries", loaded.len());
+        }
+        for ((_, t), b) in ps.iter().zip(&before) {
+            prop_assert!(bits_equal(&t.value_clone(), b), "parameters mutated by a failed read");
+        }
+    }
+}

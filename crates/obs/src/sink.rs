@@ -1,0 +1,177 @@
+//! Event sinks: where completed events go.
+//!
+//! Three implementations cover the use cases in the issue: a JSONL
+//! writer (`PREQR_TRACE=<path>`), an in-memory [`TestSink`] that tests
+//! assert against, and — when no sink is installed — a no-op path whose
+//! only cost is one relaxed atomic load per would-be event.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::event::Event;
+
+/// Why a sink rejected an event. A failing sink is uninstalled by the
+/// dispatcher and the layer degrades to no-op (see `crate::emit`).
+#[derive(Debug)]
+pub struct SinkError {
+    /// Human-readable cause, carried into the degradation warning event.
+    pub message: String,
+}
+
+impl std::fmt::Display for SinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SinkError {}
+
+/// A destination for completed events.
+pub trait Sink: Send + Sync {
+    /// Records one event. Returning `Err` permanently degrades the
+    /// tracing layer to no-op (one warning is kept, training continues).
+    fn record(&self, event: &Event) -> Result<(), SinkError>;
+
+    /// Flushes buffered output (best effort).
+    fn flush(&self) -> Result<(), SinkError> {
+        Ok(())
+    }
+}
+
+/// In-memory sink for assertions in tests.
+#[derive(Default)]
+pub struct TestSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl TestSink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies out every recorded event.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events with the given kind and name.
+    pub fn count(&self, kind: crate::event::EventKind, name: &str) -> usize {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter(|e| e.kind == kind && e.name == name)
+            .count()
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+impl Sink for TestSink {
+    fn record(&self, event: &Event) -> Result<(), SinkError> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).push(event.clone());
+        Ok(())
+    }
+}
+
+/// Writes one JSON object per line (schema v1, see `Event::to_jsonl`).
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer: Mutex::new(writer) }
+    }
+}
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Creates (truncating) a JSONL trace file.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let f = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(std::io::BufWriter::new(f)))
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&self, event: &Event) -> Result<(), SinkError> {
+        let mut line = event.to_jsonl();
+        line.push('\n');
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        w.write_all(line.as_bytes()).map_err(|e| SinkError { message: e.to_string() })
+    }
+
+    fn flush(&self) -> Result<(), SinkError> {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        w.flush().map_err(|e| SinkError { message: e.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.record(&Event::new(EventKind::Counter, "a.b", 1.0)).unwrap();
+        sink.record(&Event::new(EventKind::Counter, "a.b", 2.0)).unwrap();
+        let buf = sink.writer.into_inner().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn test_sink_counts_by_kind_and_name() {
+        let sink = TestSink::new();
+        sink.record(&Event::new(EventKind::Span, "s", 1.0)).unwrap();
+        sink.record(&Event::new(EventKind::Span, "s", 2.0)).unwrap();
+        sink.record(&Event::new(EventKind::Counter, "s", 1.0)).unwrap();
+        assert_eq!(sink.count(EventKind::Span, "s"), 2);
+        assert_eq!(sink.count(EventKind::Counter, "s"), 1);
+        assert_eq!(sink.len(), 3);
+    }
+
+    /// Writer that fails after a byte budget — models a full disk.
+    struct FailingWriter {
+        budget: usize,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if buf.len() > self.budget {
+                return Err(std::io::Error::other("disk full"));
+            }
+            self.budget -= buf.len();
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_surfaces_writer_errors() {
+        let sink = JsonlSink::new(FailingWriter { budget: 64 });
+        let ev = Event::new(EventKind::Counter, "some.counter.name", 1.0);
+        assert!(sink.record(&ev).is_ok());
+        assert!(sink.record(&ev).is_err(), "second write must exceed the budget");
+    }
+}

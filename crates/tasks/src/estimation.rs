@@ -19,6 +19,7 @@ use preqr_engine::{BitmapSampler, CostModel, Database, PgEstimator, TableStats};
 use preqr_nn::layers::{Mlp, Module};
 use preqr_nn::optim::Adam;
 use preqr_nn::{ops, Matrix, Tensor};
+use preqr_obs as obs;
 use preqr_sql::ast::Query;
 
 use crate::metrics::{qerror, QErrorStats};
@@ -111,10 +112,16 @@ fn validation_qerror(
     target: Target,
     valid: &[LabeledQuery],
 ) -> f64 {
+    obs::counter_add(obs::Metric::EstEpochs, 1);
     if valid.is_empty() {
         return f64::INFINITY;
     }
-    valid.iter().map(|lq| qerror(predict(lq), target.truth(lq))).sum::<f64>() / valid.len() as f64
+    let val = valid.iter().map(|lq| qerror(predict(lq), target.truth(lq))).sum::<f64>()
+        / valid.len() as f64;
+    if val.is_finite() {
+        obs::record_hist(obs::HistMetric::EstValQerror, val);
+    }
+    val
 }
 
 fn snapshot(params: &[Tensor]) -> Vec<Matrix> {
@@ -205,6 +212,8 @@ pub fn train_mscn<'a>(
     epochs: usize,
     seed: u64,
 ) -> MscnPredictor<'a> {
+    obs::counter_add(obs::Metric::EstTrainRuns, 1);
+    let _span = obs::span("est.train").field("method", "mscn").field("epochs", epochs);
     let bits = sampler.map_or(0, BitmapSampler::sample_size);
     let featurizer = MscnFeaturizer::new(db, bits);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -246,6 +255,7 @@ pub fn train_mscn<'a>(
         } else {
             patience += 1;
             if patience >= 3 {
+                obs::counter_add(obs::Metric::EstEarlyStops, 1);
                 break;
             }
         }
@@ -309,6 +319,8 @@ pub fn train_lstm<'a>(
     epochs: usize,
     seed: u64,
 ) -> LstmPredictor<'a> {
+    obs::counter_add(obs::Metric::EstTrainRuns, 1);
+    let _span = obs::span("est.train").field("method", "lstm").field("epochs", epochs);
     let corpus: Vec<Query> = train.iter().map(|l| l.query.clone()).collect();
     let vocab = LstmVocab::build(&corpus);
     // The LSTM baseline's form of the bitmap trick (§4.3.2): the raw
@@ -386,6 +398,7 @@ pub fn train_lstm<'a>(
         } else {
             patience += 1;
             if patience >= 3 {
+                obs::counter_add(obs::Metric::EstEarlyStops, 1);
                 break;
             }
         }
@@ -575,6 +588,8 @@ pub fn train_preqr<'a>(
     seed: u64,
     label: &str,
 ) -> PreqrPredictor<'a> {
+    obs::counter_add(obs::Metric::EstTrainRuns, 1);
+    let _span = obs::span("est.train").field("method", label).field("epochs", epochs);
     let nodes = model.cached_nodes();
     // The shared model's last layer is trained here but restored before
     // returning, so successive fine-tunings all start from the same
@@ -643,6 +658,7 @@ pub fn train_preqr<'a>(
         } else {
             patience += 1;
             if patience >= 3 {
+                obs::counter_add(obs::Metric::EstEarlyStops, 1);
                 break;
             }
         }

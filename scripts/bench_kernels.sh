@@ -33,10 +33,12 @@ cp scripts/standalone_bench_kernels.rs "$BUILD_DIR/main.rs"
 # harness's std-based compat shims.
 sed -e 's|use crossbeam::channel::{unbounded, Receiver, Sender};|use crate::compat::channel::{unbounded, Receiver, Sender};|' \
     -e 's|use parking_lot::{Condvar, Mutex};|use crate::compat::sync::{Condvar, Mutex};|' \
+    -e 's|use preqr_obs as obs;|use crate::compat::obs;|' \
     crates/nn/src/parallel.rs > "$BUILD_DIR/parallel.rs"
 
 sed -e '/^use serde::{Deserialize, Serialize};$/d' \
     -e 's|#\[derive(Clone, Debug, PartialEq, Serialize, Deserialize)\]|#[derive(Clone, Debug, PartialEq)]|' \
+    -e 's|use preqr_obs as obs;|use crate::compat::obs;|' \
     crates/nn/src/matrix.rs > "$BUILD_DIR/matrix.rs"
 
 cp crates/nn/src/rowops.rs "$BUILD_DIR/rowops.rs"
@@ -45,12 +47,12 @@ cp crates/nn/src/rowops.rs "$BUILD_DIR/rowops.rs"
 # from crates/nn is the import rewrite above. Fail loudly if the rewrite no
 # longer matches (e.g. the import lines changed upstream) rather than let
 # the fallback drift from the real sources.
-if grep -qE 'crossbeam|parking_lot' "$BUILD_DIR/parallel.rs"; then
+if grep -qE 'crossbeam|parking_lot|preqr_obs' "$BUILD_DIR/parallel.rs"; then
     echo "error: import rewrite failed for crates/nn/src/parallel.rs;" >&2
     echo "       update the sed patterns in scripts/bench_kernels.sh" >&2
     exit 1
 fi
-if grep -q 'serde' "$BUILD_DIR/matrix.rs"; then
+if grep -qE 'serde|preqr_obs' "$BUILD_DIR/matrix.rs"; then
     echo "error: serde strip failed for crates/nn/src/matrix.rs;" >&2
     echo "       update the sed patterns in scripts/bench_kernels.sh" >&2
     exit 1

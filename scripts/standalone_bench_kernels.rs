@@ -120,6 +120,36 @@ mod compat {
             }
         }
     }
+
+    /// No-op stand-in for `preqr_obs`: the harness benchmarks kernels
+    /// with the metrics layer compiled out (one probe-shaped call that
+    /// the optimizer deletes), matching the disabled production path.
+    #[allow(dead_code)]
+    pub mod obs {
+        #[derive(Clone, Copy)]
+        pub enum Metric {
+            NnDispatchInline,
+            NnDispatchPool,
+            NnJoinInline,
+            NnJoinPool,
+            NnMatmulCalls,
+        }
+
+        #[derive(Clone, Copy)]
+        pub enum HistMetric {
+            NnMatmulUs,
+        }
+
+        #[inline(always)]
+        pub fn counter_add(_m: Metric, _n: u64) {}
+
+        pub struct HistTimer;
+
+        #[inline(always)]
+        pub fn timer(_h: HistMetric) -> HistTimer {
+            HistTimer
+        }
+    }
 }
 
 use std::time::Instant;

@@ -35,14 +35,18 @@ fn save_load_file_helpers_round_trip() {
     let buckets = value_buckets_from_db(&db, 8);
     let mut a = SqlBert::new(&corpus, db.schema(), buckets.clone(), PreqrConfig::test());
     a.pretrain(&corpus[..10], 1, 2e-3);
-    let dir = std::env::temp_dir().join("preqr_ckpt_test");
+    // Unique per-process directory: concurrent test runs (or a stale file
+    // from a crashed one) must never race on a shared fixed path.
+    let dir = std::env::temp_dir().join(format!("preqr_ckpt_test_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("model.bin");
     a.save(&path).unwrap();
     let b = SqlBert::new(&corpus, db.schema(), buckets, PreqrConfig::test());
     b.load(&path).unwrap();
     assert_eq!(a.encode(&corpus[0]), b.encode(&corpus[0]));
-    let _ = std::fs::remove_file(path);
+    // Clean up on success only — a failure leaves the artifact for triage.
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
 }
 
 #[test]

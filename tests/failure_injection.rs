@@ -38,6 +38,23 @@ fn parser_rejects_malformed_inputs_without_panicking() {
         "SELECT * FROM t GROUP ORDER",
         "SELECT * FROM t; SELECT * FROM u",
         "SELEC * FROM t",
+        "SELECT * FROM t JOIN",
+        "SELECT * FROM t JOIN u ON",
+        "SELECT * FROM t JOIN u ON x",
+        "SELECT * FROM t WHERE x BETWEEN 1",
+        "SELECT * FROM t WHERE x IN (1,",
+        "SELECT * FROM t WHERE (x = 1",
+        "SELECT COUNT( FROM t",
+        "SELECT * FROM t ORDER BY",
+        "SELECT * FROM t GROUP BY",
+        "SELECT * FROM t LIMIT abc",
+        "SELECT * FROM t UNION",
+        "SELECT * FROM 42",
+        "SELECT * FROM t WHERE x = 'unterminated",
+        "INSERT INTO t VALUES (1)",
+        "SELECT * FROM t WHERE x LIKE",
+        "SELECT * FROM t AS",
+        "SELECT * FROM t WHERE x = ()",
     ] {
         assert!(parse(bad).is_err(), "should reject: {bad}");
     }
@@ -68,6 +85,69 @@ fn empty_pretraining_corpus_still_builds_a_usable_model() {
         m.pretrain(&[], 2, 1e-3)
     };
     assert_eq!(stats.len(), 2, "epochs over an empty corpus are no-ops, not panics");
+}
+
+/// Trace writer that models a full disk: fails after a byte budget.
+struct FailingWriter {
+    budget: usize,
+}
+
+impl std::io::Write for FailingWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if buf.len() > self.budget {
+            return Err(std::io::Error::other("disk full"));
+        }
+        self.budget -= buf.len();
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn failing_trace_sink_degrades_to_noop_without_changing_training() {
+    use preqr_obs as obs;
+    use std::sync::Arc;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_table(Table::new(
+            "title",
+            vec![Column::primary("id", ColumnType::Int), Column::new("year", ColumnType::Int)],
+        ));
+        s
+    }
+    fn corpus() -> Vec<preqr_sql::Query> {
+        (0..8)
+            .map(|i| {
+                parse(&format!("SELECT COUNT(*) FROM title t WHERE t.year > {}", 1960 + i)).unwrap()
+            })
+            .collect()
+    }
+    fn losses() -> Vec<f64> {
+        let mut m = SqlBert::new(&corpus(), &schema(), ValueBuckets::new(4), PreqrConfig::test());
+        m.pretrain(&corpus(), 2, 1e-3).into_iter().map(|s| s.loss).collect()
+    }
+
+    obs::clear_sink();
+    obs::set_metrics_enabled(false);
+    let plain = losses();
+
+    obs::reset_metrics();
+    obs::take_warnings();
+    obs::install_sink(Arc::new(obs::JsonlSink::new(FailingWriter { budget: 60 })));
+    let traced = losses();
+
+    assert!(!obs::tracing_active(), "a failing sink must uninstall itself");
+    let warnings = obs::take_warnings();
+    assert_eq!(warnings.len(), 1, "exactly one degradation warning, not one per event");
+    assert_eq!(warnings[0].kind, obs::EventKind::Warn);
+    assert_eq!(obs::counter_get(obs::Metric::ObsSinkDegraded), 1);
+    assert_eq!(plain, traced, "sink failure must never perturb training results");
+
+    obs::set_metrics_enabled(false);
+    obs::reset_metrics();
 }
 
 #[test]

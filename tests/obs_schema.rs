@@ -1,0 +1,236 @@
+//! Golden-snapshot test for the JSONL trace schema (v1).
+//!
+//! The blessed fixture at `tests/fixtures/trace_golden.jsonl` is the
+//! compatibility contract for external trace consumers: any byte-level
+//! change to the encoding must show up as a reviewed fixture diff. A
+//! serde-free validator additionally checks every line — fixture and
+//! live-captured alike — against the schema rules.
+
+use std::sync::{Arc, Mutex};
+
+use preqr_data::imdb::{generate, ImdbConfig};
+use preqr_data::workloads;
+use preqr_engine::execute;
+use preqr_obs as obs;
+use preqr_obs::{Event, EventKind, FieldValue};
+
+/// Fixed events covering every kind, every field type, string escaping,
+/// and the non-finite-number rule. Values are hardcoded (not measured) so
+/// the encoding is byte-stable.
+fn golden_events() -> Vec<Event> {
+    let mut span = Event::new(EventKind::Span, "pretrain.epoch", 1234.5);
+    span.fields.push(("epoch", FieldValue::U64(0)));
+    span.fields.push(("loss", FieldValue::F64(5.25)));
+    span.fields.push(("method", FieldValue::Str("mscn".into())));
+    span.fields.push(("delta", FieldValue::I64(-3)));
+
+    let counter = Event::new(EventKind::Counter, "engine.queries", 42.0);
+
+    let mut hist = Event::new(EventKind::Hist, "nn.matmul_us", 3.0);
+    hist.fields.push(("p50", FieldValue::F64(10.5)));
+    hist.fields.push(("p95", FieldValue::F64(99.0)));
+    hist.fields.push(("max", FieldValue::F64(120.25)));
+    hist.fields.push(("sum", FieldValue::F64(130.0)));
+
+    let mut warn = Event::new(EventKind::Warn, "obs.sink.degraded", 1.0);
+    warn.fields.push(("error", FieldValue::Str("disk \"full\"\n".into())));
+
+    let nonfinite = Event::new(EventKind::Counter, "obs.nonfinite", f64::INFINITY);
+
+    vec![span, counter, hist, warn, nonfinite]
+}
+
+#[test]
+fn jsonl_encoding_matches_blessed_fixture() {
+    let got: String = golden_events().iter().map(|e| e.to_jsonl() + "\n").collect();
+    let want = include_str!("fixtures/trace_golden.jsonl");
+    assert_eq!(
+        got, want,
+        "JSONL schema drifted from tests/fixtures/trace_golden.jsonl — if the \
+         change is intentional, re-bless the fixture and bump the schema notes \
+         in DESIGN.md"
+    );
+}
+
+// ---- serde-free schema validator ----------------------------------------
+
+struct Cursor<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn eat(&mut self, lit: &str) -> Result<(), String> {
+        if self.s[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{lit}` at byte {} of `{}`", self.pos, self.s))
+        }
+    }
+
+    /// Consumes a JSON string literal, returning its raw (escaped) body.
+    fn string(&mut self) -> Result<&'a str, String> {
+        self.eat("\"")?;
+        let start = self.pos;
+        let bytes = self.s.as_bytes();
+        while self.pos < bytes.len() {
+            match bytes[self.pos] {
+                b'"' => {
+                    let body = &self.s[start..self.pos];
+                    self.pos += 1;
+                    return Ok(body);
+                }
+                b'\\' => {
+                    let esc = bytes.get(self.pos + 1).ok_or("dangling escape")?;
+                    let valid = matches!(esc, b'"' | b'\\' | b'n' | b'r' | b't' | b'u');
+                    if !valid {
+                        return Err(format!("invalid escape \\{} in `{}`", *esc as char, self.s));
+                    }
+                    self.pos += if *esc == b'u' { 6 } else { 2 };
+                }
+                b if b < 0x20 => return Err("raw control character in string".into()),
+                _ => self.pos += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    /// Consumes a JSON number or `null`.
+    fn number_or_null(&mut self) -> Result<(), String> {
+        if self.s[self.pos..].starts_with("null") {
+            self.pos += 4;
+            return Ok(());
+        }
+        let start = self.pos;
+        let bytes = self.s.as_bytes();
+        while self.pos < bytes.len()
+            && matches!(bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected number at byte {start} of `{}`", self.s));
+        }
+        self.s[start..self.pos]
+            .parse::<f64>()
+            .map(drop)
+            .map_err(|e| format!("bad number `{}`: {e}", &self.s[start..self.pos]))
+    }
+}
+
+/// Validates one trace line against schema v1; returns the event kind.
+fn validate_line(line: &str) -> Result<&str, String> {
+    let mut c = Cursor { s: line, pos: 0 };
+    c.eat("{\"v\":1,\"ev\":")?;
+    let ev = c.string()?;
+    let value_key = match ev {
+        "span" => "us",
+        "hist" => "count",
+        "counter" | "warn" => "value",
+        other => return Err(format!("unknown event kind `{other}`")),
+    };
+    c.eat(",\"name\":")?;
+    let name = c.string()?;
+    if name.is_empty() {
+        return Err("empty event name".into());
+    }
+    c.eat(&format!(",\"{value_key}\":"))?;
+    c.number_or_null()?;
+    if c.s[c.pos..].starts_with(",\"fields\":{") {
+        c.eat(",\"fields\":{")?;
+        loop {
+            let key = c.string()?;
+            if key.is_empty() {
+                return Err("empty field key".into());
+            }
+            c.eat(":")?;
+            if c.s[c.pos..].starts_with('"') {
+                c.string()?;
+            } else {
+                c.number_or_null()?;
+            }
+            if c.s[c.pos..].starts_with(',') {
+                c.eat(",")?;
+            } else {
+                break;
+            }
+        }
+        c.eat("}")?;
+    }
+    c.eat("}")?;
+    if c.pos != line.len() {
+        return Err(format!("trailing bytes after event: `{}`", &line[c.pos..]));
+    }
+    Ok(ev)
+}
+
+#[test]
+fn every_golden_line_passes_the_validator() {
+    let text = include_str!("fixtures/trace_golden.jsonl");
+    let kinds: Vec<&str> =
+        text.lines().map(|l| validate_line(l).expect("golden line is schema-valid")).collect();
+    assert_eq!(kinds, ["span", "counter", "hist", "warn", "counter"]);
+}
+
+#[test]
+fn validator_rejects_malformed_lines() {
+    for bad in [
+        "",
+        "{}",
+        "{\"v\":2,\"ev\":\"span\",\"name\":\"x\",\"us\":1}",
+        "{\"v\":1,\"ev\":\"bogus\",\"name\":\"x\",\"value\":1}",
+        "{\"v\":1,\"ev\":\"span\",\"name\":\"x\",\"value\":1}", // wrong value key
+        "{\"v\":1,\"ev\":\"counter\",\"name\":\"\",\"value\":1}",
+        "{\"v\":1,\"ev\":\"counter\",\"name\":\"x\",\"value\":nan}",
+        "{\"v\":1,\"ev\":\"counter\",\"name\":\"x\",\"value\":1}trailing",
+        "{\"v\":1,\"ev\":\"counter\",\"name\":\"x\",\"value\":1,\"fields\":{\"k\":}}",
+    ] {
+        assert!(validate_line(bad).is_err(), "accepted malformed line: `{bad}`");
+    }
+}
+
+/// `Write` target that a test can read back after the sink takes it over.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn live_trace_output_is_schema_valid_jsonl() {
+    let buf = SharedBuf::default();
+    obs::reset_metrics();
+    obs::install_sink(Arc::new(obs::JsonlSink::new(buf.clone())));
+
+    // A real (tiny) traced workload: spans + engine counters + a flush.
+    let db = generate(ImdbConfig::tiny());
+    {
+        let _span = obs::span("bench.ctx_build").field("movies", 100usize);
+        for q in &workloads::synthetic(&db, 5, 5) {
+            let _ = execute(&db, q);
+        }
+    }
+    obs::flush_metrics();
+    obs::clear_sink();
+    obs::set_metrics_enabled(false);
+    obs::reset_metrics();
+
+    let bytes = buf.0.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let text = String::from_utf8(bytes).expect("trace is UTF-8");
+    assert!(text.ends_with('\n'), "stream is newline-terminated");
+    let mut kinds = Vec::new();
+    for line in text.lines() {
+        kinds.push(validate_line(line).unwrap_or_else(|e| panic!("invalid line: {e}")));
+    }
+    // One span + the full registry flush, in that order.
+    assert_eq!(kinds[0], "span");
+    assert_eq!(kinds.len(), 1 + obs::Metric::ALL.len() + obs::HistMetric::ALL.len());
+}
