@@ -1,0 +1,169 @@
+//! `serve` — serving-layer probe feeding `results/BENCH_serve.json`.
+//!
+//! Replays a repeated-template workload (a handful of query templates,
+//! each requested many times with fresh literals) through `preqr-serve`
+//! under cache-on and cache-off configurations, and appends best-of-N
+//! wall-clock timings plus the serving counters to the trajectory file.
+//! The `cache_on` vs `cache_off` rows are the headline: on a
+//! template-heavy workload the normalized-query cache should replace
+//! almost every forward pass with an LRU lookup.
+
+use std::path::Path;
+use std::time::Instant;
+
+use preqr::{PreqrConfig, SqlBert, ValueBuckets};
+use preqr_bench::trajectory::{append, PipelineEntry};
+use preqr_nn::parallel;
+use preqr_schema::{Column, ColumnType, ForeignKey, Schema, Table};
+use preqr_serve::{ServeConfig, ServeStats, Service};
+use preqr_sql::parser::parse;
+
+const REPS: usize = 3;
+/// Requests per replay: `TEMPLATES` templates cycled with fresh literals.
+const REQUESTS: usize = 240;
+const TEMPLATES: usize = 8;
+
+fn schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_table(Table::new(
+        "title",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("production_year", ColumnType::Int),
+            Column::new("kind_id", ColumnType::Int),
+        ],
+    ));
+    s.add_table(Table::new(
+        "movie_companies",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("movie_id", ColumnType::Int),
+            Column::new("company_id", ColumnType::Int),
+        ],
+    ));
+    s.add_foreign_key(ForeignKey {
+        from_table: "movie_companies".into(),
+        from_column: "movie_id".into(),
+        to_table: "title".into(),
+        to_column: "id".into(),
+    });
+    s
+}
+
+/// `i`-th request: template `i % TEMPLATES`, literals varied per round so
+/// only normalization can make requests collide.
+fn request(i: usize) -> String {
+    let year = 1930 + (i / TEMPLATES) % 80;
+    let kind = 1 + (i / TEMPLATES) % 7;
+    match i % TEMPLATES {
+        0 => format!("SELECT COUNT(*) FROM title t WHERE t.production_year > {year}"),
+        1 => format!("SELECT * FROM title t WHERE t.kind_id IN ({kind}, {})", kind + 1),
+        2 => format!(
+            "SELECT COUNT(*) FROM title t, movie_companies mc \
+             WHERE t.id = mc.movie_id AND t.production_year > {year}"
+        ),
+        3 => format!(
+            "SELECT MIN(t.id) FROM title t WHERE t.production_year BETWEEN {year} AND {}",
+            year + 10
+        ),
+        4 => format!("SELECT COUNT(*) FROM title t WHERE t.kind_id = {kind}"),
+        5 => format!("SELECT * FROM title t WHERE t.production_year < {year}"),
+        6 => format!("SELECT COUNT(*) FROM movie_companies mc WHERE mc.company_id > {}", i % 90),
+        _ => format!(
+            "SELECT MAX(t.production_year) FROM title t WHERE t.kind_id IN ({kind}, {}, {})",
+            kind + 2,
+            kind + 4
+        ),
+    }
+}
+
+fn model() -> SqlBert {
+    let corpus: Vec<_> = (0..TEMPLATES).map(|i| parse(&request(i)).unwrap()).collect();
+    let mut buckets = ValueBuckets::new(4);
+    buckets.insert("title", "production_year", (1930..2020).map(f64::from).collect());
+    buckets.insert("title", "kind_id", (1..12).map(f64::from).collect());
+    buckets.insert("movie_companies", "company_id", (0..100).map(f64::from).collect());
+    SqlBert::new(&corpus, &schema(), buckets, PreqrConfig::test())
+}
+
+/// Replays the workload once; returns (serving seconds, final stats).
+/// Model construction happens before the clock starts (a warmup request
+/// blocks until the worker's replica is ready).
+fn replay(config: ServeConfig) -> (f64, ServeStats) {
+    let svc = Service::spawn(config, model);
+    svc.encode_blocking(&request(0)).expect("warmup");
+    let t0 = Instant::now();
+    let tickets: Vec<_> =
+        (0..REQUESTS).map(|i| svc.submit(&request(i)).expect("queue sized for script")).collect();
+    for t in tickets {
+        t.wait().expect("workload is all parseable");
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    (secs, svc.shutdown())
+}
+
+fn bench(label: &str, config: ServeConfig) -> (f64, ServeStats) {
+    let mut best = f64::INFINITY;
+    let mut stats = ServeStats::default();
+    for _ in 0..REPS {
+        let (secs, s) = replay(config);
+        if secs < best {
+            best = secs;
+            stats = s;
+        }
+    }
+    println!(
+        "{label:>10}: {best:.4}s  ({:.0} req/s)  encoded={} hits={} misses={} evictions={}",
+        REQUESTS as f64 / best,
+        stats.encoded,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions
+    );
+    (best, stats)
+}
+
+fn entry(phase: &str, secs: f64, stats: &ServeStats) -> PipelineEntry {
+    PipelineEntry {
+        label: "serve".into(),
+        phase: phase.into(),
+        threads: parallel::effective_threads(),
+        trace: false,
+        seconds: secs,
+        counters: vec![
+            ("serve.requests".into(), stats.accepted),
+            ("serve.encoded".into(), stats.encoded),
+            ("serve.batches".into(), stats.batches),
+            ("serve.cache.hits".into(), stats.cache_hits),
+            ("serve.cache.misses".into(), stats.cache_misses),
+            ("serve.cache.evictions".into(), stats.cache_evictions),
+        ],
+    }
+}
+
+fn main() {
+    let base = ServeConfig { queue_capacity: REQUESTS + 1, ..ServeConfig::default() };
+    println!(
+        "serve bench: {REQUESTS} requests over {TEMPLATES} templates, \
+         threads={}, max_batch={}",
+        parallel::effective_threads(),
+        base.max_batch
+    );
+    let (on_secs, on_stats) = bench("cache_on", base);
+    let (off_secs, off_stats) = bench("cache_off", ServeConfig { cache_capacity: 0, ..base });
+    let (unbatched_secs, unbatched_stats) =
+        bench("unbatched", ServeConfig { max_batch: 1, ..base });
+    println!("cache speedup on repeated templates: {:.2}x", off_secs / on_secs);
+
+    let path = Path::new("results/BENCH_serve.json");
+    append(
+        path,
+        &[
+            entry("cache_on", on_secs, &on_stats),
+            entry("cache_off", off_secs, &off_stats),
+            entry("unbatched", unbatched_secs, &unbatched_stats),
+        ],
+    )
+    .expect("write trajectory");
+    println!("appended 3 entries -> {}", path.display());
+}

@@ -271,17 +271,43 @@ impl SqlBert {
         stats
     }
 
-    /// Encodes a query to its final representation matrix (eval mode, no
-    /// gradients). `nodes` may be a cached detached node matrix.
+    /// Encodes a query to its final representation matrix (eval mode,
+    /// tape-free). `nodes` may be a cached detached node matrix.
     pub fn encode_with_nodes(&self, q: &Query, nodes: Option<&Tensor>) -> Matrix {
-        let pq = self.prepare(q);
-        let mut rng = StdRng::seed_from_u64(0);
-        self.forward(&pq, None, nodes, false, &mut rng).value_clone()
+        preqr_nn::no_grad(|| {
+            let pq = self.prepare(q);
+            let mut rng = StdRng::seed_from_u64(0);
+            self.forward(&pq, None, nodes, false, &mut rng).value_clone()
+        })
+    }
+
+    /// Encodes one micro-batch of queries (eval mode, tape-free): the
+    /// schema node states are computed once and shared across the batch,
+    /// then each query runs an independent forward over them.
+    ///
+    /// Because the shared node states are detached *values* (identical to
+    /// what a fresh single-query pass computes) and queries never attend
+    /// to each other, every output is bit-identical to [`SqlBert::encode`]
+    /// of that query alone — batch composition and order can never change
+    /// an embedding. The serving layer's batching is built on this
+    /// contract (`crates/serve`), and [`SqlBert::encode`] itself is the
+    /// batch-of-one special case.
+    pub fn encode_batch(&self, qs: &[Query]) -> Vec<Matrix> {
+        preqr_nn::no_grad(|| {
+            let nodes = self.cached_nodes();
+            qs.iter()
+                .map(|q| {
+                    let pq = self.prepare(q);
+                    let mut rng = StdRng::seed_from_u64(0);
+                    self.forward(&pq, None, nodes.as_ref(), false, &mut rng).value_clone()
+                })
+                .collect()
+        })
     }
 
     /// Encodes a query (recomputing schema node states).
     pub fn encode(&self, q: &Query) -> Matrix {
-        self.encode_with_nodes(q, None)
+        self.encode_batch(std::slice::from_ref(q)).pop().expect("batch of one yields one")
     }
 
     /// Detached schema node states for fast repeated encoding.
@@ -349,12 +375,14 @@ impl SqlBert {
     /// prefix of fine-tuning). Deterministic, so it can be cached per
     /// query across fine-tuning epochs.
     pub fn lower_states(&self, pq: &PreparedQuery, nodes: Option<&Tensor>) -> Matrix {
-        let mut rng = StdRng::seed_from_u64(0);
-        let mut x = self.input.forward(pq, false, &mut rng);
-        for layer in &self.layers[..self.layers.len() - 1] {
-            x = layer.forward(&x, nodes).merged;
-        }
-        x.value_clone()
+        preqr_nn::no_grad(|| {
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut x = self.input.forward(pq, false, &mut rng);
+            for layer in &self.layers[..self.layers.len() - 1] {
+                x = layer.forward(&x, nodes).merged;
+            }
+            x.value_clone()
+        })
     }
 
     /// Runs only the last `Trm_g` layer on cached lower states, with
@@ -604,6 +632,32 @@ mod tests {
         let q = &corpus()[0];
         let cached = m.cached_nodes();
         assert_eq!(m.encode(q), m.encode_with_nodes(q, cached.as_ref()));
+    }
+
+    #[test]
+    fn encode_batch_matches_single_encodes_bit_exactly() {
+        let m = model();
+        let qs = corpus();
+        let batched = m.encode_batch(&qs);
+        assert_eq!(batched.len(), qs.len());
+        for (q, b) in qs.iter().zip(&batched) {
+            assert_eq!(&m.encode(q), b, "batched embedding must equal the single-query one");
+        }
+        assert!(m.encode_batch(&[]).is_empty(), "empty batch is a no-op");
+    }
+
+    #[test]
+    fn no_grad_encode_matches_tracked_eval_forward_bit_exactly() {
+        // The inference mode must gate bookkeeping only: an eval forward
+        // with the tape recording produces the same bytes as the
+        // tape-free path `encode` takes.
+        let m = model();
+        let q = &corpus()[1];
+        let pq = m.prepare(q);
+        let mut rng = StdRng::seed_from_u64(0);
+        let tracked = m.forward(&pq, None, m.cached_nodes().as_ref(), false, &mut rng);
+        assert!(!preqr_nn::no_grad_active());
+        assert_eq!(tracked.value_clone(), m.encode(q));
     }
 
     #[test]

@@ -47,4 +47,4 @@ pub mod serialize;
 pub mod tensor;
 
 pub use matrix::Matrix;
-pub use tensor::Tensor;
+pub use tensor::{no_grad, no_grad_active, NoGradGuard, Tensor};

@@ -19,6 +19,7 @@ use crate::matrix::Matrix;
 
 thread_local! {
     static NEXT_ID: Cell<u64> = const { Cell::new(0) };
+    static NO_GRAD_DEPTH: Cell<u32> = const { Cell::new(0) };
 }
 
 fn next_id() -> u64 {
@@ -27,6 +28,50 @@ fn next_id() -> u64 {
         c.set(id + 1);
         id
     })
+}
+
+/// True while the current thread is inside a [`no_grad`] scope.
+pub fn no_grad_active() -> bool {
+    NO_GRAD_DEPTH.with(|c| c.get() > 0)
+}
+
+/// RAII guard for an open no-grad scope (see [`no_grad`]). Restores the
+/// previous mode on drop, including on unwind, so a panicking inference
+/// call can never leave the thread stuck in no-grad mode.
+pub struct NoGradGuard {
+    _private: (),
+}
+
+impl NoGradGuard {
+    /// Opens a no-grad scope on the current thread. Scopes nest.
+    pub fn new() -> Self {
+        NO_GRAD_DEPTH.with(|c| c.set(c.get() + 1));
+        NoGradGuard { _private: () }
+    }
+}
+
+impl Default for NoGradGuard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for NoGradGuard {
+    fn drop(&mut self) {
+        NO_GRAD_DEPTH.with(|c| c.set(c.get() - 1));
+    }
+}
+
+/// Runs `f` with tape recording disabled on the current thread.
+///
+/// Inside the scope every op produces a *constant* tensor: forward values
+/// are computed exactly as in training mode (bit-identical — the mode
+/// gates only graph bookkeeping, never arithmetic), but no parent edges
+/// or backward closures are allocated, so inference never retains
+/// autograd state. Scopes nest; the mode is per-thread.
+pub fn no_grad<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = NoGradGuard::new();
+    f()
 }
 
 /// Context passed to an op's backward closure.
@@ -99,7 +144,14 @@ impl Tensor {
     /// `backward` receives the upstream gradient and must accumulate into
     /// the parents via [`Tensor::accumulate_grad`]. It is only invoked when
     /// at least one parent requires a gradient.
+    ///
+    /// Inside a [`no_grad`] scope the parents and the backward closure are
+    /// dropped on the spot and the node degenerates to a constant leaf —
+    /// the tape-free inference mode used by the serving path.
     pub fn from_op(value: Matrix, parents: Vec<Tensor>, backward: BackwardFn) -> Self {
+        if no_grad_active() {
+            return Tensor::constant(value);
+        }
         let requires_grad = parents.iter().any(|p| p.0.requires_grad);
         Tensor(Rc::new(TensorData {
             id: next_id(),
@@ -288,5 +340,45 @@ mod tests {
         let d = x.detach();
         let y = crate::ops::mul(&d, &d);
         assert!(!y.requires_grad());
+    }
+
+    #[test]
+    fn no_grad_values_are_bit_identical_to_training_mode() {
+        let x = Tensor::param(Matrix::from_vec(1, 3, vec![0.25, -1.5, 3.0]));
+        let w = Tensor::param(Matrix::from_vec(3, 2, vec![1.0, 0.5, -0.25, 2.0, 0.125, -1.0]));
+        let train = crate::ops::relu(&crate::ops::matmul(&x, &w)).value_clone();
+        let infer = no_grad(|| crate::ops::relu(&crate::ops::matmul(&x, &w)).value_clone());
+        assert_eq!(train, infer, "no-grad mode must not perturb forward arithmetic");
+    }
+
+    #[test]
+    fn no_grad_ops_record_no_tape() {
+        let x = Tensor::param(Matrix::full(1, 1, 2.0));
+        let y = no_grad(|| crate::ops::mul(&x, &x));
+        assert!(!y.requires_grad(), "ops under no_grad produce constants");
+        assert!(y.0.parents.is_empty(), "no parent edges retained");
+        assert!(y.0.backward.is_none(), "no backward closure allocated");
+        // The param is untouched: training still works after the scope.
+        let z = crate::ops::mul(&x, &x);
+        z.backward();
+        assert_eq!(x.grad().unwrap().get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn no_grad_scopes_nest() {
+        assert!(!no_grad_active());
+        no_grad(|| {
+            assert!(no_grad_active());
+            no_grad(|| assert!(no_grad_active()));
+            assert!(no_grad_active(), "inner scope exit must not end the outer scope");
+        });
+        assert!(!no_grad_active());
+    }
+
+    #[test]
+    fn no_grad_guard_unwinds_cleanly() {
+        let r = std::panic::catch_unwind(|| no_grad(|| panic!("inference failed")));
+        assert!(r.is_err());
+        assert!(!no_grad_active(), "a panicking no-grad scope must restore the mode");
     }
 }

@@ -51,13 +51,29 @@ pub enum Metric {
     EngineCapHits,
     /// Executions that failed for any other reason.
     EngineErrors,
+    /// Requests accepted into the serving queue.
+    ServeRequests,
+    /// Requests rejected at admission (queue full).
+    ServeRejected,
+    /// Requests that failed SQL parsing inside the serving worker.
+    ServeParseErrors,
+    /// Encoder forward passes run by the serving worker (cache misses).
+    ServeEncoded,
+    /// Serving cache hits (embedding returned without a forward pass).
+    ServeCacheHits,
+    /// Serving cache misses.
+    ServeCacheMisses,
+    /// Serving cache evictions (LRU capacity pressure).
+    ServeCacheEvictions,
+    /// Micro-batches drained by the serving collector.
+    ServeBatches,
     /// Trace sinks that failed and degraded to no-op.
     ObsSinkDegraded,
 }
 
 impl Metric {
     /// Every counter, in flush order.
-    pub const ALL: [Metric; 18] = [
+    pub const ALL: [Metric; 26] = [
         Metric::NnDispatchInline,
         Metric::NnDispatchPool,
         Metric::NnJoinInline,
@@ -75,6 +91,14 @@ impl Metric {
         Metric::EngineRowsScanned,
         Metric::EngineCapHits,
         Metric::EngineErrors,
+        Metric::ServeRequests,
+        Metric::ServeRejected,
+        Metric::ServeParseErrors,
+        Metric::ServeEncoded,
+        Metric::ServeCacheHits,
+        Metric::ServeCacheMisses,
+        Metric::ServeCacheEvictions,
+        Metric::ServeBatches,
         Metric::ObsSinkDegraded,
     ];
 
@@ -98,6 +122,14 @@ impl Metric {
             Metric::EngineRowsScanned => "engine.rows_scanned",
             Metric::EngineCapHits => "engine.cap_hits",
             Metric::EngineErrors => "engine.errors",
+            Metric::ServeRequests => "serve.requests",
+            Metric::ServeRejected => "serve.rejected",
+            Metric::ServeParseErrors => "serve.parse_errors",
+            Metric::ServeEncoded => "serve.encoded",
+            Metric::ServeCacheHits => "serve.cache.hits",
+            Metric::ServeCacheMisses => "serve.cache.misses",
+            Metric::ServeCacheEvictions => "serve.cache.evictions",
+            Metric::ServeBatches => "serve.batches",
             Metric::ObsSinkDegraded => "obs.sink.degraded",
         }
     }
@@ -115,15 +147,25 @@ pub enum HistMetric {
     EstValQerror,
     /// Pre-aggregation join cardinality per executed query.
     EngineJoinCard,
+    /// Requests per drained serving micro-batch.
+    ServeBatchSize,
+    /// Queue depth observed at each serving batch collection.
+    ServeQueueDepth,
+    /// Wall-clock microseconds per serving encoder forward (batched or
+    /// solo).
+    ServeEncodeUs,
 }
 
 impl HistMetric {
     /// Every histogram, in flush order.
-    pub const ALL: [HistMetric; 4] = [
+    pub const ALL: [HistMetric; 7] = [
         HistMetric::NnMatmulUs,
         HistMetric::PretrainEpochLoss,
         HistMetric::EstValQerror,
         HistMetric::EngineJoinCard,
+        HistMetric::ServeBatchSize,
+        HistMetric::ServeQueueDepth,
+        HistMetric::ServeEncodeUs,
     ];
 
     /// Stable dotted event name.
@@ -133,6 +175,9 @@ impl HistMetric {
             HistMetric::PretrainEpochLoss => "pretrain.epoch_loss",
             HistMetric::EstValQerror => "est.val_qerror",
             HistMetric::EngineJoinCard => "engine.join_cardinality",
+            HistMetric::ServeBatchSize => "serve.batch_size",
+            HistMetric::ServeQueueDepth => "serve.queue_depth",
+            HistMetric::ServeEncodeUs => "serve.encode_us",
         }
     }
 }

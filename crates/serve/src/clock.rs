@@ -1,0 +1,49 @@
+//! Logical time for the micro-batcher.
+//!
+//! The batch timeout is expressed in *ticks* of this clock, not
+//! wall-clock time. Ticks advance at two deterministic-ish program
+//! points — each accepted submission, and each collector wake-up — and
+//! they gate exactly one decision: when a *partial* batch stops waiting
+//! for more requests and closes. Because every response is bit-identical
+//! regardless of which batch carried it (see `SqlBert::encode_batch`'s
+//! batch-invariance contract), tick timing can only ever change
+//! throughput, never results — wall-time stays out of every output.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic logical clock (see the module docs).
+#[derive(Debug, Default)]
+pub struct LogicalClock {
+    ticks: AtomicU64,
+}
+
+impl LogicalClock {
+    /// A clock at tick zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by one tick, returning the new reading.
+    pub fn tick(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Current reading.
+    pub fn now(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_monotonic() {
+        let c = LogicalClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.tick(), 1);
+        assert_eq!(c.tick(), 2);
+        assert_eq!(c.now(), 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! Serving configuration.
+
+/// Tuning knobs for a [`crate::Service`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Most requests one micro-batch may carry (min 1).
+    pub max_batch: usize,
+    /// Logical ticks the oldest queued request may wait before a partial
+    /// batch closes (see [`crate::clock::LogicalClock`]). 0 closes every
+    /// batch as soon as any work is available.
+    pub batch_timeout: u64,
+    /// Bounded admission queue: submissions beyond this depth are
+    /// rejected with `QueueFull` instead of queueing unboundedly.
+    pub queue_capacity: usize,
+    /// Embedding-cache entries, keyed by normalized template. 0 disables
+    /// caching entirely.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { max_batch: 16, batch_timeout: 2, queue_capacity: 256, cache_capacity: 1024 }
+    }
+}
+
+impl ServeConfig {
+    /// Copy with invalid fields clamped to their minimum legal values.
+    pub(crate) fn normalized(self) -> Self {
+        ServeConfig { max_batch: self.max_batch.max(1), ..self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_clamps_batch_to_one() {
+        let c = ServeConfig { max_batch: 0, ..ServeConfig::default() }.normalized();
+        assert_eq!(c.max_batch, 1);
+        assert_eq!(ServeConfig::default().normalized().max_batch, 16);
+    }
+}

@@ -1,0 +1,44 @@
+//! `preqr-serve`: batched SQL-embedding inference service.
+//!
+//! Wraps a [`preqr::SqlBert`] encoder in a synchronous-API service with
+//! an internal worker thread:
+//!
+//! * **Dynamic micro-batching** — requests queue into micro-batches of
+//!   up to `max_batch`; a partial batch closes after `batch_timeout`
+//!   ticks of a [`clock::LogicalClock`], so wall-time influences only
+//!   batch *boundaries*, never responses.
+//! * **Tape-free batched encoding** — forwards run under
+//!   `preqr_nn::no_grad`, skipping autograd bookkeeping while staying
+//!   bit-identical to the training-mode eval forward.
+//! * **Template cache** — an exact-counter LRU ([`cache::LruCache`])
+//!   keyed on [`preqr_sql::normalize::template_text`], so queries
+//!   differing only in literals/whitespace/case share one embedding.
+//! * **Admission control** — a bounded queue rejects overload with
+//!   [`ServeError::Rejected`] backpressure, and shutdown drains every
+//!   accepted request before the worker exits.
+//!
+//! See `DESIGN.md` §9 for the determinism and failure contracts, and
+//! [`service`] for the per-module details.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use preqr_serve::{ServeConfig, Service};
+//! # fn build_model() -> preqr::SqlBert { unimplemented!() }
+//!
+//! let service = Service::spawn(ServeConfig::default(), || build_model());
+//! let embedding = service.encode_blocking("SELECT a FROM t WHERE b > 7").unwrap();
+//! println!("CLS dim = {}", embedding.cls().len());
+//! let stats = service.shutdown();
+//! assert_eq!(stats.processed, stats.accepted);
+//! ```
+
+pub mod cache;
+pub mod clock;
+pub mod config;
+pub mod service;
+
+pub use cache::{CacheCounters, LruCache};
+pub use clock::LogicalClock;
+pub use config::ServeConfig;
+pub use service::{Embedding, RejectReason, ServeError, ServeResult, ServeStats, Service, Ticket};

@@ -1,0 +1,216 @@
+//! Cache-semantics tests through the live service: template sharing,
+//! non-collision, exact counters, eviction, and the batch-parity
+//! contract (stats identical across `max_batch`).
+
+use preqr::{PreqrConfig, SqlBert, ValueBuckets};
+use preqr_schema::{Column, ColumnType, ForeignKey, Schema, Table};
+use preqr_serve::{ServeConfig, ServeStats, Service};
+use preqr_sql::normalize::template_text;
+use preqr_sql::parser::parse;
+
+fn schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_table(Table::new(
+        "title",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("production_year", ColumnType::Int),
+            Column::new("kind_id", ColumnType::Int),
+        ],
+    ));
+    s.add_table(Table::new(
+        "movie_companies",
+        vec![
+            Column::primary("id", ColumnType::Int),
+            Column::new("movie_id", ColumnType::Int),
+            Column::new("company_id", ColumnType::Int),
+        ],
+    ));
+    s.add_foreign_key(ForeignKey {
+        from_table: "movie_companies".into(),
+        from_column: "movie_id".into(),
+        to_table: "title".into(),
+        to_column: "id".into(),
+    });
+    s
+}
+
+/// Builds the worker's model replica. Runs on the worker thread
+/// (`SqlBert` is `!Send`); construction is deterministic, so every
+/// replica encodes identically.
+fn test_model() -> SqlBert {
+    let corpus: Vec<_> = [
+        "SELECT COUNT(*) FROM title t WHERE t.production_year > 1990",
+        "SELECT COUNT(*) FROM title t, movie_companies mc \
+         WHERE t.id = mc.movie_id AND t.production_year > 1990",
+        "SELECT * FROM title t WHERE t.kind_id IN (1, 3, 5)",
+    ]
+    .iter()
+    .map(|s| parse(s).unwrap())
+    .collect();
+    let mut buckets = ValueBuckets::new(4);
+    buckets.insert("title", "production_year", (1930..2020).map(f64::from).collect());
+    buckets.insert("title", "kind_id", (1..8).map(f64::from).collect());
+    SqlBert::new(&corpus, &schema(), buckets, PreqrConfig::test())
+}
+
+fn spawn(config: ServeConfig) -> Service {
+    Service::spawn(config, test_model)
+}
+
+fn bits(m: &preqr_nn::Matrix) -> Vec<u32> {
+    m.data().iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn normalization_equivalent_queries_share_one_cache_entry() {
+    // Same template, different literals / whitespace / keyword case.
+    let base = "SELECT COUNT(*) FROM title t WHERE t.production_year > 1990";
+    let variants = [
+        "SELECT COUNT(*) FROM title t WHERE t.production_year > 2005",
+        "select   count(*) from title t where t.production_year > 1975",
+        "SELECT COUNT(*)  FROM  title  t  WHERE  t.production_year  >  1990",
+    ];
+    for v in variants {
+        assert_eq!(
+            template_text(&parse(base).unwrap()),
+            template_text(&parse(v).unwrap()),
+            "precondition: {v:?} must normalize to the base template"
+        );
+    }
+
+    let svc = spawn(ServeConfig::default());
+    let first = svc.encode_blocking(base).unwrap();
+    assert!(!first.cache_hit, "first occurrence must be a miss");
+    for v in variants {
+        let e = svc.encode_blocking(v).unwrap();
+        assert!(e.cache_hit, "template-equivalent request must hit: {v:?}");
+        assert_eq!(bits(&e.matrix), bits(&first.matrix), "cached entry must be shared");
+    }
+    let stats = svc.shutdown();
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_hits, variants.len() as u64);
+    assert_eq!(stats.encoded, 1, "one forward pass serves the whole template class");
+}
+
+#[test]
+fn structurally_distinct_queries_never_collide() {
+    let a = "SELECT COUNT(*) FROM title t WHERE t.production_year > 1990";
+    let b = "SELECT COUNT(*) FROM title t, movie_companies mc \
+             WHERE t.id = mc.movie_id AND t.production_year > 1990";
+    assert_ne!(template_text(&parse(a).unwrap()), template_text(&parse(b).unwrap()));
+
+    let svc = spawn(ServeConfig::default());
+    let ea = svc.encode_blocking(a).unwrap();
+    let eb = svc.encode_blocking(b).unwrap();
+    assert!(!ea.cache_hit && !eb.cache_hit);
+    assert_ne!(bits(&ea.matrix), bits(&eb.matrix), "distinct queries must not share an entry");
+    // Re-requests hit, and each template returns its *own* embedding.
+    let ra = svc.encode_blocking(a).unwrap();
+    let rb = svc.encode_blocking(b).unwrap();
+    assert!(ra.cache_hit && rb.cache_hit);
+    assert_eq!(bits(&ra.matrix), bits(&ea.matrix));
+    assert_eq!(bits(&rb.matrix), bits(&eb.matrix));
+    let stats = svc.shutdown();
+    assert_eq!((stats.cache_hits, stats.cache_misses), (2, 2));
+}
+
+#[test]
+fn hits_plus_misses_account_for_every_parseable_request() {
+    let script = [
+        "SELECT COUNT(*) FROM title t WHERE t.production_year > 1990",
+        "SELECT COUNT(*) FROM title t WHERE t.production_year > 2005",
+        "SELECT * FROM title t WHERE t.kind_id IN (1, 3)",
+        "SELECT COUNT(*) FROM title t WHERE t.production_year > 1930",
+        "SELECT * FROM title t WHERE t.kind_id IN (2, 4)",
+        "THIS IS NOT SQL",
+    ];
+    let svc = spawn(ServeConfig::default());
+    let mut parseable = 0u64;
+    for sql in script {
+        if svc.encode_blocking(sql).is_ok() {
+            parseable += 1;
+        }
+    }
+    let stats = svc.shutdown();
+    assert_eq!(stats.processed, script.len() as u64);
+    assert_eq!(stats.parse_errors, 1);
+    assert_eq!(
+        stats.cache_hits + stats.cache_misses,
+        parseable,
+        "every parseable request performs exactly one counted lookup"
+    );
+}
+
+#[test]
+fn tiny_cache_evicts_in_lru_order_and_recomputes_identically() {
+    let config = ServeConfig { cache_capacity: 1, ..ServeConfig::default() };
+    let a = "SELECT COUNT(*) FROM title t WHERE t.production_year > 1990";
+    let b = "SELECT * FROM title t WHERE t.kind_id IN (1, 3)";
+    let svc = spawn(config);
+    let first_a = svc.encode_blocking(a).unwrap();
+    let _ = svc.encode_blocking(b).unwrap(); // evicts a
+    let again_a = svc.encode_blocking(a).unwrap(); // recomputed, evicts b
+    let _ = svc.encode_blocking(b).unwrap(); // recomputed, evicts a
+    assert!(!again_a.cache_hit, "evicted template must recompute");
+    assert_eq!(bits(&again_a.matrix), bits(&first_a.matrix), "recompute must be bit-identical");
+    let stats = svc.shutdown();
+    assert_eq!(stats.cache_misses, 4);
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.cache_evictions, 3);
+    assert_eq!(stats.encoded, 4);
+}
+
+#[test]
+fn cache_off_mode_recomputes_every_request_bit_identically() {
+    let config = ServeConfig { cache_capacity: 0, ..ServeConfig::default() };
+    let sql = "SELECT COUNT(*) FROM title t WHERE t.production_year > 1990";
+    let svc = spawn(config);
+    let first = svc.encode_blocking(sql).unwrap();
+    let second = svc.encode_blocking(sql).unwrap();
+    assert!(!first.cache_hit && !second.cache_hit);
+    assert_eq!(bits(&first.matrix), bits(&second.matrix));
+    let stats = svc.shutdown();
+    assert_eq!(stats.encoded, 2);
+    assert_eq!((stats.cache_hits, stats.cache_misses, stats.cache_evictions), (0, 0, 0));
+}
+
+/// The batch-parity contract: because the worker replays cache
+/// operations in FIFO order, every statistic except the batch count is
+/// identical whether requests ride in micro-batches or one at a time.
+#[test]
+fn stats_are_invariant_across_max_batch() {
+    let script = [
+        "SELECT COUNT(*) FROM title t WHERE t.production_year > 1990",
+        "SELECT COUNT(*) FROM title t WHERE t.production_year > 2005",
+        "SELECT * FROM title t WHERE t.kind_id IN (1, 3)",
+        "SELECT COUNT(*) FROM title t WHERE t.production_year > 1975",
+        "not sql at all",
+        "SELECT * FROM title t WHERE t.kind_id IN (9, 9)",
+        "SELECT COUNT(*) FROM title t WHERE t.production_year > 1930",
+        "SELECT * FROM title t WHERE t.kind_id IN (1, 3)",
+    ];
+    let run = |max_batch: usize| -> (ServeStats, Vec<Option<Vec<u32>>>) {
+        let config = ServeConfig {
+            max_batch,
+            batch_timeout: 1_000, // batches close on fullness or drain, not ticks
+            cache_capacity: 2,    // small enough to exercise eviction replay
+            ..ServeConfig::default()
+        };
+        let svc = spawn(config);
+        let tickets: Vec<_> = script.iter().map(|sql| svc.submit(sql).unwrap()).collect();
+        let stats = svc.shutdown(); // drains every accepted ticket
+        let outs =
+            tickets.into_iter().map(|t| t.wait().ok().map(|e| bits(&e.matrix))).collect::<Vec<_>>();
+        (stats, outs)
+    };
+    let (base_stats, base_out) = run(1);
+    for max_batch in [4, 16] {
+        let (stats, out) = run(max_batch);
+        assert_eq!(out, base_out, "embeddings diverged at max_batch={max_batch}");
+        let neutral = |s: ServeStats| ServeStats { batches: 0, ..s }; // batch geometry may differ
+        assert_eq!(neutral(stats), neutral(base_stats), "stats diverged at max_batch={max_batch}");
+    }
+    assert_eq!(base_stats.accepted, script.len() as u64);
+    assert_eq!(base_stats.parse_errors, 1);
+}

@@ -11,7 +11,8 @@
 //!   PostgreSQL-style baseline);
 //! * [`preqr_data`] — synthetic datasets and workloads;
 //! * [`preqr_baselines`] / [`preqr_tasks`] — the paper's baselines and
-//!   the downstream task pipelines.
+//!   the downstream task pipelines;
+//! * [`preqr_serve`] — the batched SQL-embedding inference service.
 //!
 //! See `README.md` for the map of reproduction binaries and
 //! `EXPERIMENTS.md` for measured-vs-paper results.
@@ -24,5 +25,6 @@ pub use preqr_data;
 pub use preqr_engine;
 pub use preqr_nn;
 pub use preqr_schema;
+pub use preqr_serve;
 pub use preqr_sql;
 pub use preqr_tasks;

@@ -150,6 +150,119 @@ fn failing_trace_sink_degrades_to_noop_without_changing_training() {
     obs::reset_metrics();
 }
 
+mod serve_failures {
+    //! Serving-layer failure injection: malformed input, overload, drain,
+    //! and a dying worker. The service must resolve every accepted ticket
+    //! — with a value or a structured error — and never hang a client.
+
+    use super::*;
+    use preqr_serve::{RejectReason, ServeConfig, ServeError, Service};
+    use std::sync::mpsc;
+
+    fn serve_model() -> SqlBert {
+        let mut s = Schema::new();
+        s.add_table(Table::new(
+            "title",
+            vec![Column::primary("id", ColumnType::Int), Column::new("year", ColumnType::Int)],
+        ));
+        let corpus: Vec<_> = (0..4)
+            .map(|i| {
+                parse(&format!("SELECT COUNT(*) FROM title t WHERE t.year > {}", 1960 + i)).unwrap()
+            })
+            .collect();
+        SqlBert::new(&corpus, &s, ValueBuckets::new(4), PreqrConfig::test())
+    }
+
+    /// Spawns a service whose worker stays parked until `release` fires —
+    /// the queue fills deterministically with no drain racing the test.
+    fn gated_service(config: ServeConfig) -> (Service, mpsc::Sender<()>) {
+        let (release, gate) = mpsc::channel::<()>();
+        let svc = Service::spawn(config, move || {
+            gate.recv().expect("test releases the worker");
+            serve_model()
+        });
+        (svc, release)
+    }
+
+    #[test]
+    fn malformed_sql_yields_structured_error_and_worker_keeps_serving() {
+        let svc = Service::spawn(ServeConfig::default(), serve_model);
+        match svc.encode_blocking("SELECT FROM WHERE") {
+            Err(ServeError::Malformed { message, .. }) => {
+                assert!(!message.is_empty(), "diagnostic must carry the parser message");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // The worker is not poisoned: the next request serves normally.
+        let ok = svc.encode_blocking("SELECT COUNT(*) FROM title t WHERE t.year > 1961");
+        assert!(ok.is_ok(), "worker must survive malformed input: {ok:?}");
+        let stats = svc.shutdown();
+        assert_eq!(stats.parse_errors, 1);
+        assert_eq!(stats.processed, 2);
+        assert!(!stats.worker_panicked);
+    }
+
+    #[test]
+    fn overload_is_rejected_with_queue_full_backpressure() {
+        let config = ServeConfig { queue_capacity: 2, ..ServeConfig::default() };
+        let (svc, release) = gated_service(config);
+        let t1 = svc.submit("SELECT COUNT(*) FROM title t WHERE t.year > 1960").unwrap();
+        let t2 = svc.submit("SELECT COUNT(*) FROM title t WHERE t.year > 1961").unwrap();
+        // Queue at capacity: admission control pushes back instead of queueing.
+        match svc.submit("SELECT COUNT(*) FROM title t WHERE t.year > 1962") {
+            Err(ServeError::Rejected(RejectReason::QueueFull)) => {}
+            other => panic!("expected QueueFull rejection, got {other:?}"),
+        }
+        release.send(()).unwrap();
+        let stats = svc.shutdown();
+        assert!(t1.wait().is_ok() && t2.wait().is_ok(), "accepted work must still be served");
+        assert_eq!((stats.accepted, stats.rejected, stats.processed), (2, 1, 2));
+    }
+
+    #[test]
+    fn shutdown_under_load_drains_every_accepted_ticket() {
+        let config = ServeConfig { queue_capacity: 32, max_batch: 4, ..ServeConfig::default() };
+        let (svc, release) = gated_service(config);
+        let tickets: Vec<_> = (0..10)
+            .map(|i| {
+                svc.submit(&format!("SELECT COUNT(*) FROM title t WHERE t.year > {}", 1950 + i))
+                    .unwrap()
+            })
+            .collect();
+        release.send(()).unwrap();
+        let stats = svc.shutdown();
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert!(t.wait().is_ok(), "ticket {i} dropped during drain");
+        }
+        assert_eq!(stats.accepted, 10);
+        assert_eq!(stats.processed, 10, "drain must process everything accepted");
+        assert!(!stats.worker_panicked);
+    }
+
+    #[test]
+    fn dying_worker_fails_tickets_instead_of_hanging_clients() {
+        let (release, gate) = mpsc::channel::<()>();
+        let svc = Service::spawn(ServeConfig::default(), move || {
+            gate.recv().expect("test releases the worker");
+            panic!("model factory blew up");
+        });
+        let t1 = svc.submit("SELECT COUNT(*) FROM title t WHERE t.year > 1960").unwrap();
+        let t2 = svc.submit("SELECT COUNT(*) FROM title t WHERE t.year > 1961").unwrap();
+        release.send(()).unwrap();
+        // Queued tickets resolve with WorkerFailed — they never hang.
+        assert_eq!(t1.wait(), Err(ServeError::WorkerFailed));
+        assert_eq!(t2.wait(), Err(ServeError::WorkerFailed));
+        // The poison is visible to later submissions.
+        match svc.submit("SELECT COUNT(*) FROM title t WHERE t.year > 1962") {
+            Err(ServeError::WorkerFailed) => {}
+            other => panic!("poisoned service must refuse work, got {other:?}"),
+        }
+        let stats = svc.shutdown();
+        assert!(stats.worker_panicked);
+        assert_eq!(stats.processed, 0);
+    }
+}
+
 #[test]
 fn engine_rejects_ambiguity_instead_of_guessing() {
     let mut s = Schema::new();

@@ -37,7 +37,14 @@ fn golden_events() -> Vec<Event> {
 
     let nonfinite = Event::new(EventKind::Counter, "obs.nonfinite", f64::INFINITY);
 
-    vec![span, counter, hist, warn, nonfinite]
+    // Serving-layer events (`preqr-serve`): the per-request span and one
+    // of the `serve.*` registry counters.
+    let mut serve_span = Event::new(EventKind::Span, "serve.request", 87.5);
+    serve_span.fields.push(("outcome", FieldValue::Str("ok".into())));
+    serve_span.fields.push(("cached", FieldValue::U64(1)));
+    let serve_counter = Event::new(EventKind::Counter, "serve.cache.hits", 7.0);
+
+    vec![span, counter, hist, warn, nonfinite, serve_span, serve_counter]
 }
 
 #[test]
@@ -170,7 +177,7 @@ fn every_golden_line_passes_the_validator() {
     let text = include_str!("fixtures/trace_golden.jsonl");
     let kinds: Vec<&str> =
         text.lines().map(|l| validate_line(l).expect("golden line is schema-valid")).collect();
-    assert_eq!(kinds, ["span", "counter", "hist", "warn", "counter"]);
+    assert_eq!(kinds, ["span", "counter", "hist", "warn", "counter", "span", "counter"]);
 }
 
 #[test]
