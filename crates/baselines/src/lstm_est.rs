@@ -207,8 +207,8 @@ impl Module for LstmEstimator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use preqr_nn::optim::Adam;
     use preqr_sql::parser::parse;
+    use preqr_train::{FnTask, Plan, StepOutput, Trainer, TrainerConfig};
     use rand::SeedableRng;
 
     fn corpus() -> Vec<Query> {
@@ -254,26 +254,27 @@ mod tests {
         let v = LstmVocab::build(&corpus());
         let mut rng = StdRng::seed_from_u64(2);
         let m = LstmEstimator::new(&v, 8, 12, 0, &mut rng);
-        let mut opt = Adam::new(m.params(), 5e-3);
         let data: Vec<(Vec<usize>, Vec<f32>, f32)> = (0..6)
             .map(|i| {
                 let (ids, nums) = v.encode(&corpus()[i]);
                 (ids, nums, i as f32 / 6.0)
             })
             .collect();
-        let mut last = f32::MAX;
-        for _ in 0..120 {
-            let mut total = 0.0;
-            for (ids, nums, y) in &data {
-                let zeros = vec![0.0; ids.len()];
-                let pred = m.forward(ids, nums, &zeros, None);
-                let loss = ops::mse_loss(&pred, &Matrix::full(1, 1, *y));
-                total += loss.value_clone().get(0, 0);
-                loss.backward();
-            }
-            opt.step();
-            last = total / data.len() as f32;
-        }
+        let mut task = FnTask::new("test.lstm", data.len(), m.params(), |idx, _rng| {
+            let (ids, nums, y) = &data[idx];
+            let zeros = vec![0.0; ids.len()];
+            let pred = m.forward(ids, nums, &zeros, None);
+            let loss = ops::mse_loss(&pred, &Matrix::full(1, 1, *y));
+            let scalar = f64::from(loss.value_clone().get(0, 0));
+            loss.backward();
+            StepOutput { loss: scalar, ..StepOutput::default() }
+        });
+        let config = TrainerConfig::new(
+            Plan::Epochs { epochs: 120, chunk: data.len(), shuffle: false },
+            5e-3,
+        );
+        let report = Trainer::new(config).fit(&mut task, &mut rng);
+        let last = report.last_chunk_loss;
         // Different literals → different log-magnitudes → fit must be
         // better than predicting the mean (variance of targets ≈ 0.097).
         assert!(last < 0.05, "LSTM failed to exploit value side channel: {last}");

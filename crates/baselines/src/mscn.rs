@@ -316,8 +316,8 @@ impl Module for MscnModel {
 mod tests {
     use super::*;
     use preqr_data::imdb::{generate, ImdbConfig};
-    use preqr_nn::optim::Adam;
     use preqr_sql::parser::parse;
+    use preqr_train::{FnTask, Plan, StepOutput, Trainer, TrainerConfig};
     use rand::SeedableRng;
 
     fn db() -> Database {
@@ -390,7 +390,6 @@ mod tests {
         let f = MscnFeaturizer::new(&db, 0);
         let mut rng = StdRng::seed_from_u64(3);
         let model = MscnModel::new(&f, 16, &mut rng);
-        let mut opt = Adam::new(model.params(), 1e-2);
         let qs: Vec<(Query, f32)> = (0..10)
             .map(|i| {
                 let y = 1950 + i * 7;
@@ -401,18 +400,17 @@ mod tests {
             })
             .collect();
         let feats: Vec<MscnFeatures> = qs.iter().map(|(q, _)| f.featurize(&db, q, None)).collect();
-        let mut last = f32::MAX;
-        for _ in 0..150 {
-            let mut total = 0.0;
-            for ((_, target), feat) in qs.iter().zip(&feats) {
-                let pred = model.forward(feat, &f);
-                let loss = ops::mse_loss(&pred, &Matrix::full(1, 1, *target));
-                total += loss.value_clone().get(0, 0);
-                loss.backward();
-            }
-            opt.step();
-            last = total / qs.len() as f32;
-        }
+        let mut task = FnTask::new("test.mscn", qs.len(), model.params(), |idx, _rng| {
+            let pred = model.forward(&feats[idx], &f);
+            let loss = ops::mse_loss(&pred, &Matrix::full(1, 1, qs[idx].1));
+            let scalar = f64::from(loss.value_clone().get(0, 0));
+            loss.backward();
+            StepOutput { loss: scalar, ..StepOutput::default() }
+        });
+        let config =
+            TrainerConfig::new(Plan::Epochs { epochs: 150, chunk: qs.len(), shuffle: false }, 1e-2);
+        let report = Trainer::new(config).fit(&mut task, &mut rng);
+        let last = report.last_chunk_loss;
         assert!(last < 0.01, "MSCN failed to fit monotone target: {last}");
     }
 

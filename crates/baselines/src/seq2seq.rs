@@ -572,8 +572,8 @@ pub fn item_label(i: &SelectItem) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use preqr_nn::optim::Adam;
     use preqr_sql::parser::parse;
+    use preqr_train::{FnTask, Plan, StepOutput, Trainer, TrainerConfig};
     use rand::SeedableRng;
 
     fn corpus() -> Vec<Query> {
@@ -680,15 +680,16 @@ mod tests {
         ];
         let mut params = enc.encoder_params();
         params.extend(dec.params());
-        let mut opt = Adam::new(params, 1e-2);
-        for _ in 0..60 {
-            for (q, t) in c.iter().zip(&targets) {
-                let src = enc.encode(q);
-                let loss = dec.loss(&src, t, true, &mut rng);
-                loss.backward();
-            }
-            opt.step();
-        }
+        let mut task = FnTask::new("test.seq2seq", c.len(), params, |idx, rng| {
+            let src = enc.encode(&c[idx]);
+            let loss = dec.loss(&src, &targets[idx], true, rng);
+            let scalar = f64::from(loss.value_clone().get(0, 0));
+            loss.backward();
+            StepOutput { loss: scalar, ..StepOutput::default() }
+        });
+        let config =
+            TrainerConfig::new(Plan::Epochs { epochs: 60, chunk: c.len(), shuffle: false }, 1e-2);
+        Trainer::new(config).fit(&mut task, &mut rng);
         let mut correct = 0;
         for (q, t) in c.iter().zip(&targets) {
             let gen = dec.generate(&enc.encode(q), 6);

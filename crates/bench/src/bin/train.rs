@@ -1,0 +1,116 @@
+//! `train` — Trainer-overhead probe feeding `results/BENCH_train.json`.
+//!
+//! Runs the identical fine-tune task twice — once through the shared
+//! `preqr_train::Trainer`, once through `preqr_train::reference` (the
+//! hand-rolled legacy loop shape the ten migrated call sites used to
+//! carry) — and appends best-of-N wall-clock timings plus the overhead
+//! ratio to the trajectory file. Both paths consume the same RNG stream
+//! and produce bit-identical losses, so the delta is pure loop
+//! bookkeeping; the PR budget for it is ±1%.
+
+use std::path::Path;
+use std::time::Instant;
+
+use preqr_bench::trajectory::{append, PipelineEntry};
+use preqr_nn::layers::{Mlp, Module};
+use preqr_nn::{ops, parallel, Matrix, Tensor};
+use preqr_train::{reference, FnTask, Plan, Schedule, StepOutput, Trainer, TrainerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const REPS: usize = 7;
+const EXAMPLES: usize = 1024;
+const EPOCHS: usize = 8;
+const CHUNK: usize = 8;
+
+fn examples() -> Vec<(Tensor, f32)> {
+    (0..EXAMPLES)
+        .map(|i| {
+            let x: Vec<f32> = (0..8).map(|j| ((i * 13 + j * 5) % 17) as f32 / 17.0).collect();
+            let y = x.iter().sum::<f32>() / 8.0;
+            (Tensor::constant(Matrix::from_vec(1, 8, x)), y)
+        })
+        .collect()
+}
+
+fn config() -> TrainerConfig {
+    TrainerConfig::new(Plan::Epochs { epochs: EPOCHS, chunk: CHUNK, shuffle: true }, 1e-2)
+        .with_schedule(Schedule::bert(EPOCHS, EXAMPLES, CHUNK))
+}
+
+/// One full run through either loop; returns (seconds, final epoch loss).
+fn run(data: &[(Tensor, f32)], legacy: bool) -> (f64, f64) {
+    let mut init = StdRng::seed_from_u64(42);
+    let mlp = Mlp::new(&[8, 64, 32, 1], &mut init);
+    let mut task = FnTask::new("bench.train", data.len(), mlp.params(), |idx, _rng| {
+        let (x, y) = &data[idx];
+        let pred = mlp.forward(x);
+        let loss = ops::mse_loss(&pred, &Matrix::full(1, 1, *y));
+        let scalar = f64::from(loss.value_clone().get(0, 0));
+        loss.backward();
+        StepOutput { loss: scalar, ..StepOutput::default() }
+    });
+    let config = config();
+    let mut rng = StdRng::seed_from_u64(7);
+    let t0 = Instant::now();
+    let report = if legacy {
+        reference::run(&mut task, &config, &mut rng)
+    } else {
+        Trainer::new(config).fit(&mut task, &mut rng)
+    };
+    let secs = t0.elapsed().as_secs_f64();
+    (secs, report.stats.last().expect("ran at least one epoch").loss)
+}
+
+fn report(label: &str, best: f64, loss: f64) {
+    let steps = EPOCHS * EXAMPLES.div_ceil(CHUNK);
+    println!("{label:>8}: {best:.4}s  ({:.0} steps/s)  final loss {loss:.6}", steps as f64 / best);
+}
+
+fn main() {
+    println!(
+        "train bench: {EXAMPLES} examples x {EPOCHS} epochs, chunk {CHUNK}, threads={}",
+        parallel::effective_threads()
+    );
+    let data = examples();
+    // Interleave the reps so slow drift (thermal, scheduler) hits both
+    // loops equally instead of biasing whichever phase ran second.
+    let (mut trainer_secs, mut legacy_secs) = (f64::INFINITY, f64::INFINITY);
+    let (mut trainer_loss, mut legacy_loss) = (0.0, 0.0);
+    for _ in 0..REPS {
+        let (secs, l) = run(&data, false);
+        if secs < trainer_secs {
+            (trainer_secs, trainer_loss) = (secs, l);
+        }
+        let (secs, l) = run(&data, true);
+        if secs < legacy_secs {
+            (legacy_secs, legacy_loss) = (secs, l);
+        }
+    }
+    report("trainer", trainer_secs, trainer_loss);
+    report("legacy", legacy_secs, legacy_loss);
+    assert_eq!(
+        trainer_loss.to_bits(),
+        legacy_loss.to_bits(),
+        "the two loops must do bit-identical numeric work"
+    );
+    let overhead = trainer_secs / legacy_secs - 1.0;
+    println!("trainer overhead vs legacy loop: {:+.2}%", overhead * 100.0);
+
+    let entry = |phase: &str, secs: f64| PipelineEntry {
+        label: "train".into(),
+        phase: phase.into(),
+        threads: parallel::effective_threads(),
+        trace: false,
+        seconds: secs,
+        counters: vec![
+            ("train.examples".into(), EXAMPLES as u64),
+            ("train.epochs".into(), EPOCHS as u64),
+            ("train.overhead_bp".into(), (overhead.abs() * 10_000.0) as u64),
+        ],
+    };
+    let path = Path::new("results/BENCH_train.json");
+    append(path, &[entry("trainer", trainer_secs), entry("legacy", legacy_secs)])
+        .expect("write trajectory");
+    println!("appended 2 entries -> {}", path.display());
+}

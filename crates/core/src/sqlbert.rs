@@ -7,10 +7,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use preqr_nn::layers::{join, Linear, Module};
-use preqr_nn::optim::{Adam, WarmupLinearSchedule};
 use preqr_nn::{ops, Matrix, Tensor};
 use preqr_schema::Schema;
 use preqr_sql::ast::Query;
+use preqr_train::{
+    CheckpointConfig, Plan, Schedule, StepOutput, TrainTask, Trainer, TrainerConfig,
+};
 
 use crate::config::PreqrConfig;
 use crate::embedding::{InputEmbedding, PreparedQuery, ValueBuckets};
@@ -28,15 +30,31 @@ pub struct SqlBert {
     schema: Schema,
 }
 
-/// Per-epoch pre-training statistics.
-#[derive(Clone, Copy, Debug)]
-pub struct EpochStats {
-    /// Epoch index.
-    pub epoch: usize,
-    /// Mean MLM loss.
-    pub loss: f64,
-    /// Masked-token prediction accuracy.
-    pub accuracy: f64,
+/// Per-epoch training statistics — the shared `preqr-train` report type
+/// (re-exported here because pre-training has always returned it).
+pub use preqr_train::EpochStats;
+
+/// Options for [`SqlBert::pretrain_with`]: the plain epochs/lr pair plus
+/// the trainer capabilities (checkpointing, halting) that
+/// [`SqlBert::pretrain`] leaves off.
+#[derive(Clone, Debug)]
+pub struct PretrainOptions {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Base learning rate (warmup-linear schedule over the real step
+    /// count).
+    pub lr: f32,
+    /// Periodic checkpointing with crash-resume.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Stop once the global step counter reaches this value.
+    pub halt_after_steps: Option<u64>,
+}
+
+impl PretrainOptions {
+    /// Plain pre-training: no checkpointing, no halting.
+    pub fn new(epochs: usize, lr: f32) -> Self {
+        Self { epochs, lr, checkpoint: None, halt_after_steps: None }
+    }
 }
 
 impl SqlBert {
@@ -213,62 +231,25 @@ impl SqlBert {
     /// micro-batches of 8 (the schema node states are shared within a
     /// micro-batch). Returns per-epoch statistics.
     pub fn pretrain(&mut self, corpus: &[Query], epochs: usize, lr: f32) -> Vec<EpochStats> {
-        let run_span = obs::span("pretrain")
-            .field("queries", corpus.len())
-            .field("epochs", epochs)
-            .field("lr", lr);
-        let params = self.params();
-        let mut opt = Adam::new(params, lr);
-        let total_steps = (epochs * corpus.len().max(1) / 8 + 1) as u64;
-        let schedule = WarmupLinearSchedule::new(lr, total_steps / 20 + 1, total_steps);
+        self.pretrain_with(corpus, PretrainOptions::new(epochs, lr))
+    }
+
+    /// [`SqlBert::pretrain`] with the full trainer surface: periodic
+    /// checkpointing with crash-resume, and halting at a step boundary.
+    pub fn pretrain_with(&mut self, corpus: &[Query], opts: PretrainOptions) -> Vec<EpochStats> {
         let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
         let prepared: Vec<PreparedQuery> = corpus.iter().map(|q| self.prepare(q)).collect();
-        let mut stats = Vec::with_capacity(epochs);
-        let mut step: u64 = 0;
-        for epoch in 0..epochs {
-            let mut epoch_span = obs::span("pretrain.epoch").field("epoch", epoch);
-            let mut order: Vec<usize> = (0..prepared.len()).collect();
-            // Fisher–Yates with the model rng for determinism.
-            for i in (1..order.len()).rev() {
-                order.swap(i, rng.random_range(0..=i));
-            }
-            let mut total_loss = 0.0f64;
-            let mut total_masked = 0usize;
-            let mut total_correct = 0usize;
-            let mut samples = 0usize;
-            let epoch_start_step = step;
-            for chunk in order.chunks(8) {
-                let nodes = self.node_states();
-                for &idx in chunk {
-                    let (loss, masked, correct) =
-                        self.mlm_loss(&prepared[idx], nodes.as_ref(), &mut rng);
-                    total_loss += f64::from(loss.value_clone().get(0, 0));
-                    total_masked += masked;
-                    total_correct += correct;
-                    samples += 1;
-                    loss.backward();
-                }
-                opt.set_lr(schedule.lr_at(step));
-                opt.step();
-                step += 1;
-            }
-            let epoch_loss = total_loss / samples.max(1) as f64;
-            let epoch_acc = total_correct as f64 / total_masked.max(1) as f64;
-            obs::counter_add(obs::Metric::PretrainEpochs, 1);
-            obs::counter_add(obs::Metric::PretrainSamples, samples as u64);
-            obs::counter_add(obs::Metric::PretrainSteps, step - epoch_start_step);
-            obs::counter_add(obs::Metric::PretrainMaskedTokens, total_masked as u64);
-            obs::counter_add(obs::Metric::PretrainCorrectTokens, total_correct as u64);
-            obs::record_hist(obs::HistMetric::PretrainEpochLoss, epoch_loss);
-            epoch_span.add_field("loss", epoch_loss);
-            epoch_span.add_field("accuracy", epoch_acc);
-            epoch_span.add_field("samples", samples);
-            epoch_span.end();
-            stats.push(EpochStats { epoch, loss: epoch_loss, accuracy: epoch_acc });
-        }
-        run_span.end();
+        let mut config = TrainerConfig::new(
+            Plan::Epochs { epochs: opts.epochs, chunk: 8, shuffle: true },
+            opts.lr,
+        )
+        .with_schedule(Schedule::bert(opts.epochs, corpus.len(), 8));
+        config.checkpoint = opts.checkpoint;
+        config.halt_after_steps = opts.halt_after_steps;
+        let mut task = PretrainTask { model: &*self, prepared, nodes: None };
+        let report = Trainer::new(config).fit(&mut task, &mut rng);
         obs::flush_metrics();
-        stats
+        report.stats
     }
 
     /// Encodes a query to its final representation matrix (eval mode,
@@ -436,6 +417,52 @@ impl SqlBert {
         let loaded = preqr_nn::serialize::load_from_file(path).map_err(|e| e.to_string())?;
         preqr_nn::serialize::apply_params(&self.named_params("preqr"), &loaded)?;
         Ok(())
+    }
+}
+
+/// The MLM pre-training workload (§3.5.2), driven by the shared
+/// `preqr-train` Trainer: schema node states are recomputed once per
+/// micro-batch and shared within it, each example masks tokens with the
+/// trainer-owned rng, and the `pretrain.*` counters are bumped from the
+/// epoch-end hook.
+struct PretrainTask<'a> {
+    model: &'a SqlBert,
+    prepared: Vec<PreparedQuery>,
+    nodes: Option<Tensor>,
+}
+
+impl TrainTask for PretrainTask<'_> {
+    fn name(&self) -> &'static str {
+        "pretrain"
+    }
+
+    fn len(&self) -> usize {
+        self.prepared.len()
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        self.model.params()
+    }
+
+    fn chunk_start(&mut self) {
+        self.nodes = self.model.node_states();
+    }
+
+    fn step(&mut self, idx: usize, rng: &mut StdRng) -> StepOutput {
+        let (loss, masked, correct) =
+            self.model.mlm_loss(&self.prepared[idx], self.nodes.as_ref(), rng);
+        let scalar = f64::from(loss.value_clone().get(0, 0));
+        loss.backward();
+        StepOutput { loss: scalar, masked, correct }
+    }
+
+    fn epoch_end(&mut self, st: &preqr_train::EpochStats) {
+        obs::counter_add(obs::Metric::PretrainEpochs, 1);
+        obs::counter_add(obs::Metric::PretrainSamples, st.samples as u64);
+        obs::counter_add(obs::Metric::PretrainSteps, st.steps);
+        obs::counter_add(obs::Metric::PretrainMaskedTokens, st.masked as u64);
+        obs::counter_add(obs::Metric::PretrainCorrectTokens, st.correct as u64);
+        obs::record_hist(obs::HistMetric::PretrainEpochLoss, st.loss);
     }
 }
 

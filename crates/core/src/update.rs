@@ -17,10 +17,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use preqr_nn::layers::Module;
-use preqr_nn::optim::Adam;
 use preqr_sql::ast::Query;
 use preqr_sql::normalize::state_keys;
 use preqr_sql::Query as SqlQuery;
+use preqr_train::{FnTask, Plan, StepOutput, Trainer, TrainerConfig};
 
 use crate::sqlbert::SqlBert;
 
@@ -62,7 +62,9 @@ pub struct UpdateReport {
     pub final_loss: f64,
 }
 
-/// Runs MLM steps over `samples` with the optimizer owning only `params`.
+/// Runs MLM steps over `samples` with the optimizer owning only `params`,
+/// via the shared Trainer in its sliding-window plan: one optimizer step
+/// per window of up to 4 samples, schema node states refreshed per step.
 fn train_subset(
     model: &SqlBert,
     params: Vec<preqr_nn::Tensor>,
@@ -72,34 +74,28 @@ fn train_subset(
     seed: u64,
 ) -> (usize, f64) {
     let trained = params.iter().map(|p| p.value().len()).sum();
-    let mut opt = Adam::new(params, lr);
     let mut rng = StdRng::seed_from_u64(seed);
     let prepared: Vec<_> = samples.iter().map(|q| model.prepare(q)).collect();
-    let mut last_loss = 0.0f64;
-    for step in 0..steps {
-        let nodes = model.node_states();
-        let mut batch_loss = 0.0;
-        let batch: Vec<&_> = prepared
-            .iter()
-            .skip(step % prepared.len().max(1))
-            .take(4.min(prepared.len()))
-            .collect();
-        for pq in &batch {
-            let (loss, _, _) = model.mlm_loss(pq, nodes.as_ref(), &mut rng);
-            batch_loss += f64::from(loss.value_clone().get(0, 0));
-            loss.backward();
-            // Gradients accumulated into frozen params are discarded by
-            // construction: the optimizer never owns them, and each
-            // backward clears interior grads. Clear leaf grads globally
-            // to avoid unbounded accumulation on frozen leaves.
-        }
-        opt.step();
+    let nodes = std::cell::RefCell::new(None);
+    let mut task = FnTask::new("update", prepared.len(), params, |idx, rng| {
+        let (loss, _, _) = model.mlm_loss(&prepared[idx], nodes.borrow().as_ref(), rng);
+        let scalar = f64::from(loss.value_clone().get(0, 0));
+        loss.backward();
+        StepOutput { loss: scalar, ..StepOutput::default() }
+    })
+    .with_chunk_start(|| *nodes.borrow_mut() = model.node_states())
+    .with_post_step(|| {
+        // Gradients accumulated into frozen params are discarded by
+        // construction: the optimizer never owns them, and each
+        // backward clears interior grads. Clear leaf grads globally
+        // to avoid unbounded accumulation on frozen leaves.
         for p in model.params() {
             p.zero_grad();
         }
-        last_loss = batch_loss / batch.len().max(1) as f64;
-    }
-    (trained, last_loss)
+    });
+    let config = TrainerConfig::new(Plan::Window { steps, take: 4 }, lr);
+    let report = Trainer::new(config).fit(&mut task, &mut rng);
+    (trained, report.last_chunk_loss)
 }
 
 /// Case 1: data distribution changed — refresh value-range semantics by

@@ -43,6 +43,18 @@ pub enum Metric {
     EstEpochs,
     /// Trainings that ended via early stopping.
     EstEarlyStops,
+    /// Trainer runs started (`preqr-train`, any workload).
+    TrainRuns,
+    /// Trainer epochs completed (any workload).
+    TrainEpochs,
+    /// Trainer optimizer steps taken (any workload).
+    TrainSteps,
+    /// Examples consumed by trainer runs (any workload).
+    TrainSamples,
+    /// Trainer runs ended by validation early stopping.
+    TrainEarlyStops,
+    /// Trainer checkpoints written.
+    TrainCheckpoints,
     /// Queries executed by the engine.
     EngineQueries,
     /// Base-table rows scanned by the engine (pre-filter).
@@ -73,7 +85,7 @@ pub enum Metric {
 
 impl Metric {
     /// Every counter, in flush order.
-    pub const ALL: [Metric; 26] = [
+    pub const ALL: [Metric; 32] = [
         Metric::NnDispatchInline,
         Metric::NnDispatchPool,
         Metric::NnJoinInline,
@@ -87,6 +99,12 @@ impl Metric {
         Metric::EstTrainRuns,
         Metric::EstEpochs,
         Metric::EstEarlyStops,
+        Metric::TrainRuns,
+        Metric::TrainEpochs,
+        Metric::TrainSteps,
+        Metric::TrainSamples,
+        Metric::TrainEarlyStops,
+        Metric::TrainCheckpoints,
         Metric::EngineQueries,
         Metric::EngineRowsScanned,
         Metric::EngineCapHits,
@@ -118,6 +136,12 @@ impl Metric {
             Metric::EstTrainRuns => "est.train_runs",
             Metric::EstEpochs => "est.epochs",
             Metric::EstEarlyStops => "est.early_stops",
+            Metric::TrainRuns => "train.runs",
+            Metric::TrainEpochs => "train.epochs",
+            Metric::TrainSteps => "train.steps",
+            Metric::TrainSamples => "train.samples",
+            Metric::TrainEarlyStops => "train.early_stops",
+            Metric::TrainCheckpoints => "train.checkpoints",
             Metric::EngineQueries => "engine.queries",
             Metric::EngineRowsScanned => "engine.rows_scanned",
             Metric::EngineCapHits => "engine.cap_hits",
@@ -145,6 +169,10 @@ pub enum HistMetric {
     PretrainEpochLoss,
     /// Mean validation q-error per fine-tuning epoch.
     EstValQerror,
+    /// Mean loss per trainer epoch (any workload).
+    TrainEpochLoss,
+    /// Epoch-end validation metric per trainer epoch (any workload).
+    TrainValMetric,
     /// Pre-aggregation join cardinality per executed query.
     EngineJoinCard,
     /// Requests per drained serving micro-batch.
@@ -158,10 +186,12 @@ pub enum HistMetric {
 
 impl HistMetric {
     /// Every histogram, in flush order.
-    pub const ALL: [HistMetric; 7] = [
+    pub const ALL: [HistMetric; 9] = [
         HistMetric::NnMatmulUs,
         HistMetric::PretrainEpochLoss,
         HistMetric::EstValQerror,
+        HistMetric::TrainEpochLoss,
+        HistMetric::TrainValMetric,
         HistMetric::EngineJoinCard,
         HistMetric::ServeBatchSize,
         HistMetric::ServeQueueDepth,
@@ -174,6 +204,8 @@ impl HistMetric {
             HistMetric::NnMatmulUs => "nn.matmul_us",
             HistMetric::PretrainEpochLoss => "pretrain.epoch_loss",
             HistMetric::EstValQerror => "est.val_qerror",
+            HistMetric::TrainEpochLoss => "train.epoch_loss",
+            HistMetric::TrainValMetric => "train.val_metric",
             HistMetric::EngineJoinCard => "engine.join_cardinality",
             HistMetric::ServeBatchSize => "serve.batch_size",
             HistMetric::ServeQueueDepth => "serve.queue_depth",

@@ -16,9 +16,9 @@ use preqr_baselines::seq2seq::{
 use preqr_data::clustering::{ChWorkload, PairKind};
 use preqr_engine::Database;
 use preqr_nn::layers::Module;
-use preqr_nn::optim::Adam;
 use preqr_sql::ast::Query;
 use preqr_sql::normalize::linearize;
+use preqr_train::{FnTask, Plan, StepOutput, Trainer, TrainerConfig};
 
 use crate::metrics::{betacv, ndcg_at_k};
 
@@ -210,17 +210,19 @@ impl Seq2SeqEmbedder {
         let decoder = RnnDecoder::new(&tv, d, DecoderOptions::default(), &mut rng);
         let mut params = encoder.encoder_params();
         params.extend(decoder.params());
-        let mut opt = Adam::new(params, 5e-3);
-        for _ in 0..epochs {
-            for chunk in corpus.chunks(2).zip(token_texts.chunks(2)) {
-                for (q, toks) in chunk.0.iter().zip(chunk.1) {
-                    let src = encoder.encode(q);
-                    let target = tv.encode(toks);
-                    let loss = decoder.loss(&src, &target, true, &mut rng);
-                    loss.backward();
-                }
-                opt.step();
-            }
+        // Scoped so the task's borrow of the encoder ends before the move.
+        {
+            let mut task = FnTask::new("cluster.seq2seq", corpus.len(), params, |idx, rng| {
+                let src = encoder.encode(&corpus[idx]);
+                let target = tv.encode(&token_texts[idx]);
+                let loss = decoder.loss(&src, &target, true, rng);
+                let scalar = f64::from(loss.value_clone().get(0, 0));
+                loss.backward();
+                StepOutput { loss: scalar, ..StepOutput::default() }
+            });
+            let config =
+                TrainerConfig::new(Plan::Epochs { epochs, chunk: 2, shuffle: false }, 5e-3);
+            Trainer::new(config).fit(&mut task, &mut rng);
         }
         Self { encoder }
     }

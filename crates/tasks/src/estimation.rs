@@ -17,10 +17,10 @@ use preqr_baselines::neurocard::SamplingEstimator;
 use preqr_data::workloads::LabeledQuery;
 use preqr_engine::{BitmapSampler, CostModel, Database, PgEstimator, TableStats};
 use preqr_nn::layers::{Mlp, Module};
-use preqr_nn::optim::Adam;
 use preqr_nn::{ops, Matrix, Tensor};
 use preqr_obs as obs;
 use preqr_sql::ast::Query;
+use preqr_train::{FnTask, Plan, Schedule, StepOutput, Trainer, TrainerConfig};
 
 use crate::metrics::{qerror, QErrorStats};
 
@@ -124,6 +124,52 @@ fn validation_qerror(
     val
 }
 
+/// Options shared by the estimation fine-tuners — the legacy
+/// epochs/seed pair plus a pluggable learning-rate schedule (the default
+/// constant schedule reproduces the legacy trainers bit-for-bit).
+#[derive(Clone, Copy, Debug)]
+pub struct FineTuneOptions {
+    /// Maximum number of epochs (validation early stopping may end the
+    /// run sooner).
+    pub epochs: usize,
+    /// Model-initialization seed.
+    pub seed: u64,
+    /// Learning-rate schedule applied over the run's optimizer steps.
+    pub schedule: Schedule,
+}
+
+impl FineTuneOptions {
+    /// The legacy setup: constant learning rate.
+    pub fn new(epochs: usize, seed: u64) -> Self {
+        Self { epochs, seed, schedule: Schedule::Constant }
+    }
+
+    /// Sets the learning-rate schedule.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+}
+
+/// Builds the Trainer configuration every estimation fine-tuner shares:
+/// insertion-order visits (no shuffling), one optimizer step per
+/// `chunk`, patience-3 early stopping on the validation q-error (skipped
+/// when there is no validation split, matching the legacy trainers).
+fn estimator_config(
+    opts: FineTuneOptions,
+    chunk: usize,
+    lr: f32,
+    has_valid: bool,
+) -> TrainerConfig {
+    let mut config =
+        TrainerConfig::new(Plan::Epochs { epochs: opts.epochs, chunk, shuffle: false }, lr)
+            .with_schedule(opts.schedule);
+    if has_valid {
+        config.patience = Some(3);
+    }
+    config
+}
+
 fn snapshot(params: &[Tensor]) -> Vec<Matrix> {
     params.iter().map(Tensor::value_clone).collect()
 }
@@ -212,57 +258,52 @@ pub fn train_mscn<'a>(
     epochs: usize,
     seed: u64,
 ) -> MscnPredictor<'a> {
+    train_mscn_with(db, sampler, train, valid, target, FineTuneOptions::new(epochs, seed))
+}
+
+/// [`train_mscn`] with the full fine-tune option surface (LR schedule).
+pub fn train_mscn_with<'a>(
+    db: &'a Database,
+    sampler: Option<&'a BitmapSampler>,
+    train: &[LabeledQuery],
+    valid: &[LabeledQuery],
+    target: Target,
+    opts: FineTuneOptions,
+) -> MscnPredictor<'a> {
     obs::counter_add(obs::Metric::EstTrainRuns, 1);
-    let _span = obs::span("est.train").field("method", "mscn").field("epochs", epochs);
+    let _span = obs::span("est.train").field("method", "mscn").field("epochs", opts.epochs);
     let bits = sampler.map_or(0, BitmapSampler::sample_size);
     let featurizer = MscnFeaturizer::new(db, bits);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
     let model = MscnModel::new(&featurizer, 32, &mut rng);
     let norm = Normalizer::fit(&train.iter().map(|l| target.log_truth(l)).collect::<Vec<_>>());
     let feats: Vec<_> = train.iter().map(|l| featurizer.featurize(db, &l.query, sampler)).collect();
     let targets: Vec<f32> = train.iter().map(|l| norm.encode(target.log_truth(l))).collect();
-    let params = model.params();
-    let mut opt = Adam::new(params.clone(), 1e-3);
-    let mut best = f64::INFINITY;
-    let mut best_snap: Option<Vec<Matrix>> = None;
-    let mut patience = 0;
-    let mut history: Vec<f64> = Vec::new();
-    for _epoch in 0..epochs {
-        for (chunk_f, chunk_t) in feats.chunks(16).zip(targets.chunks(16)) {
-            for (f, &t) in chunk_f.iter().zip(chunk_t) {
-                let pred = model.forward(f, &featurizer);
-                let loss = ops::huber_loss(&pred, &Matrix::full(1, 1, t), 1.0);
-                loss.backward();
-            }
-            opt.step();
-        }
-        let val = validation_qerror(
-            |lq| {
-                let f = featurizer.featurize(db, &lq.query, sampler);
-                norm.decode(model.forward(&f, &featurizer).value_clone().get(0, 0))
-            },
-            target,
-            valid,
-        );
-        history.push(val);
-        if valid.is_empty() {
-            continue;
-        }
-        if val < best {
-            best = val;
-            best_snap = Some(snapshot(&params));
-            patience = 0;
-        } else {
-            patience += 1;
-            if patience >= 3 {
-                obs::counter_add(obs::Metric::EstEarlyStops, 1);
-                break;
-            }
-        }
-    }
-    if let Some(snap) = &best_snap {
-        restore(&params, snap);
-    }
+    let config = estimator_config(opts, 16, 1e-3, !valid.is_empty());
+    // Scoped so the task's borrows of the model end before it is moved
+    // into the predictor.
+    let report = {
+        let mut task = FnTask::new("est.mscn", train.len(), model.params(), |idx, _rng| {
+            let pred = model.forward(&feats[idx], &featurizer);
+            let loss = ops::huber_loss(&pred, &Matrix::full(1, 1, targets[idx]), 1.0);
+            let scalar = f64::from(loss.value_clone().get(0, 0));
+            loss.backward();
+            StepOutput { loss: scalar, ..StepOutput::default() }
+        })
+        .with_eval(|| {
+            validation_qerror(
+                |lq| {
+                    let f = featurizer.featurize(db, &lq.query, sampler);
+                    norm.decode(model.forward(&f, &featurizer).value_clone().get(0, 0))
+                },
+                target,
+                valid,
+            )
+        })
+        .with_on_early_stop(|| obs::counter_add(obs::Metric::EstEarlyStops, 1));
+        Trainer::new(config).fit(&mut task, &mut rng)
+    };
+    let history = report.val_history();
     MscnPredictor { db, featurizer, model, sampler, norm, target, history }
 }
 
@@ -319,8 +360,20 @@ pub fn train_lstm<'a>(
     epochs: usize,
     seed: u64,
 ) -> LstmPredictor<'a> {
+    train_lstm_with(db, sampler, train, valid, target, FineTuneOptions::new(epochs, seed))
+}
+
+/// [`train_lstm`] with the full fine-tune option surface (LR schedule).
+pub fn train_lstm_with<'a>(
+    db: &'a Database,
+    sampler: Option<&'a BitmapSampler>,
+    train: &[LabeledQuery],
+    valid: &[LabeledQuery],
+    target: Target,
+    opts: FineTuneOptions,
+) -> LstmPredictor<'a> {
     obs::counter_add(obs::Metric::EstTrainRuns, 1);
-    let _span = obs::span("est.train").field("method", "lstm").field("epochs", epochs);
+    let _span = obs::span("est.train").field("method", "lstm").field("epochs", opts.epochs);
     let corpus: Vec<Query> = train.iter().map(|l| l.query.clone()).collect();
     let vocab = LstmVocab::build(&corpus);
     // The LSTM baseline's form of the bitmap trick (§4.3.2): the raw
@@ -332,7 +385,7 @@ pub fn train_lstm<'a>(
     let bitmap_dim = sampler.map_or(0, BitmapSampler::sample_size) + plan_dim;
     let table_stats = TableStats::analyze(db);
     let cost_model = CostModel::default();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
     let model = LstmEstimator::new(&vocab, 24, 32, bitmap_dim, &mut rng);
     let norm = Normalizer::fit(&train.iter().map(|l| target.log_truth(l)).collect::<Vec<_>>());
     let encoded: Vec<(Vec<usize>, Vec<f32>, Vec<f32>, Option<Vec<f32>>, f32)> = train
@@ -352,60 +405,44 @@ pub fn train_lstm<'a>(
             (ids, nums, channel, Some(bitmap), norm.encode(target.log_truth(l)))
         })
         .collect();
-    let params = model.params();
-    let mut opt = Adam::new(params.clone(), 1e-3);
-    let mut best = f64::INFINITY;
-    let mut best_snap: Option<Vec<Matrix>> = None;
-    let mut patience = 0;
-    let mut history: Vec<f64> = Vec::new();
-    for _epoch in 0..epochs {
-        for chunk in encoded.chunks(8) {
-            for (ids, nums, channel, bitmap, t) in chunk {
-                let pred = model.forward(ids, nums, channel, bitmap.as_deref());
-                let loss = ops::huber_loss(&pred, &Matrix::full(1, 1, *t), 1.0);
-                loss.backward();
-            }
-            opt.step();
-        }
-        let val = validation_qerror(
-            |lq| {
-                let (ids, nums) = vocab.encode(&lq.query);
-                let channel = sampler
-                    .map(|s| preqr_baselines::lstm_est::table_channel(db, s, &lq.query))
-                    .unwrap_or_else(|| vec![0.0; ids.len()]);
-                let mut bitmap = sampler
-                    .map(|s| LstmEstimator::pooled_bitmap(db, s, &lq.query, bitmap_dim))
-                    .unwrap_or_default();
-                bitmap.truncate(bitmap_dim - plan_dim);
-                if use_plan {
-                    bitmap.extend(plan_features(db, &table_stats, &cost_model, &lq.query));
-                }
-                norm.decode(
-                    model.forward(&ids, &nums, &channel, Some(&bitmap)).value_clone().get(0, 0),
-                )
-            },
-            target,
-            valid,
-        );
-        history.push(val);
-        if valid.is_empty() {
-            continue;
-        }
-        if val < best {
-            best = val;
-            best_snap = Some(snapshot(&params));
-            patience = 0;
-        } else {
-            patience += 1;
-            if patience >= 3 {
-                obs::counter_add(obs::Metric::EstEarlyStops, 1);
-                break;
-            }
-        }
-    }
-    if let Some(snap) = &best_snap {
-        restore(&params, snap);
-    }
+    let config = estimator_config(opts, 8, 1e-3, !valid.is_empty());
+    // Scoped so the task's borrows of the model end before it is moved
+    // into the predictor.
+    let report = {
+        let mut task = FnTask::new("est.lstm", train.len(), model.params(), |idx, _rng| {
+            let (ids, nums, channel, bitmap, t) = &encoded[idx];
+            let pred = model.forward(ids, nums, channel, bitmap.as_deref());
+            let loss = ops::huber_loss(&pred, &Matrix::full(1, 1, *t), 1.0);
+            let scalar = f64::from(loss.value_clone().get(0, 0));
+            loss.backward();
+            StepOutput { loss: scalar, ..StepOutput::default() }
+        })
+        .with_eval(|| {
+            validation_qerror(
+                |lq| {
+                    let (ids, nums) = vocab.encode(&lq.query);
+                    let channel = sampler
+                        .map(|s| preqr_baselines::lstm_est::table_channel(db, s, &lq.query))
+                        .unwrap_or_else(|| vec![0.0; ids.len()]);
+                    let mut bitmap = sampler
+                        .map(|s| LstmEstimator::pooled_bitmap(db, s, &lq.query, bitmap_dim))
+                        .unwrap_or_default();
+                    bitmap.truncate(bitmap_dim - plan_dim);
+                    if use_plan {
+                        bitmap.extend(plan_features(db, &table_stats, &cost_model, &lq.query));
+                    }
+                    norm.decode(
+                        model.forward(&ids, &nums, &channel, Some(&bitmap)).value_clone().get(0, 0),
+                    )
+                },
+                target,
+                valid,
+            )
+        })
+        .with_on_early_stop(|| obs::counter_add(obs::Metric::EstEarlyStops, 1));
+        Trainer::new(config).fit(&mut task, &mut rng)
+    };
+    let history = report.val_history();
     LstmPredictor {
         db,
         vocab,
@@ -588,8 +625,32 @@ pub fn train_preqr<'a>(
     seed: u64,
     label: &str,
 ) -> PreqrPredictor<'a> {
+    train_preqr_with(
+        db,
+        model,
+        sampler,
+        train,
+        valid,
+        target,
+        FineTuneOptions::new(epochs, seed),
+        label,
+    )
+}
+
+/// [`train_preqr`] with the full fine-tune option surface (LR schedule).
+#[allow(clippy::too_many_arguments)]
+pub fn train_preqr_with<'a>(
+    db: &'a Database,
+    model: &'a SqlBert,
+    sampler: Option<&'a BitmapSampler>,
+    train: &[LabeledQuery],
+    valid: &[LabeledQuery],
+    target: Target,
+    opts: FineTuneOptions,
+    label: &str,
+) -> PreqrPredictor<'a> {
     obs::counter_add(obs::Metric::EstTrainRuns, 1);
-    let _span = obs::span("est.train").field("method", label).field("epochs", epochs);
+    let _span = obs::span("est.train").field("method", label).field("epochs", opts.epochs);
     let nodes = model.cached_nodes();
     // The shared model's last layer is trained here but restored before
     // returning, so successive fine-tunings all start from the same
@@ -600,7 +661,7 @@ pub fn train_preqr<'a>(
     let in_dim = 2 * model.config.output_dim() + bitmap_dim;
     let table_stats = TableStats::analyze(db);
     let cost_model = CostModel::default();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
     let head = Mlp::new(&[in_dim, 64, 32, 1], &mut rng);
     let norm = Normalizer::fit(&train.iter().map(|l| target.log_truth(l)).collect::<Vec<_>>());
     // Cache the frozen lower-layer states and bitmaps once.
@@ -617,55 +678,40 @@ pub fn train_preqr<'a>(
     // Fine-tune the last SQLBERT layer together with the head (§4.3.2).
     let mut params = model.last_layer_params();
     params.extend(head.params());
-    let mut opt = Adam::new(params.clone(), 5e-4);
-    let mut best = f64::INFINITY;
-    let mut best_snap: Option<Vec<Matrix>> = None;
-    let mut patience = 0;
-    let mut history: Vec<f64> = Vec::new();
     let forward = |lower: &Matrix, bits: &[f32]| -> Tensor {
         let reps = model.last_layer_encode(lower, nodes.as_ref());
         head.forward(&preqr_features(&reps, bits, bitmap_dim))
     };
-    for _epoch in 0..epochs {
-        for chunk in cached.chunks(8) {
-            for (lower, bits, t) in chunk {
-                let pred = forward(lower, bits);
-                let loss = ops::huber_loss(&pred, &Matrix::full(1, 1, *t), 1.0);
-                loss.backward();
-            }
-            opt.step();
-        }
-        let val = validation_qerror(
-            |lq| {
-                let pq = model.prepare(&lq.query);
-                let lower = model.lower_states(&pq, nodes.as_ref());
-                let mut bits =
-                    sampler.map(|s| sample_features(db, s, &lq.query)).unwrap_or_default();
-                bits.extend(plan_features(db, &table_stats, &cost_model, &lq.query));
-                norm.decode(forward(&lower, &bits).value_clone().get(0, 0))
-            },
-            target,
-            valid,
-        );
-        history.push(val);
-        if valid.is_empty() {
-            continue;
-        }
-        if val < best {
-            best = val;
-            best_snap = Some(snapshot(&params));
-            patience = 0;
-        } else {
-            patience += 1;
-            if patience >= 3 {
-                obs::counter_add(obs::Metric::EstEarlyStops, 1);
-                break;
-            }
-        }
-    }
-    if let Some(snap) = &best_snap {
-        restore(&params, snap);
-    }
+    let config = estimator_config(opts, 8, 5e-4, !valid.is_empty());
+    // Scoped so the task's borrows of the head/nodes end before they are
+    // moved into the predictor.
+    let report = {
+        let mut task = FnTask::new("est.preqr", train.len(), params, |idx, _rng| {
+            let (lower, bits, t) = &cached[idx];
+            let pred = forward(lower, bits);
+            let loss = ops::huber_loss(&pred, &Matrix::full(1, 1, *t), 1.0);
+            let scalar = f64::from(loss.value_clone().get(0, 0));
+            loss.backward();
+            StepOutput { loss: scalar, ..StepOutput::default() }
+        })
+        .with_eval(|| {
+            validation_qerror(
+                |lq| {
+                    let pq = model.prepare(&lq.query);
+                    let lower = model.lower_states(&pq, nodes.as_ref());
+                    let mut bits =
+                        sampler.map(|s| sample_features(db, s, &lq.query)).unwrap_or_default();
+                    bits.extend(plan_features(db, &table_stats, &cost_model, &lq.query));
+                    norm.decode(forward(&lower, &bits).value_clone().get(0, 0))
+                },
+                target,
+                valid,
+            )
+        })
+        .with_on_early_stop(|| obs::counter_add(obs::Metric::EstEarlyStops, 1));
+        Trainer::new(config).fit(&mut task, &mut rng)
+    };
+    let history = report.val_history();
     let layer_weights = snapshot(&model.last_layer_params());
     restore(&model.last_layer_params(), &pretrained_layer);
     PreqrPredictor {

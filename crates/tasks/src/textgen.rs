@@ -11,10 +11,10 @@ use preqr_baselines::seq2seq::{
 };
 use preqr_data::text::TextPair;
 use preqr_nn::layers::{Linear, Module};
-use preqr_nn::optim::Adam;
 use preqr_nn::{ops, Tensor};
 use preqr_sql::ast::Query;
 use preqr_sql::normalize::linearize;
+use preqr_train::{FnTask, Plan, StepOutput, Trainer, TrainerConfig};
 
 use crate::metrics::bleu;
 
@@ -161,17 +161,19 @@ pub fn train_generator<'a>(
     let decoder = RnnDecoder::new(&vocab, d, options, &mut rng);
     let mut params = encoder.encoder_params();
     params.extend(decoder.params());
-    let mut opt = Adam::new(params, 5e-3);
-    for _epoch in 0..epochs {
-        for chunk in train.chunks(2) {
-            for pair in chunk {
-                let src = encoder.encode(&pair.query);
-                let target = vocab.encode(&pair.references[0]);
-                let loss = decoder.loss(&src, &target, true, &mut rng);
-                loss.backward();
-            }
-            opt.step();
-        }
+    // Scoped so the task's borrows end before encoder/decoder/vocab move
+    // into the model.
+    {
+        let mut task = FnTask::new("textgen", train.len(), params, |idx, rng| {
+            let src = encoder.encode(&train[idx].query);
+            let target = vocab.encode(&train[idx].references[0]);
+            let loss = decoder.loss(&src, &target, true, rng);
+            let scalar = f64::from(loss.value_clone().get(0, 0));
+            loss.backward();
+            StepOutput { loss: scalar, ..StepOutput::default() }
+        });
+        let config = TrainerConfig::new(Plan::Epochs { epochs, chunk: 2, shuffle: false }, 5e-3);
+        Trainer::new(config).fit(&mut task, &mut rng);
     }
     GenModel { encoder, decoder, vocab, name }
 }

@@ -1,0 +1,433 @@
+//! Trainer checkpoints: resumable run state in a small binary container.
+//!
+//! Layout (version 1): magic `PQTR`, version u32, word count u64, then
+//! that many u64 LE words of run state (step counters, RNG reseed word,
+//! f64 accumulators as bit patterns, per-epoch stats, optional shuffle
+//! order), then an FNV-1a-64 checksum (u64 LE) over every preceding
+//! byte — followed by a `preqr-nn` parameter blob (itself checksummed,
+//! see `preqr_nn::serialize`) holding the model parameters, the Adam
+//! first/second moments, and the best-validation snapshot when one
+//! exists.
+//!
+//! RNG state is a single word: at every checkpoint boundary the trainer
+//! draws one `u64` from the live RNG, persists it here, and reseeds the
+//! live RNG from it, so a resumed run replays the exact stream of an
+//! uninterrupted run with the same checkpoint cadence.
+//!
+//! Writes go to a temporary sibling file and are renamed into place, so
+//! a crash mid-write never destroys the previous checkpoint.
+
+use std::io::{self, Read};
+use std::path::{Path, PathBuf};
+
+use preqr_nn::serialize::{apply_params, read_params, write_params};
+use preqr_nn::{Matrix, Tensor};
+
+use crate::stats::EpochStats;
+
+const MAGIC: &[u8; 4] = b"PQTR";
+const VERSION: u32 = 1;
+/// Largest accepted word count (stats + order for any realistic run).
+const MAX_WORDS: u64 = 1 << 28;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_OFFSET, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Where and how often the [`crate::Trainer`] checkpoints.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Checkpoint file path (overwritten atomically at each boundary).
+    pub path: PathBuf,
+    /// Checkpoint every this many optimizer steps (0 disables writing;
+    /// resume still works if the file exists).
+    pub every_steps: u64,
+    /// Whether to resume from `path` when it already exists.
+    pub resume: bool,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints to `path` every `every_steps` steps, resuming from an
+    /// existing file.
+    pub fn new(path: impl Into<PathBuf>, every_steps: u64) -> Self {
+        Self { path: path.into(), every_steps, resume: true }
+    }
+}
+
+/// Full run state captured at a step boundary.
+pub(crate) struct Saved {
+    pub epoch: usize,
+    pub pos: usize,
+    pub step: u64,
+    pub rng_seed: u64,
+    pub adam_t: u64,
+    pub loss_total: f64,
+    pub samples: usize,
+    pub masked: usize,
+    pub correct: usize,
+    pub epoch_start_step: u64,
+    pub patience: usize,
+    pub best: Option<f64>,
+    pub last_chunk_loss: f64,
+    pub stats: Vec<EpochStats>,
+    pub order: Option<Vec<usize>>,
+    pub m: Vec<Matrix>,
+    pub v: Vec<Matrix>,
+    pub best_snap: Option<Vec<Matrix>>,
+}
+
+fn encode_words(s: &Saved) -> Vec<u64> {
+    let mut w = Vec::with_capacity(16 + s.stats.len() * 9);
+    w.push(s.epoch as u64);
+    w.push(s.pos as u64);
+    w.push(s.step);
+    w.push(s.rng_seed);
+    w.push(s.adam_t);
+    w.push(s.loss_total.to_bits());
+    w.push(s.samples as u64);
+    w.push(s.masked as u64);
+    w.push(s.correct as u64);
+    w.push(s.epoch_start_step);
+    w.push(s.patience as u64);
+    let mut flags = 0u64;
+    if s.best.is_some() {
+        flags |= 1;
+    }
+    if s.order.is_some() {
+        flags |= 2;
+    }
+    w.push(flags);
+    w.push(s.best.unwrap_or(0.0).to_bits());
+    w.push(s.last_chunk_loss.to_bits());
+    w.push(s.stats.len() as u64);
+    for st in &s.stats {
+        w.push(st.epoch as u64);
+        w.push(st.loss.to_bits());
+        w.push(st.accuracy.to_bits());
+        w.push(st.samples as u64);
+        w.push(st.steps);
+        w.push(st.masked as u64);
+        w.push(st.correct as u64);
+        w.push(u64::from(st.val.is_some()));
+        w.push(st.val.unwrap_or(0.0).to_bits());
+    }
+    if let Some(order) = &s.order {
+        w.push(order.len() as u64);
+        w.extend(order.iter().map(|&i| i as u64));
+    }
+    w
+}
+
+struct WordReader<'a> {
+    words: &'a [u64],
+    at: usize,
+}
+
+impl WordReader<'_> {
+    fn next(&mut self) -> io::Result<u64> {
+        let w = self.words.get(self.at).copied().ok_or_else(|| bad_data("checkpoint truncated"));
+        self.at += 1;
+        w
+    }
+
+    fn next_usize(&mut self) -> io::Result<usize> {
+        Ok(self.next()? as usize)
+    }
+}
+
+fn decode_words(words: &[u64]) -> io::Result<Saved> {
+    let mut r = WordReader { words, at: 0 };
+    let epoch = r.next_usize()?;
+    let pos = r.next_usize()?;
+    let step = r.next()?;
+    let rng_seed = r.next()?;
+    let adam_t = r.next()?;
+    let loss_total = f64::from_bits(r.next()?);
+    let samples = r.next_usize()?;
+    let masked = r.next_usize()?;
+    let correct = r.next_usize()?;
+    let epoch_start_step = r.next()?;
+    let patience = r.next_usize()?;
+    let flags = r.next()?;
+    let best_bits = r.next()?;
+    let best = (flags & 1 != 0).then(|| f64::from_bits(best_bits));
+    let last_chunk_loss = f64::from_bits(r.next()?);
+    let n_stats = r.next_usize()?;
+    if n_stats > words.len() {
+        return Err(bad_data(format!("checkpoint stats count {n_stats} exceeds payload")));
+    }
+    let mut stats = Vec::with_capacity(n_stats);
+    for _ in 0..n_stats {
+        stats.push(EpochStats {
+            epoch: r.next_usize()?,
+            loss: f64::from_bits(r.next()?),
+            accuracy: f64::from_bits(r.next()?),
+            samples: r.next_usize()?,
+            steps: r.next()?,
+            masked: r.next_usize()?,
+            correct: r.next_usize()?,
+            val: {
+                let has = r.next()? != 0;
+                let bits = r.next()?;
+                has.then(|| f64::from_bits(bits))
+            },
+        });
+    }
+    let order = if flags & 2 != 0 {
+        let len = r.next_usize()?;
+        if len > words.len() {
+            return Err(bad_data(format!("checkpoint order length {len} exceeds payload")));
+        }
+        let mut order = Vec::with_capacity(len);
+        for _ in 0..len {
+            order.push(r.next_usize()?);
+        }
+        Some(order)
+    } else {
+        None
+    };
+    if r.at != words.len() {
+        return Err(bad_data("checkpoint has trailing state words"));
+    }
+    Ok(Saved {
+        epoch,
+        pos,
+        step,
+        rng_seed,
+        adam_t,
+        loss_total,
+        samples,
+        masked,
+        correct,
+        epoch_start_step,
+        patience,
+        best,
+        last_chunk_loss,
+        stats,
+        order,
+        m: Vec::new(),
+        v: Vec::new(),
+        best_snap: None,
+    })
+}
+
+/// Writes a checkpoint atomically (temp file + rename).
+pub(crate) fn save(path: &Path, state: &Saved, params: &[Tensor]) -> io::Result<()> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    let words = encode_words(state);
+    buf.extend_from_slice(&(words.len() as u64).to_le_bytes());
+    for w in &words {
+        buf.extend_from_slice(&w.to_le_bytes());
+    }
+    let digest = fnv(&buf);
+    buf.extend_from_slice(&digest.to_le_bytes());
+
+    let mut named: Vec<(String, Tensor)> = Vec::new();
+    for (i, p) in params.iter().enumerate() {
+        named.push((format!("param.{i}"), p.clone()));
+    }
+    for (i, m) in state.m.iter().enumerate() {
+        named.push((format!("adam.m.{i}"), Tensor::constant(m.clone())));
+    }
+    for (i, v) in state.v.iter().enumerate() {
+        named.push((format!("adam.v.{i}"), Tensor::constant(v.clone())));
+    }
+    if let Some(snap) = &state.best_snap {
+        for (i, b) in snap.iter().enumerate() {
+            named.push((format!("best.{i}"), Tensor::constant(b.clone())));
+        }
+    }
+    write_params(&mut buf, &named)?;
+
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &buf)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads a checkpoint, applies the saved parameter values to `params`,
+/// and returns the full run state (Adam moments, best snapshot, stats).
+///
+/// # Errors
+/// Any structural problem — bad magic/version, checksum mismatch,
+/// truncation, parameter count/shape mismatch — returns an error without
+/// touching `params`.
+pub(crate) fn load(path: &Path, params: &[Tensor]) -> io::Result<Saved> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut header = [0u8; 16];
+    f.read_exact(&mut header)?;
+    if &header[..4] != MAGIC {
+        return Err(bad_data("bad trainer checkpoint magic"));
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(bad_data(format!("unsupported trainer checkpoint version {version}")));
+    }
+    let n_words = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    if n_words > MAX_WORDS {
+        return Err(bad_data(format!("checkpoint word count {n_words} exceeds {MAX_WORDS}")));
+    }
+    let mut body = vec![0u8; n_words as usize * 8];
+    f.read_exact(&mut body)?;
+    let mut digest = [0u8; 8];
+    f.read_exact(&mut digest)?;
+    let mut hashed = Vec::with_capacity(16 + body.len());
+    hashed.extend_from_slice(&header);
+    hashed.extend_from_slice(&body);
+    if u64::from_le_bytes(digest) != fnv(&hashed) {
+        return Err(bad_data("trainer checkpoint checksum mismatch"));
+    }
+    let words: Vec<u64> =
+        body.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))).collect();
+    let mut saved = decode_words(&words)?;
+
+    let loaded = read_params(&mut f)?;
+    let named: Vec<(String, Tensor)> =
+        params.iter().enumerate().map(|(i, p)| (format!("param.{i}"), p.clone())).collect();
+    let mut m = Vec::with_capacity(params.len());
+    let mut v = Vec::with_capacity(params.len());
+    for i in 0..params.len() {
+        let mi = loaded
+            .get(&format!("adam.m.{i}"))
+            .ok_or_else(|| bad_data(format!("checkpoint is missing adam.m.{i}")))?;
+        let vi = loaded
+            .get(&format!("adam.v.{i}"))
+            .ok_or_else(|| bad_data(format!("checkpoint is missing adam.v.{i}")))?;
+        if mi.shape() != params[i].shape() || vi.shape() != params[i].shape() {
+            return Err(bad_data(format!("checkpoint moment shape mismatch at {i}")));
+        }
+        m.push(mi.clone());
+        v.push(vi.clone());
+    }
+    let best_snap = if loaded.contains_key("best.0") || saved.best.is_some() {
+        let mut snap = Vec::with_capacity(params.len());
+        for i in 0..params.len() {
+            let b = loaded
+                .get(&format!("best.{i}"))
+                .ok_or_else(|| bad_data(format!("checkpoint is missing best.{i}")))?;
+            if b.shape() != params[i].shape() {
+                return Err(bad_data(format!("checkpoint best-snapshot shape mismatch at {i}")));
+            }
+            snap.push(b.clone());
+        }
+        Some(snap)
+    } else {
+        None
+    };
+    // Everything validated; now mutate the model (all-or-nothing).
+    apply_params(&named, &loaded).map_err(bad_data)?;
+    saved.m = m;
+    saved.v = v;
+    saved.best_snap = best_snap;
+    Ok(saved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Vec<Tensor>, Saved) {
+        let params = vec![
+            Tensor::param(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0])),
+            Tensor::param(Matrix::from_vec(1, 3, vec![-1.0, 0.5, 9.0])),
+        ];
+        let saved = Saved {
+            epoch: 3,
+            pos: 2,
+            step: 17,
+            rng_seed: 0xdead_beef,
+            adam_t: 17,
+            loss_total: 1.25,
+            samples: 40,
+            masked: 7,
+            correct: 5,
+            epoch_start_step: 15,
+            patience: 1,
+            best: Some(2.5),
+            last_chunk_loss: 0.75,
+            stats: vec![EpochStats {
+                epoch: 0,
+                loss: 3.5,
+                accuracy: 0.5,
+                samples: 20,
+                steps: 5,
+                masked: 4,
+                correct: 2,
+                val: Some(4.0),
+            }],
+            order: Some(vec![2, 0, 1]),
+            m: params.iter().map(|p| Matrix::full(p.shape().0, p.shape().1, 0.1)).collect(),
+            v: params.iter().map(|p| Matrix::full(p.shape().0, p.shape().1, 0.2)).collect(),
+            best_snap: Some(params.iter().map(Tensor::value_clone).collect()),
+        };
+        (params, saved)
+    }
+
+    #[test]
+    fn round_trip_restores_everything() {
+        let (params, saved) = sample();
+        let dir = std::env::temp_dir().join("preqr-train-ckpt-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.pqtr");
+        save(&path, &saved, &params).unwrap();
+        // Perturb the live params; load must restore them.
+        params[0].set_value(Matrix::zeros(2, 2));
+        let got = load(&path, &params).unwrap();
+        assert_eq!(params[0].value_clone().data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(got.epoch, 3);
+        assert_eq!(got.pos, 2);
+        assert_eq!(got.step, 17);
+        assert_eq!(got.rng_seed, 0xdead_beef);
+        assert_eq!(got.adam_t, 17);
+        assert_eq!(got.loss_total.to_bits(), 1.25f64.to_bits());
+        assert_eq!(got.samples, 40);
+        assert_eq!(got.patience, 1);
+        assert_eq!(got.best, Some(2.5));
+        assert_eq!(got.last_chunk_loss.to_bits(), 0.75f64.to_bits());
+        assert_eq!(got.stats, saved.stats);
+        assert_eq!(got.order, Some(vec![2, 0, 1]));
+        assert_eq!(got.m[0].data(), saved.m[0].data());
+        assert_eq!(got.v[1].data(), saved.v[1].data());
+        assert_eq!(got.best_snap.unwrap()[0].data(), &[1.0, 2.0, 3.0, 4.0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_corruption_without_touching_params() {
+        let (params, saved) = sample();
+        let dir = std::env::temp_dir().join("preqr-train-ckpt-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.pqtr");
+        save(&path, &saved, &params).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[20] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let before = params[0].value_clone();
+        assert!(load(&path, &params).is_err());
+        assert_eq!(params[0].value_clone().data(), before.data());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let (params, saved) = sample();
+        let dir = std::env::temp_dir().join("preqr-train-ckpt-trunc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.pqtr");
+        save(&path, &saved, &params).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        for len in [0, 3, 15, 40, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..len]).unwrap();
+            assert!(load(&path, &params).is_err(), "prefix of {len} bytes must fail");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

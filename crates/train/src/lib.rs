@@ -1,0 +1,44 @@
+//! `preqr-train` — the shared training harness.
+//!
+//! PreQR is one pre-training objective plus four fine-tuned downstream
+//! tasks, which this workspace used to implement as ten copy-pasted
+//! epoch loops. This crate is the single place they all run now: a
+//! [`TrainTask`] describes *what* one example's loss computation is, and
+//! the [`Trainer`] owns *how* training proceeds — deterministic
+//! Fisher–Yates shuffling, gradient-accumulation chunking, pluggable
+//! learning-rate [`Schedule`]s, validation early stopping, periodic
+//! checkpointing with crash-resume, and uniform `train.*` observability.
+//!
+//! ## Determinism contract
+//!
+//! Given the same task, config, and RNG state, [`Trainer::fit`] consumes
+//! the RNG in exactly the order the hand-rolled loops did (shuffle draws
+//! at epoch start, then per-example draws in visit order) and performs
+//! floating-point accumulation in the same order, so every migrated
+//! loop's loss/accuracy trajectory is bit-identical to its pre-harness
+//! implementation at a fixed seed. The in-tree [`reference`] module keeps
+//! an independently written copy of the legacy loop shape; the golden
+//! tests pin `Trainer` against it bit-for-bit.
+//!
+//! Checkpointing composes with determinism through a reseed trick: at
+//! every checkpoint boundary the trainer draws one `u64` from the live
+//! RNG, persists it, and reseeds the live RNG from it. RNG state on disk
+//! is therefore a single word, and an interrupted-then-resumed run
+//! replays the exact stream of an uninterrupted run with the same
+//! checkpoint cadence. With checkpointing disabled the RNG stream is
+//! untouched (bit-identical to the legacy loops).
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod reference;
+pub mod schedule;
+pub mod stats;
+pub mod task;
+pub mod trainer;
+
+pub use checkpoint::CheckpointConfig;
+pub use schedule::{scheduled_steps, Schedule};
+pub use stats::{EpochStats, TrainReport};
+pub use task::{FnTask, StepOutput, TrainTask};
+pub use trainer::{Plan, Trainer, TrainerConfig};

@@ -1,0 +1,196 @@
+//! The [`TrainTask`] trait: what one training step *is*, independent of
+//! how the [`crate::Trainer`] drives it.
+
+use preqr_nn::Tensor;
+use rand::rngs::StdRng;
+
+use crate::stats::EpochStats;
+
+/// What one example's training step produced.
+///
+/// The task computes the loss, calls `backward()` itself (gradients
+/// accumulate on the task's parameters), and reports the scalar here so
+/// the trainer can aggregate epoch statistics in the same f64 order the
+/// legacy loops used.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StepOutput {
+    /// Scalar loss of this example (already backpropagated).
+    pub loss: f64,
+    /// Masked positions this example contributed (MLM tasks; 0 otherwise).
+    pub masked: usize,
+    /// Correctly predicted masked positions (MLM tasks; 0 otherwise).
+    pub correct: usize,
+}
+
+/// A trainable workload, driven example-at-a-time by the [`crate::Trainer`].
+///
+/// The trainer owns ordering (deterministic Fisher–Yates shuffling),
+/// gradient-accumulation chunking, the optimizer, the LR schedule, early
+/// stopping, and checkpointing; the task owns the forward/backward pass
+/// and optional epoch-end evaluation. Hooks fire in a fixed order per
+/// chunk — `chunk_start`, then `step` per example, then (after the
+/// optimizer update) `post_step` — and per epoch — `eval`, then
+/// `epoch_end`.
+///
+/// Determinism contract for implementors: `step` must consume `rng`
+/// identically given the same `(idx, rng state)`, and must not read the
+/// RNG outside `step` — the trainer's checkpoint/resume machinery relies
+/// on the stream advancing only at these points.
+pub trait TrainTask {
+    /// Short task name, used for the `train.run` span and checkpoints.
+    fn name(&self) -> &'static str;
+
+    /// Number of training examples.
+    fn len(&self) -> usize;
+
+    /// Whether the task has no training examples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The parameters the optimizer updates (handles, not copies).
+    fn params(&self) -> Vec<Tensor>;
+
+    /// Called once before each gradient-accumulation chunk (e.g. to
+    /// recompute schema node states shared within a micro-batch).
+    fn chunk_start(&mut self) {}
+
+    /// Runs forward + backward for example `idx` and reports the loss.
+    fn step(&mut self, idx: usize, rng: &mut StdRng) -> StepOutput;
+
+    /// Called after each optimizer update (e.g. to clear stray gradients
+    /// on parameters outside the optimized subset).
+    fn post_step(&mut self) {}
+
+    /// Epoch-end validation metric (lower is better). `None` disables
+    /// validation tracking and early stopping for this task.
+    fn eval(&mut self) -> Option<f64> {
+        None
+    }
+
+    /// Called once per completed epoch with its statistics (e.g. to bump
+    /// task-specific counters).
+    fn epoch_end(&mut self, _stats: &EpochStats) {}
+
+    /// Called when validation early stopping ends the run.
+    fn on_early_stop(&mut self) {}
+}
+
+type StepFn<'a> = Box<dyn FnMut(usize, &mut StdRng) -> StepOutput + 'a>;
+type HookFn<'a> = Box<dyn FnMut() + 'a>;
+type EvalFn<'a> = Box<dyn FnMut() -> f64 + 'a>;
+type EpochEndFn<'a> = Box<dyn FnMut(&EpochStats) + 'a>;
+
+/// A [`TrainTask`] assembled from closures — the migration vehicle for
+/// the small fine-tune loops (estimation heads, clustering, textgen,
+/// baselines) that don't warrant a named task struct.
+pub struct FnTask<'a> {
+    name: &'static str,
+    len: usize,
+    params: Vec<Tensor>,
+    step: StepFn<'a>,
+    chunk_start: Option<HookFn<'a>>,
+    post_step: Option<HookFn<'a>>,
+    eval: Option<EvalFn<'a>>,
+    epoch_end: Option<EpochEndFn<'a>>,
+    on_early_stop: Option<HookFn<'a>>,
+}
+
+impl<'a> FnTask<'a> {
+    /// Creates a task from its required parts: a name, the example
+    /// count, the optimized parameters, and the per-example step.
+    pub fn new(
+        name: &'static str,
+        len: usize,
+        params: Vec<Tensor>,
+        step: impl FnMut(usize, &mut StdRng) -> StepOutput + 'a,
+    ) -> Self {
+        Self {
+            name,
+            len,
+            params,
+            step: Box::new(step),
+            chunk_start: None,
+            post_step: None,
+            eval: None,
+            epoch_end: None,
+            on_early_stop: None,
+        }
+    }
+
+    /// Installs a chunk-start hook.
+    pub fn with_chunk_start(mut self, f: impl FnMut() + 'a) -> Self {
+        self.chunk_start = Some(Box::new(f));
+        self
+    }
+
+    /// Installs a post-optimizer-step hook.
+    pub fn with_post_step(mut self, f: impl FnMut() + 'a) -> Self {
+        self.post_step = Some(Box::new(f));
+        self
+    }
+
+    /// Installs an epoch-end validation metric (lower is better).
+    pub fn with_eval(mut self, f: impl FnMut() -> f64 + 'a) -> Self {
+        self.eval = Some(Box::new(f));
+        self
+    }
+
+    /// Installs an epoch-end hook.
+    pub fn with_epoch_end(mut self, f: impl FnMut(&EpochStats) + 'a) -> Self {
+        self.epoch_end = Some(Box::new(f));
+        self
+    }
+
+    /// Installs an early-stop hook.
+    pub fn with_on_early_stop(mut self, f: impl FnMut() + 'a) -> Self {
+        self.on_early_stop = Some(Box::new(f));
+        self
+    }
+}
+
+impl TrainTask for FnTask<'_> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        self.params.clone()
+    }
+
+    fn chunk_start(&mut self) {
+        if let Some(f) = self.chunk_start.as_mut() {
+            f();
+        }
+    }
+
+    fn step(&mut self, idx: usize, rng: &mut StdRng) -> StepOutput {
+        (self.step)(idx, rng)
+    }
+
+    fn post_step(&mut self) {
+        if let Some(f) = self.post_step.as_mut() {
+            f();
+        }
+    }
+
+    fn eval(&mut self) -> Option<f64> {
+        self.eval.as_mut().map(|f| f())
+    }
+
+    fn epoch_end(&mut self, stats: &EpochStats) {
+        if let Some(f) = self.epoch_end.as_mut() {
+            f(stats);
+        }
+    }
+
+    fn on_early_stop(&mut self) {
+        if let Some(f) = self.on_early_stop.as_mut() {
+            f();
+        }
+    }
+}

@@ -1,0 +1,56 @@
+#!/bin/bash
+# Builds the whole preqr workspace with bare rustc against the dependency
+# stubs in scripts/stubs/ — for containers with no crate registry access.
+# Usage:
+#   scripts/offline_build.sh [-O]     # typecheck/build all rlibs (+facade)
+# Env: OUT=/tmp/preqr-offline/out (default; -O appends "-O")
+set -e
+OPT=""
+if [ "$1" = "-O" ]; then OPT="-O"; shift; fi
+REPO=$(cd "$(dirname "$0")/.." && pwd)
+STUBS=$REPO/scripts/stubs
+OUT=${OUT:-/tmp/preqr-offline/out$OPT}
+mkdir -p "$OUT"
+RUSTC="rustc --edition 2021 $OPT -Awarnings -L $OUT --out-dir $OUT"
+
+# ---- dependency stubs ----
+if [ ! -f "$OUT/libserde.rlib" ]; then
+  rustc --edition 2021 -Awarnings --crate-type proc-macro --crate-name serde_derive \
+      --out-dir "$OUT" "$STUBS/serde_derive.rs"
+  $RUSTC --crate-type rlib --crate-name serde \
+      --extern serde_derive="$OUT/libserde_derive.so" "$STUBS/serde.rs"
+  $RUSTC --crate-type rlib --crate-name rand "$STUBS/rand.rs"
+  $RUSTC --crate-type rlib --crate-name proptest "$STUBS/proptest.rs"
+  $RUSTC --crate-type rlib --crate-name crossbeam "$STUBS/crossbeam.rs"
+  $RUSTC --crate-type rlib --crate-name parking_lot "$STUBS/parking_lot.rs"
+fi
+
+SERDE="--extern serde=$OUT/libserde.rlib"
+RAND="--extern rand=$OUT/librand.rlib"
+CB="--extern crossbeam=$OUT/libcrossbeam.rlib"
+PL="--extern parking_lot=$OUT/libparking_lot.rlib"
+
+lib() { # lib <crate_name> <path> <externs...>
+  local name=$1 path=$2; shift 2
+  echo "[build] $name"
+  $RUSTC --crate-type rlib --crate-name "$name" "$path" "$@"
+}
+
+X() { echo "--extern $1=$OUT/lib$1.rlib"; }
+
+lib preqr_obs   "$REPO/crates/obs/src/lib.rs"
+lib preqr_sql   "$REPO/crates/sql/src/lib.rs" $SERDE
+lib preqr_schema "$REPO/crates/schema/src/lib.rs" $SERDE
+lib preqr_automaton "$REPO/crates/automaton/src/lib.rs" $SERDE $(X preqr_sql)
+OBS=$(X preqr_obs)
+lib preqr_nn    "$REPO/crates/nn/src/lib.rs" $SERDE $RAND $CB $PL $OBS
+lib preqr_train "$REPO/crates/train/src/lib.rs" $RAND $(X preqr_nn) $OBS
+lib preqr_engine "$REPO/crates/engine/src/lib.rs" $SERDE $RAND $(X preqr_sql) $(X preqr_schema) $OBS
+lib preqr_data  "$REPO/crates/data/src/lib.rs" $SERDE $RAND $CB $(X preqr_sql) $(X preqr_schema) $(X preqr_engine)
+lib preqr       "$REPO/crates/core/src/lib.rs" $SERDE $RAND $PL $(X preqr_nn) $(X preqr_train) $(X preqr_sql) $(X preqr_automaton) $(X preqr_schema) $OBS
+lib preqr_baselines "$REPO/crates/baselines/src/lib.rs" $SERDE $RAND $(X preqr_nn) $(X preqr_train) $(X preqr_sql) $(X preqr_schema) $(X preqr_engine)
+lib preqr_tasks "$REPO/crates/tasks/src/lib.rs" $SERDE $RAND $(X preqr_nn) $(X preqr_train) $(X preqr_sql) $(X preqr_automaton) $(X preqr_schema) $(X preqr_engine) $(X preqr_data) $(X preqr) $(X preqr_baselines) $OBS
+lib preqr_serve "$REPO/crates/serve/src/lib.rs" $(X preqr_nn) $(X preqr_sql) $(X preqr_schema) $(X preqr) $OBS
+lib preqr_bench "$REPO/crates/bench/src/lib.rs" $RAND $(X preqr_nn) $(X preqr_train) $(X preqr_sql) $(X preqr_automaton) $(X preqr_schema) $(X preqr_engine) $(X preqr_data) $(X preqr) $(X preqr_baselines) $(X preqr_tasks) $OBS
+lib preqr_repro "$REPO/src/lib.rs" $RAND $OBS $(X preqr_nn) $(X preqr_train) $(X preqr_sql) $(X preqr_automaton) $(X preqr_schema) $(X preqr_engine) $(X preqr_data) $(X preqr) $(X preqr_baselines) $(X preqr_tasks) $(X preqr_serve)
+echo "[build] done -> $OUT"

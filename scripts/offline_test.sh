@@ -1,0 +1,18 @@
+#!/bin/bash
+# Compiles and runs one test file against the offline-built workspace
+# (scripts/offline_build.sh must have run first).
+# Usage: scripts/offline_test.sh [-O] <file.rs> [test-runner-args...]
+set -e
+OPT=""
+if [ "$1" = "-O" ]; then OPT="-O"; shift; fi
+OUT=${OUT:-/tmp/preqr-offline/out$OPT}
+SRC=$1; shift
+NAME=$(basename "$SRC" .rs | tr '-' '_')
+BIN=${TEST_OUT:-/tmp/preqr-offline/tests}/$NAME$OPT
+mkdir -p "$(dirname "$BIN")"
+EXTERNS=""
+for c in serde rand proptest crossbeam parking_lot preqr_obs preqr_sql preqr_schema preqr_automaton preqr_nn preqr_train preqr_engine preqr_data preqr preqr_baselines preqr_tasks preqr_serve preqr_bench preqr_repro; do
+  [ -f "$OUT/lib$c.rlib" ] && EXTERNS="$EXTERNS --extern $c=$OUT/lib$c.rlib"
+done
+rustc --edition 2021 $OPT -Awarnings --test "$SRC" -o "$BIN" -L "$OUT" $EXTERNS
+"$BIN" "$@"

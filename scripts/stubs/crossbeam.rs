@@ -1,0 +1,80 @@
+//! crossbeam stub: an unbounded MPMC channel over Mutex+Condvar, covering
+//! the `crossbeam::channel::{unbounded, Sender, Receiver}` surface.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Chan<T> {
+        q: Mutex<(VecDeque<T>, usize)>, // (queue, live sender count)
+        cv: Condvar,
+    }
+
+    pub struct Sender<T>(Arc<Chan<T>>);
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut g = self.0.q.lock().unwrap_or_else(|e| e.into_inner());
+            g.1 += 1;
+            drop(g);
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut g = self.0.q.lock().unwrap_or_else(|e| e.into_inner());
+            g.1 -= 1;
+            if g.1 == 0 {
+                self.0.cv.notify_all();
+            }
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan { q: Mutex::new((VecDeque::new(), 1)), cv: Condvar::new() });
+        (Sender(chan.clone()), Receiver(chan))
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            let mut g = self.0.q.lock().unwrap_or_else(|e| e.into_inner());
+            g.0.push_back(t);
+            self.0.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut g = self.0.q.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(t) = g.0.pop_front() {
+                    return Ok(t);
+                }
+                if g.1 == 0 {
+                    return Err(RecvError);
+                }
+                g = self.0.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+}

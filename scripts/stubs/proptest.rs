@@ -1,0 +1,340 @@
+//! Minimal proptest stand-in for the offline stub build: enough API
+//! surface to compile and RUN the workspace's property tests with random
+//! sampling (no shrinking).
+
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+    pub use crate::{Just, ProptestConfig, Rng, Strategy};
+}
+
+/// splitmix64 RNG.
+pub struct Rng(pub u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut Rng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut Rng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span.max(1)) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                let span = (*self.end() - *self.start()) as u64 + 1;
+                *self.start() + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(usize, u8, u16, u32, u64);
+
+macro_rules! sint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span.max(1)) as i128) as $t
+            }
+        }
+    )*};
+}
+sint_range_strategy!(i8, i16, i32, i64);
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut Rng) -> f32 {
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+/// String "regex" strategy: the stub ignores the pattern and generates
+/// short dotted lowercase identifiers (the shape every workspace test
+/// pattern describes).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut Rng) -> String {
+        let segments = 1 + (rng.next_u64() % 3) as usize;
+        let mut s = String::new();
+        for i in 0..segments {
+            if i > 0 {
+                s.push('.');
+            }
+            let len = 1 + (rng.next_u64() % 8) as usize;
+            for _ in 0..len {
+                s.push((b'a' + (rng.next_u64() % 26) as u8) as char);
+            }
+        }
+        s
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident/$i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+pub mod collection {
+    use super::{Rng, Strategy};
+
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut Rng) -> usize;
+    }
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut Rng) -> usize {
+            *self
+        }
+    }
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut Rng) -> usize {
+            self.start + (rng.next_u64() as usize) % (self.end - self.start).max(1)
+        }
+    }
+
+    pub struct VecStrategy<S, R> {
+        elem: S,
+        size: R,
+    }
+
+    pub fn vec<S: Strategy, R: SizeRange>(elem: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Sentinel error for rejected (assumed-away) cases.
+pub const ASSUME_REJECT: &str = "__proptest_stub_assume__";
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::ASSUME_REJECT.to_string());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!("assert_eq failed: {:?} != {:?}", a, b));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {{
+        let choices: Vec<(u32, Box<dyn $crate::Strategy<Value = _>>)> =
+            vec![$(($weight, Box::new($strat))),+];
+        $crate::OneOf { choices }
+    }};
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+pub struct OneOf<T> {
+    pub choices: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        let total: u32 = self.choices.iter().map(|(w, _)| w).sum();
+        let mut pick = (rng.next_u64() % u64::from(total.max(1))) as u32;
+        for (w, s) in &self.choices {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        self.choices.last().expect("prop_oneof is non-empty").1.generate(rng)
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::Rng::new(0xc0ffee ^ stringify!($name).len() as u64);
+                let mut ran = 0u32;
+                let mut attempts = 0u32;
+                while ran < cfg.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts < cfg.cases * 20 + 100,
+                        "too many rejected cases in {}",
+                        stringify!($name)
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome: Result<(), String> = (|| { $body Ok(()) })();
+                    match outcome {
+                        Ok(()) => ran += 1,
+                        Err(e) if e == $crate::ASSUME_REJECT => continue,
+                        Err(e) => panic!("proptest case failed in {}: {}", stringify!($name), e),
+                    }
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $crate::proptest! { #![proptest_config($crate::ProptestConfig::default())] $($(#[$meta])* fn $name($($arg in $strat),*) $body)* }
+    };
+}

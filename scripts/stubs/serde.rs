@@ -1,0 +1,2 @@
+//! serde facade stub: re-exports the no-op derive macros.
+pub use serde_derive::{Deserialize, Serialize};

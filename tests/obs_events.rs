@@ -69,10 +69,11 @@ fn traced_pretrain_event_stream_is_exact_and_thread_invariant() {
             events.iter().filter(|e| e.kind == EventKind::Hist).count(),
             HistMetric::ALL.len()
         );
-        // Span order is the program order: run span closes after epochs.
+        // Span order is the program order: the shared Trainer emits one
+        // `train.epoch` span per epoch and closes `train.run` after them.
         let span_names: Vec<&str> =
             events.iter().filter(|e| e.kind == EventKind::Span).map(|e| e.name).collect();
-        assert_eq!(span_names, ["pretrain.epoch", "pretrain.epoch", "pretrain"]);
+        assert_eq!(span_names, ["train.epoch", "train.epoch", "train.run"]);
     }
 
     // Work metrics are thread-count-invariant. The serial/pool dispatch
@@ -86,6 +87,10 @@ fn traced_pretrain_event_stream_is_exact_and_thread_invariant() {
             "pretrain.steps",
             "pretrain.masked_tokens",
             "pretrain.correct_tokens",
+            "train.runs",
+            "train.epochs",
+            "train.steps",
+            "train.samples",
             "nn.matmul.calls",
         ] {
             assert_eq!(snap.counter(name), base.counter(name), "{name} at {t} threads");
@@ -103,8 +108,74 @@ fn traced_pretrain_event_stream_is_exact_and_thread_invariant() {
     }
     let (_, snap, _) = &runs[0];
     assert_eq!(snap.counter("pretrain.epochs"), Some(EPOCHS as u64));
+    assert_eq!(snap.counter("train.runs"), Some(1));
+    assert_eq!(snap.counter("train.epochs"), Some(EPOCHS as u64));
     assert!(snap.counter("pretrain.samples").unwrap() > 0);
     assert!(snap.counter("nn.matmul.calls").unwrap() > 0);
+}
+
+/// Runs a tiny traced MSCN fine-tune under `threads` workers; returns
+/// the emitted events and the final metric snapshot.
+fn traced_finetune(threads: usize) -> (Vec<obs::Event>, obs::Snapshot) {
+    parallel::set_thread_override(Some(threads));
+    let sink = Arc::new(obs::TestSink::new());
+    obs::reset_metrics();
+    obs::install_sink(sink.clone());
+
+    let db = generate(ImdbConfig::tiny());
+    let qs = workloads::synthetic(&db, 40, 3);
+    let labeled = workloads::label(&db, &qs, &preqr_engine::CostModel::default());
+    let (train, valid) = labeled.split_at(32);
+    let _pred = preqr_tasks::estimation::train_mscn(
+        &db,
+        None,
+        train,
+        valid,
+        preqr_tasks::estimation::Target::Cardinality,
+        FT_EPOCHS,
+        5,
+    );
+    obs::flush_metrics();
+
+    obs::clear_sink();
+    let snap = obs::snapshot();
+    obs::set_metrics_enabled(false);
+    obs::reset_metrics();
+    parallel::set_thread_override(None);
+    (sink.events(), snap)
+}
+
+const FT_EPOCHS: usize = 2;
+
+#[test]
+fn traced_finetune_event_stream_is_exact_and_thread_invariant() {
+    let _g = lock();
+    let widths = [1usize, 2, 8];
+    let runs: Vec<_> = widths.iter().map(|&t| traced_finetune(t)).collect();
+
+    // Per epoch one `train.epoch` span, then the Trainer's `train.run`,
+    // then the fine-tuner's own `est.train` wrapper span, then the full
+    // registry flush. (2 epochs never trip patience-3 early stopping, so
+    // the count is exact.)
+    let expected = FT_EPOCHS + 2 + Metric::ALL.len() + HistMetric::ALL.len();
+    let (base_events, base) = &runs[0];
+    for ((events, snap), &t) in runs.iter().zip(&widths) {
+        assert_eq!(events.len(), expected, "event count at {t} threads");
+        let span_names: Vec<&str> =
+            events.iter().filter(|e| e.kind == EventKind::Span).map(|e| e.name).collect();
+        assert_eq!(span_names, ["train.epoch", "train.epoch", "train.run", "est.train"]);
+        assert_eq!(snap.counter("train.runs"), Some(1), "train.runs at {t} threads");
+        assert_eq!(
+            snap.counter("train.epochs"),
+            Some(FT_EPOCHS as u64),
+            "train.epochs at {t} threads"
+        );
+        assert_eq!(snap.counter("est.train_runs"), Some(1));
+        for name in ["train.steps", "train.samples", "est.epochs"] {
+            assert_eq!(snap.counter(name), base.counter(name), "{name} at {t} threads");
+        }
+        assert_eq!(events.len(), base_events.len(), "event stream length at {t} threads");
+    }
 }
 
 #[test]
