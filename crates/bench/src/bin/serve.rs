@@ -90,7 +90,7 @@ fn model() -> SqlBert {
 /// Model construction happens before the clock starts (a warmup request
 /// blocks until the worker's replica is ready).
 fn replay(config: ServeConfig) -> (f64, ServeStats) {
-    let svc = Service::spawn(config, model);
+    let svc = Service::spawn(config, |_| model());
     svc.encode_blocking(&request(0)).expect("warmup");
     let t0 = Instant::now();
     let tickets: Vec<_> =

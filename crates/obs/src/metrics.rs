@@ -79,13 +79,15 @@ pub enum Metric {
     ServeCacheEvictions,
     /// Micro-batches drained by the serving collector.
     ServeBatches,
+    /// Serving worker shards that died by panic (isolation events).
+    ServeShardPanics,
     /// Trace sinks that failed and degraded to no-op.
     ObsSinkDegraded,
 }
 
 impl Metric {
     /// Every counter, in flush order.
-    pub const ALL: [Metric; 32] = [
+    pub const ALL: [Metric; 33] = [
         Metric::NnDispatchInline,
         Metric::NnDispatchPool,
         Metric::NnJoinInline,
@@ -117,6 +119,7 @@ impl Metric {
         Metric::ServeCacheMisses,
         Metric::ServeCacheEvictions,
         Metric::ServeBatches,
+        Metric::ServeShardPanics,
         Metric::ObsSinkDegraded,
     ];
 
@@ -154,6 +157,7 @@ impl Metric {
             Metric::ServeCacheMisses => "serve.cache.misses",
             Metric::ServeCacheEvictions => "serve.cache.evictions",
             Metric::ServeBatches => "serve.batches",
+            Metric::ServeShardPanics => "serve.shard.panics",
             Metric::ObsSinkDegraded => "obs.sink.degraded",
         }
     }

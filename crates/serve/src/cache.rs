@@ -241,6 +241,50 @@ mod tests {
     }
 
     #[test]
+    fn reinsert_at_full_capacity_neither_evicts_nor_grows() {
+        // The capacity edge: a key already present in a *full* cache must
+        // take the replace path — a naive "full ⇒ evict LRU first"
+        // implementation would evict a sibling (or the key itself) and
+        // bump the eviction counter for what is only an update.
+        let mut c: LruCache<u32> = LruCache::new(2);
+        c.insert("a".into(), 1);
+        c.insert("b".into(), 2);
+        let slab_before = c.slab.len();
+        assert_eq!(c.insert("a".into(), 10), None, "update of LRU key at capacity");
+        assert_eq!(c.insert("b".into(), 20), None, "update of MRU key at capacity");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.slab.len(), slab_before, "updates must not allocate new slots");
+        assert_eq!(c.counters().evictions, 0);
+        assert_eq!(c.recency_order(), ["b", "a"]);
+        assert_eq!(c.get("a"), Some(&10));
+        assert_eq!(c.get("b"), Some(&20));
+    }
+
+    #[test]
+    fn zero_capacity_counters_stay_exact_over_long_sequences() {
+        // `hits + misses == lookups` must hold even when every insert is
+        // dropped: a capacity-0 cache that secretly admitted entries (or
+        // skipped counting) would silently skew serving statistics.
+        let mut c: LruCache<u32> = LruCache::new(0);
+        let mut lookups = 0u64;
+        for round in 0..3 {
+            for i in 0..16u32 {
+                if c.get(&format!("k{i}")).is_none() {
+                    c.insert(format!("k{i}"), round * 100 + i);
+                }
+                lookups += 1;
+            }
+        }
+        let ct = c.counters();
+        assert_eq!(ct.hits, 0, "nothing can ever be admitted at capacity 0");
+        assert_eq!(ct.misses, lookups);
+        assert_eq!(ct.hits + ct.misses, lookups);
+        assert_eq!(ct.evictions, 0, "dropped inserts are not evictions");
+        assert!(c.is_empty());
+        assert_eq!(c.slab.len(), 0, "capacity 0 must not allocate slots");
+    }
+
+    #[test]
     fn slab_slots_are_reused_after_eviction() {
         let mut c: LruCache<u32> = LruCache::new(2);
         for i in 0..100u32 {

@@ -1,21 +1,29 @@
-//! `preqr-serve`: batched SQL-embedding inference service.
+//! `preqr-serve`: batched, sharded SQL-embedding inference service.
 //!
 //! Wraps a [`preqr::SqlBert`] encoder in a synchronous-API service with
-//! an internal worker thread:
+//! `shards` internal worker threads:
 //!
-//! * **Dynamic micro-batching** — requests queue into micro-batches of
-//!   up to `max_batch`; a partial batch closes after `batch_timeout`
-//!   ticks of a [`clock::LogicalClock`], so wall-time influences only
-//!   batch *boundaries*, never responses.
+//! * **Template-affinity sharding** — admission parses and normalizes
+//!   each request, then routes it to a shard by a fixed hash of its
+//!   template text ([`router`]). One template's cache entry and
+//!   counters live on exactly one shard, which is what keeps sharded
+//!   serving deterministic (see [`service`]).
+//! * **Dynamic micro-batching** — each shard queues requests into
+//!   micro-batches of up to `max_batch`; a partial batch closes after
+//!   `batch_timeout` ticks of that shard's [`clock::LogicalClock`], so
+//!   wall-time influences only batch *boundaries*, never responses.
 //! * **Tape-free batched encoding** — forwards run under
 //!   `preqr_nn::no_grad`, skipping autograd bookkeeping while staying
 //!   bit-identical to the training-mode eval forward.
 //! * **Template cache** — an exact-counter LRU ([`cache::LruCache`])
-//!   keyed on [`preqr_sql::normalize::template_text`], so queries
-//!   differing only in literals/whitespace/case share one embedding.
-//! * **Admission control** — a bounded queue rejects overload with
-//!   [`ServeError::Rejected`] backpressure, and shutdown drains every
-//!   accepted request before the worker exits.
+//!   keyed on [`preqr_sql::normalize::template_text`], split into
+//!   per-shard slices, so queries differing only in
+//!   literals/whitespace/case share one embedding.
+//! * **Admission control and isolation** — each shard's bounded queue
+//!   slice rejects overload with [`ServeError::Rejected`] backpressure;
+//!   a panicking shard fails only its own requests; shutdown stops
+//!   admission on all shards atomically and drains every accepted
+//!   request before the workers exit.
 //!
 //! See `DESIGN.md` §9 for the determinism and failure contracts, and
 //! [`service`] for the per-module details.
@@ -26,7 +34,8 @@
 //! use preqr_serve::{ServeConfig, Service};
 //! # fn build_model() -> preqr::SqlBert { unimplemented!() }
 //!
-//! let service = Service::spawn(ServeConfig::default(), || build_model());
+//! let config = ServeConfig { shards: 4, ..ServeConfig::default() };
+//! let service = Service::spawn(config, |_shard| build_model());
 //! let embedding = service.encode_blocking("SELECT a FROM t WHERE b > 7").unwrap();
 //! println!("CLS dim = {}", embedding.cls().len());
 //! let stats = service.shutdown();
@@ -36,9 +45,13 @@
 pub mod cache;
 pub mod clock;
 pub mod config;
+pub mod router;
 pub mod service;
+mod shard;
 
 pub use cache::{CacheCounters, LruCache};
 pub use clock::LogicalClock;
 pub use config::ServeConfig;
+pub use router::{affinity_hash, route};
 pub use service::{Embedding, RejectReason, ServeError, ServeResult, ServeStats, Service, Ticket};
+pub use shard::ShardStats;

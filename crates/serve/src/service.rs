@@ -1,52 +1,61 @@
-//! The inference service: bounded admission queue → micro-batcher →
-//! batched tape-free encoder → template cache, on a dedicated worker
-//! thread.
+//! The inference service: parse + route at admission → per-shard bounded
+//! queue → micro-batcher → batched tape-free encoder → per-shard template
+//! cache slice, on `shards` dedicated worker threads.
 //!
 //! # Determinism contract
 //!
-//! Responses are a function of the *submission order* alone:
+//! Responses are a function of the *submission order* alone, for every
+//! shard count:
 //!
 //! * Embeddings are bit-identical no matter how requests land in
-//!   micro-batches, because `SqlBert::encode_batch` is batch-invariant
-//!   and the worker replays cache operations strictly in FIFO order.
-//! * The cache evolves exactly as if requests were processed one at a
-//!   time: the batch collector only *prefetches* forward passes; the
-//!   replay pass performs the same lookup/insert sequence a
-//!   `max_batch = 1` service would.
-//! * Every processed request emits exactly one `serve.request` span, so
-//!   traced event counts depend on the request script, never on
-//!   `max_batch`, `batch_timeout`, worker-pool width, or timing. Batch
-//!   geometry surfaces only through counters and histograms, whose
-//!   *flush* cost is fixed by the closed `preqr-obs` registry.
+//!   micro-batches or shards, because `SqlBert::encode_batch` is
+//!   batch-invariant and every shard replays cache operations strictly
+//!   in its FIFO order.
+//! * Requests are routed by a fixed hash of their normalized template
+//!   ([`crate::router`]), so one template's cache entry and counters
+//!   live on exactly one shard. Absent capacity pressure (no
+//!   evictions), per-template hit/miss counts are therefore identical
+//!   across shard counts; under eviction pressure they may differ
+//!   (shard slices evict independently) while embeddings stay
+//!   bit-identical.
+//! * Every processed request emits exactly one `serve.request` span
+//!   (carrying its shard index), so traced event counts depend on the
+//!   request script, never on `max_batch`, `batch_timeout`, `shards`,
+//!   worker-pool width, or timing. Batch and shard geometry surface
+//!   only through counters and histograms, whose *flush* cost is fixed
+//!   by the closed `preqr-obs` registry.
 //!
 //! # Failure behavior
 //!
 //! Malformed SQL resolves that request's ticket with a structured
-//! [`ServeError::Malformed`] — the worker keeps serving. A panicking
-//! worker (e.g. a model factory that dies) poisons the service: queued
-//! tickets resolve with [`ServeError::WorkerFailed`] instead of hanging,
-//! and later submissions are refused.
+//! [`ServeError::Malformed`] — the owning shard keeps serving. A
+//! panicking shard (e.g. a model factory that dies) poisons *only
+//! itself*: its queued tickets resolve with [`ServeError::WorkerFailed`]
+//! instead of hanging, later submissions routed to it are refused, and
+//! sibling shards keep serving their templates. Shutdown stops admission
+//! on every shard atomically — a submission can never observe
+//! `QueueFull` after any other submission observed `ShuttingDown` — and
+//! then drains each shard: every accepted ticket resolves before
+//! [`Service::shutdown`] returns.
 
-use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
 
 use preqr::SqlBert;
 use preqr_nn::Matrix;
 use preqr_obs as obs;
-use preqr_sql::ast::Query;
 use preqr_sql::normalize::template_text;
 use preqr_sql::parser::parse;
 
-use crate::cache::LruCache;
-use crate::clock::LogicalClock;
 use crate::config::ServeConfig;
+use crate::router;
+use crate::shard::{self, Payload, Pending, ShardState, ShardStats};
 
 /// Why a submission was refused at admission.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RejectReason {
-    /// The bounded queue is at capacity — backpressure, try again later.
+    /// The target shard's bounded queue is at capacity — backpressure,
+    /// try again later.
     QueueFull,
 }
 
@@ -64,7 +73,8 @@ pub enum ServeError {
     },
     /// The service no longer accepts work (shutdown in progress).
     ShuttingDown,
-    /// The worker thread died; the request cannot be served.
+    /// The owning shard's worker thread died; the request cannot be
+    /// served (sibling shards are unaffected).
     WorkerFailed,
 }
 
@@ -102,7 +112,7 @@ impl Embedding {
 /// Outcome of one request.
 pub type ServeResult = Result<Embedding, ServeError>;
 
-struct TicketState {
+pub(crate) struct TicketState {
     slot: Mutex<Option<ServeResult>>,
     cv: Condvar,
 }
@@ -119,7 +129,7 @@ impl std::fmt::Debug for Ticket {
 }
 
 impl Ticket {
-    /// Blocks until the worker resolves this request.
+    /// Blocks until the owning shard resolves this request.
     pub fn wait(self) -> ServeResult {
         let mut slot = self.0.slot.lock().unwrap_or_else(|e| e.into_inner());
         loop {
@@ -136,104 +146,87 @@ impl Ticket {
     }
 }
 
-fn resolve(ticket: &Arc<TicketState>, result: ServeResult) {
+pub(crate) fn resolve(ticket: &Arc<TicketState>, result: ServeResult) {
     let mut slot = ticket.slot.lock().unwrap_or_else(|e| e.into_inner());
     *slot = Some(result);
     ticket.cv.notify_all();
 }
 
-struct Pending {
-    sql: String,
-    ticket: Arc<TicketState>,
-    enqueued_at: u64,
-}
-
-#[derive(Default)]
-struct QueueState {
-    items: VecDeque<Pending>,
-    draining: bool,
-    poisoned: bool,
-}
-
 struct Shared {
-    queue: Mutex<QueueState>,
-    cv: Condvar,
-    clock: LogicalClock,
+    shards: Vec<ShardState>,
     accepted: AtomicU64,
     rejected: AtomicU64,
 }
 
 /// Aggregate service statistics, returned by [`Service::shutdown`].
+/// Worker-side counters are sums over all shards; see
+/// [`Service::shutdown_detailed`] for the per-shard breakdown.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServeStats {
-    /// Submissions accepted into the queue.
+    /// Submissions accepted into a shard queue.
     pub accepted: u64,
     /// Submissions refused with `QueueFull`.
     pub rejected: u64,
-    /// Requests the worker resolved (ok or malformed).
+    /// Requests the shards resolved (ok or malformed).
     pub processed: u64,
     /// Requests that failed SQL parsing.
     pub parse_errors: u64,
-    /// Micro-batches drained.
+    /// Micro-batches drained across all shards.
     pub batches: u64,
     /// Encoder forward passes actually run.
     pub encoded: u64,
-    /// Template-cache hits.
+    /// Template-cache hits (all slices).
     pub cache_hits: u64,
-    /// Template-cache misses.
+    /// Template-cache misses (all slices).
     pub cache_misses: u64,
-    /// Template-cache evictions.
+    /// Template-cache evictions (all slices).
     pub cache_evictions: u64,
-    /// True when the worker thread panicked instead of draining cleanly.
+    /// How many shard workers panicked instead of draining cleanly.
+    pub failed_shards: u64,
+    /// True when any shard worker panicked (`failed_shards > 0`).
     pub worker_panicked: bool,
 }
 
-#[derive(Default)]
-struct WorkerReport {
-    processed: u64,
-    parse_errors: u64,
-    batches: u64,
-    encoded: u64,
-    cache_hits: u64,
-    cache_misses: u64,
-    cache_evictions: u64,
-}
-
-/// The batched SQL-embedding inference service.
+/// The batched, sharded SQL-embedding inference service.
 ///
 /// Construction takes a *model factory* rather than a model: `SqlBert`
-/// is intentionally `!Send` (its autograd graph is `Rc`-based), so the
-/// worker thread builds — or rebuilds from transferred parameter
+/// is intentionally `!Send` (its autograd graph is `Rc`-based), so each
+/// shard thread builds — or rebuilds from transferred parameter
 /// matrices, which are plain `Send` data — its own replica. Model
 /// construction is deterministic given the same corpus/schema/config, so
-/// a replica encodes bit-identically to the original.
+/// every replica encodes bit-identically to the original.
 pub struct Service {
     shared: Arc<Shared>,
-    worker: Option<std::thread::JoinHandle<WorkerReport>>,
+    workers: Vec<std::thread::JoinHandle<ShardStats>>,
     config: ServeConfig,
 }
 
 impl Service {
-    /// Spawns the serving worker. `factory` runs once on the worker
-    /// thread and must produce the model to serve.
-    pub fn spawn(
-        config: ServeConfig,
-        factory: impl FnOnce() -> SqlBert + Send + 'static,
-    ) -> Service {
+    /// Spawns one worker thread per configured shard. `factory` runs
+    /// once on each shard thread (receiving the shard index) and must
+    /// produce the model replica that shard serves.
+    pub fn spawn<F>(config: ServeConfig, factory: F) -> Service
+    where
+        F: Fn(usize) -> SqlBert + Send + Sync + 'static,
+    {
         let config = config.normalized();
         let shared = Arc::new(Shared {
-            queue: Mutex::new(QueueState::default()),
-            cv: Condvar::new(),
-            clock: LogicalClock::new(),
+            shards: (0..config.shards).map(|_| ShardState::new()).collect(),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
         });
-        let worker_shared = Arc::clone(&shared);
-        let worker = std::thread::Builder::new()
-            .name("preqr-serve-worker".into())
-            .spawn(move || worker_main(&worker_shared, config, factory))
-            .expect("spawn serving worker");
-        Service { shared, worker: Some(worker), config }
+        let factory = Arc::new(factory);
+        let workers = (0..config.shards)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let factory = Arc::clone(&factory);
+                std::thread::Builder::new()
+                    .name(format!("preqr-serve-shard-{i}"))
+                    .spawn(move || shard::worker_main(&shared.shards[i], i, &config, &*factory))
+                    .expect("spawn serving shard")
+            })
+            .collect();
+        Service { shared, workers, config }
     }
 
     /// The (normalized) configuration the service runs with.
@@ -241,34 +234,50 @@ impl Service {
         &self.config
     }
 
-    /// Submits one SQL text for encoding. Returns a [`Ticket`] on
-    /// admission; rejects with `QueueFull` backpressure when the bounded
-    /// queue is at capacity, `ShuttingDown` after a drain began, or
-    /// `WorkerFailed` once the worker died.
+    /// Submits one SQL text for encoding. The request is parsed and
+    /// routed here, on the submitting thread: its normalized template
+    /// picks the owning shard ([`crate::router::route`]); text that
+    /// fails to parse routes by the raw SQL and resolves with the
+    /// structured error in FIFO position. Returns a [`Ticket`] on
+    /// admission; rejects with `QueueFull` backpressure when the target
+    /// shard's bounded queue is at capacity, `ShuttingDown` after a
+    /// drain began, or `WorkerFailed` once the owning shard died.
     pub fn submit(&self, sql: &str) -> Result<Ticket, ServeError> {
-        let mut q = self.lock_queue();
+        let (shard_idx, payload) = match parse(sql) {
+            Ok(query) => {
+                let template = template_text(&query);
+                let idx = router::route(&template, self.config.shards);
+                (idx, Payload::Query { query, template })
+            }
+            Err(e) => (
+                router::route(sql, self.config.shards),
+                Payload::Malformed { position: e.position, message: e.message },
+            ),
+        };
+        let shard = &self.shared.shards[shard_idx];
+        let mut q = shard.lock();
+        // Rejection precedence: poisoned and draining are checked before
+        // capacity, under the same lock `shutdown` holds while stopping
+        // admission — once any caller has seen `ShuttingDown`, no caller
+        // can see `QueueFull`.
         if q.poisoned {
             return Err(ServeError::WorkerFailed);
         }
         if q.draining {
             return Err(ServeError::ShuttingDown);
         }
-        if q.items.len() >= self.config.queue_capacity {
+        if q.items.len() >= self.config.shard_queue_capacity() {
             self.shared.rejected.fetch_add(1, Ordering::Relaxed);
             obs::counter_add(obs::Metric::ServeRejected, 1);
             return Err(ServeError::Rejected(RejectReason::QueueFull));
         }
         self.shared.accepted.fetch_add(1, Ordering::Relaxed);
         obs::counter_add(obs::Metric::ServeRequests, 1);
-        let enqueued_at = self.shared.clock.tick();
+        let enqueued_at = shard.clock.tick();
         let ticket = Arc::new(TicketState { slot: Mutex::new(None), cv: Condvar::new() });
-        q.items.push_back(Pending {
-            sql: sql.to_string(),
-            ticket: Arc::clone(&ticket),
-            enqueued_at,
-        });
+        q.items.push_back(Pending { payload, ticket: Arc::clone(&ticket), enqueued_at });
         drop(q);
-        self.shared.cv.notify_one();
+        shard.cv.notify_one();
         Ok(Ticket(ticket))
     }
 
@@ -277,244 +286,89 @@ impl Service {
         self.submit(sql)?.wait()
     }
 
-    /// Current queue depth (in-flight requests not yet drained).
+    /// Total queue depth across shards (in-flight requests not yet
+    /// drained).
     pub fn queue_depth(&self) -> usize {
-        self.lock_queue().items.len()
+        self.shard_queue_depths().iter().sum()
     }
 
-    /// Stops admission, drains every accepted request, joins the worker,
-    /// and returns aggregate statistics. Accepted work is never dropped:
-    /// each queued ticket resolves before the worker exits.
-    pub fn shutdown(mut self) -> ServeStats {
+    /// Per-shard queue depths, indexed by shard.
+    pub fn shard_queue_depths(&self) -> Vec<usize> {
+        self.shared.shards.iter().map(|s| s.lock().items.len()).collect()
+    }
+
+    /// Stops admission on every shard without blocking: subsequent
+    /// submissions fail with [`ServeError::ShuttingDown`] while already
+    /// accepted work keeps draining. The flags are flipped while holding
+    /// every shard lock, so the transition is atomic across shards — no
+    /// submission can observe one shard draining and another still
+    /// accepting. Idempotent; [`Service::shutdown`] still joins the
+    /// workers.
+    pub fn begin_drain(&self) {
+        {
+            let mut guards: Vec<_> = self.shared.shards.iter().map(|s| s.lock()).collect();
+            for g in &mut guards {
+                g.draining = true;
+            }
+        }
+        for s in &self.shared.shards {
+            s.cv.notify_all();
+        }
+    }
+
+    /// Stops admission on every shard, drains every accepted request,
+    /// joins the workers, and returns aggregate statistics. Accepted
+    /// work is never dropped: each queued ticket resolves before its
+    /// shard exits.
+    pub fn shutdown(self) -> ServeStats {
+        self.shutdown_detailed().0
+    }
+
+    /// Like [`Service::shutdown`], also returning one [`ShardStats`]
+    /// per shard (indexed by shard).
+    pub fn shutdown_detailed(mut self) -> (ServeStats, Vec<ShardStats>) {
         self.shutdown_inner()
     }
 
-    fn shutdown_inner(&mut self) -> ServeStats {
-        {
-            let mut q = self.lock_queue();
-            q.draining = true;
-        }
-        self.shared.cv.notify_all();
+    fn shutdown_inner(&mut self) -> (ServeStats, Vec<ShardStats>) {
+        self.begin_drain();
         let mut stats = ServeStats {
             accepted: self.shared.accepted.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
             ..ServeStats::default()
         };
-        if let Some(worker) = self.worker.take() {
+        let mut per_shard = Vec::with_capacity(self.shared.shards.len());
+        for (i, worker) in std::mem::take(&mut self.workers).into_iter().enumerate() {
             match worker.join() {
-                Ok(report) => {
-                    stats.processed = report.processed;
-                    stats.parse_errors = report.parse_errors;
-                    stats.batches = report.batches;
-                    stats.encoded = report.encoded;
-                    stats.cache_hits = report.cache_hits;
-                    stats.cache_misses = report.cache_misses;
-                    stats.cache_evictions = report.cache_evictions;
+                Ok(s) => {
+                    stats.processed += s.processed;
+                    stats.parse_errors += s.parse_errors;
+                    stats.batches += s.batches;
+                    stats.encoded += s.encoded;
+                    stats.cache_hits += s.cache_hits;
+                    stats.cache_misses += s.cache_misses;
+                    stats.cache_evictions += s.cache_evictions;
+                    per_shard.push(s);
                 }
-                Err(_) => stats.worker_panicked = true,
+                Err(_) => {
+                    stats.failed_shards += 1;
+                    per_shard.push(ShardStats {
+                        shard: i,
+                        panicked: true,
+                        ..ShardStats::default()
+                    });
+                }
             }
         }
-        stats
-    }
-
-    fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
-        self.shared.queue.lock().unwrap_or_else(|e| e.into_inner())
+        stats.worker_panicked = stats.failed_shards > 0;
+        (stats, per_shard)
     }
 }
 
 impl Drop for Service {
     fn drop(&mut self) {
-        if self.worker.is_some() {
+        if !self.workers.is_empty() {
             let _ = self.shutdown_inner();
         }
-    }
-}
-
-/// Resolves every queued ticket with `WorkerFailed` if the worker
-/// unwinds, so clients can never hang on a dead service.
-struct PanicGuard<'a> {
-    shared: &'a Shared,
-    armed: bool,
-}
-
-impl Drop for PanicGuard<'_> {
-    fn drop(&mut self) {
-        if !self.armed {
-            return;
-        }
-        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-        q.poisoned = true;
-        for p in q.items.drain(..) {
-            resolve(&p.ticket, Err(ServeError::WorkerFailed));
-        }
-    }
-}
-
-fn worker_main(
-    shared: &Shared,
-    config: ServeConfig,
-    factory: impl FnOnce() -> SqlBert,
-) -> WorkerReport {
-    let mut guard = PanicGuard { shared, armed: true };
-    let model = factory();
-    let mut cache: LruCache<Matrix> = LruCache::new(config.cache_capacity);
-    let mut report = WorkerReport::default();
-    while let Some(batch) = collect_batch(shared, &config) {
-        report.batches += 1;
-        obs::counter_add(obs::Metric::ServeBatches, 1);
-        obs::record_hist(obs::HistMetric::ServeBatchSize, batch.len() as f64);
-        process_batch(&model, &mut cache, batch, &config, &mut report);
-    }
-    let c = cache.counters();
-    report.cache_hits = c.hits;
-    report.cache_misses = c.misses;
-    report.cache_evictions = c.evictions;
-    guard.armed = false;
-    report
-}
-
-/// How long the collector sleeps per logical tick while a partial batch
-/// waits for company. Pure liveness pacing: results never depend on it.
-const TICK_WAIT: Duration = Duration::from_micros(200);
-
-/// Blocks until a micro-batch is ready; `None` once the service is
-/// draining and the queue is empty (worker exit).
-fn collect_batch(shared: &Shared, config: &ServeConfig) -> Option<Vec<Pending>> {
-    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-    loop {
-        let full = q.items.len() >= config.max_batch;
-        let timed_out = q.items.front().is_some_and(|oldest| {
-            shared.clock.now().saturating_sub(oldest.enqueued_at) >= config.batch_timeout
-        });
-        if full || (q.draining && !q.items.is_empty()) || timed_out {
-            break;
-        }
-        if q.draining && q.items.is_empty() {
-            return None;
-        }
-        let (guard, _) = shared.cv.wait_timeout(q, TICK_WAIT).unwrap_or_else(|e| e.into_inner());
-        q = guard;
-        if !q.items.is_empty() {
-            shared.clock.tick();
-        }
-    }
-    obs::record_hist(obs::HistMetric::ServeQueueDepth, q.items.len() as f64);
-    let n = q.items.len().min(config.max_batch);
-    Some(q.items.drain(..n).collect())
-}
-
-/// Per-request plan produced by the scheduling pass.
-enum Plan {
-    /// Parsing failed; resolve with the structured error.
-    Malformed { position: usize, message: String },
-    /// Cache-on: replay a counted lookup; `prefetch` indexes the batched
-    /// forward when this request is the first occurrence of its template.
-    Lookup { template: String, query: Query, prefetch: Option<usize> },
-    /// Cache-off: take the batched forward's output directly.
-    Direct { idx: usize },
-}
-
-/// Schedules, prefetches, and replays one micro-batch.
-///
-/// The replay pass executes the exact lookup → encode → insert sequence
-/// a batch-of-one service would, in FIFO order; the batched forward in
-/// the middle is only a prefetch of the misses the scheduler predicted.
-/// When a prediction goes stale (a tiny cache can evict a predicted hit
-/// mid-replay), the replay falls back to a solo forward — behavior and
-/// counters stay identical to unbatched serving.
-fn process_batch(
-    model: &SqlBert,
-    cache: &mut LruCache<Matrix>,
-    batch: Vec<Pending>,
-    config: &ServeConfig,
-    report: &mut WorkerReport,
-) {
-    let cache_on = config.cache_capacity > 0;
-    // Pass 1: schedule. Uncounted peeks only — the cache is not touched.
-    let mut scheduled: HashMap<String, usize> = HashMap::new();
-    let mut to_encode: Vec<Query> = Vec::new();
-    let plans: Vec<Plan> = batch
-        .iter()
-        .map(|p| match parse(&p.sql) {
-            Err(e) => Plan::Malformed { position: e.position, message: e.message },
-            Ok(query) => {
-                if !cache_on {
-                    to_encode.push(query);
-                    return Plan::Direct { idx: to_encode.len() - 1 };
-                }
-                let template = template_text(&query);
-                let prefetch = if cache.peek(&template) || scheduled.contains_key(&template) {
-                    None
-                } else {
-                    to_encode.push(query.clone());
-                    scheduled.insert(template.clone(), to_encode.len() - 1);
-                    Some(to_encode.len() - 1)
-                };
-                Plan::Lookup { template, query, prefetch }
-            }
-        })
-        .collect();
-
-    // Pass 2: one batched, tape-free forward over the predicted misses.
-    let mut encoded: Vec<Option<Matrix>> = {
-        let _t = obs::timer(obs::HistMetric::ServeEncodeUs);
-        model.encode_batch(&to_encode).into_iter().map(Some).collect()
-    };
-    report.encoded += encoded.len() as u64;
-    obs::counter_add(obs::Metric::ServeEncoded, encoded.len() as u64);
-
-    // Pass 3: FIFO replay — the sequence of cache operations (and hence
-    // hit/miss/eviction counters and recency order) matches unbatched
-    // serving exactly.
-    for (pending, plan) in batch.into_iter().zip(plans) {
-        let mut span = obs::span("serve.request");
-        report.processed += 1;
-        match plan {
-            Plan::Malformed { position, message } => {
-                span.add_field("outcome", "parse_error");
-                report.parse_errors += 1;
-                obs::counter_add(obs::Metric::ServeParseErrors, 1);
-                resolve(&pending.ticket, Err(ServeError::Malformed { position, message }));
-            }
-            Plan::Direct { idx } => {
-                span.add_field("outcome", "ok");
-                span.add_field("cached", 0u64);
-                let matrix = encoded[idx].take().expect("direct prefetch consumed once");
-                resolve(&pending.ticket, Ok(Embedding { matrix, cache_hit: false }));
-            }
-            Plan::Lookup { template, query, prefetch } => {
-                span.add_field("outcome", "ok");
-                if let Some(hit) = cache.get(&template) {
-                    span.add_field("cached", 1u64);
-                    obs::counter_add(obs::Metric::ServeCacheHits, 1);
-                    let matrix = hit.clone();
-                    resolve(&pending.ticket, Ok(Embedding { matrix, cache_hit: true }));
-                } else {
-                    span.add_field("cached", 0u64);
-                    obs::counter_add(obs::Metric::ServeCacheMisses, 1);
-                    let matrix = match prefetch.and_then(|i| encoded[i].take()) {
-                        Some(m) => m,
-                        None => {
-                            // Stale prediction: a mid-replay eviction (or a
-                            // template shared with an earlier request in this
-                            // batch that has since been evicted) — run the
-                            // forward this request would have run unbatched.
-                            let _t = obs::timer(obs::HistMetric::ServeEncodeUs);
-                            report.encoded += 1;
-                            obs::counter_add(obs::Metric::ServeEncoded, 1);
-                            model
-                                .encode_batch(std::slice::from_ref(&query))
-                                .pop()
-                                .expect("batch of one yields one")
-                        }
-                    };
-                    if cache.insert(template, matrix.clone()).is_some() {
-                        obs::counter_add(obs::Metric::ServeCacheEvictions, 1);
-                    }
-                    resolve(&pending.ticket, Ok(Embedding { matrix, cache_hit: false }));
-                }
-            }
-        }
-        span.end();
     }
 }

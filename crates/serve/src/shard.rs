@@ -1,0 +1,301 @@
+//! One worker shard: a bounded queue, a logical clock, a micro-batcher,
+//! and a slice of the template cache, all owned by a dedicated thread.
+//!
+//! The sharded service is N copies of the original single-worker
+//! pipeline glued together by [`crate::router`]: admission parses and
+//! normalizes the request, routes it by template hash, and the owning
+//! shard runs the exact schedule → prefetch → FIFO-replay loop the
+//! unsharded worker ran. Shards share nothing mutable — each has its own
+//! queue mutex, condvar, clock, cache slice, and counters — so a panic,
+//! a stall, or queue pressure on one shard never touches another.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use preqr::SqlBert;
+use preqr_nn::Matrix;
+use preqr_obs as obs;
+use preqr_sql::ast::Query;
+
+use crate::cache::LruCache;
+use crate::clock::LogicalClock;
+use crate::config::ServeConfig;
+use crate::service::{resolve, Embedding, ServeError, TicketState};
+
+/// What admission resolved for a request before routing it.
+///
+/// Parsing and template normalization happen once, on the submitting
+/// thread — the router needs the template anyway, and shipping the
+/// parsed payload means the shard never re-lexes the SQL.
+pub(crate) enum Payload {
+    /// Parsed fine; the shard serves it from its cache slice or encoder.
+    Query { query: Query, template: String },
+    /// Failed to parse. The shard still resolves it in FIFO position —
+    /// parse diagnostics count as processed work, exactly as in
+    /// unsharded serving.
+    Malformed { position: usize, message: String },
+}
+
+pub(crate) struct Pending {
+    pub(crate) payload: Payload,
+    pub(crate) ticket: Arc<TicketState>,
+    pub(crate) enqueued_at: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct QueueState {
+    pub(crate) items: VecDeque<Pending>,
+    pub(crate) draining: bool,
+    pub(crate) poisoned: bool,
+}
+
+/// One shard's cross-thread state. Everything here is per-shard: two
+/// shards never contend on a lock or share a clock.
+pub(crate) struct ShardState {
+    pub(crate) queue: Mutex<QueueState>,
+    pub(crate) cv: Condvar,
+    pub(crate) clock: LogicalClock,
+}
+
+impl ShardState {
+    pub(crate) fn new() -> ShardState {
+        ShardState {
+            queue: Mutex::new(QueueState::default()),
+            cv: Condvar::new(),
+            clock: LogicalClock::new(),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Per-shard statistics, returned by
+/// [`crate::Service::shutdown_detailed`]. Field meanings match the
+/// aggregate [`crate::ServeStats`]; summing any counter over all shards
+/// yields the aggregate value.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// This shard's index in `0..config.shards`.
+    pub shard: usize,
+    /// Requests this shard resolved (ok or malformed).
+    pub processed: u64,
+    /// Requests that failed SQL parsing.
+    pub parse_errors: u64,
+    /// Micro-batches this shard drained.
+    pub batches: u64,
+    /// Encoder forward passes this shard ran.
+    pub encoded: u64,
+    /// Hits in this shard's cache slice.
+    pub cache_hits: u64,
+    /// Misses in this shard's cache slice.
+    pub cache_misses: u64,
+    /// Evictions from this shard's cache slice.
+    pub cache_evictions: u64,
+    /// True when this shard's worker panicked instead of draining; its
+    /// other counters are then zero (lost with the thread).
+    pub panicked: bool,
+}
+
+/// Resolves this shard's queued tickets with `WorkerFailed` if its
+/// worker unwinds, and poisons only this shard — siblings keep serving.
+struct PanicGuard<'a> {
+    shard: &'a ShardState,
+    armed: bool,
+}
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        obs::counter_add(obs::Metric::ServeShardPanics, 1);
+        let mut q = self.shard.lock();
+        q.poisoned = true;
+        for p in q.items.drain(..) {
+            resolve(&p.ticket, Err(ServeError::WorkerFailed));
+        }
+    }
+}
+
+/// The shard worker loop: build a model replica, then drain micro-batches
+/// until the service shuts down.
+pub(crate) fn worker_main<F: Fn(usize) -> SqlBert>(
+    shard: &ShardState,
+    idx: usize,
+    config: &ServeConfig,
+    factory: &F,
+) -> ShardStats {
+    let mut guard = PanicGuard { shard, armed: true };
+    let model = factory(idx);
+    let mut cache: LruCache<Matrix> = LruCache::new(config.shard_cache_capacity());
+    let mut stats = ShardStats { shard: idx, ..ShardStats::default() };
+    while let Some(batch) = collect_batch(shard, config) {
+        stats.batches += 1;
+        obs::counter_add(obs::Metric::ServeBatches, 1);
+        obs::record_hist(obs::HistMetric::ServeBatchSize, batch.len() as f64);
+        process_batch(&model, &mut cache, batch, idx, config, &mut stats);
+    }
+    let c = cache.counters();
+    stats.cache_hits = c.hits;
+    stats.cache_misses = c.misses;
+    stats.cache_evictions = c.evictions;
+    guard.armed = false;
+    stats
+}
+
+/// How long the collector sleeps per logical tick while a partial batch
+/// waits for company. Pure liveness pacing: results never depend on it.
+const TICK_WAIT: Duration = Duration::from_micros(200);
+
+/// Blocks until a micro-batch is ready on this shard; `None` once the
+/// service is draining and this shard's queue is empty (worker exit).
+fn collect_batch(shard: &ShardState, config: &ServeConfig) -> Option<Vec<Pending>> {
+    let mut q = shard.lock();
+    loop {
+        let full = q.items.len() >= config.max_batch;
+        let timed_out = q.items.front().is_some_and(|oldest| {
+            shard.clock.now().saturating_sub(oldest.enqueued_at) >= config.batch_timeout
+        });
+        if full || (q.draining && !q.items.is_empty()) || timed_out {
+            break;
+        }
+        if q.draining && q.items.is_empty() {
+            return None;
+        }
+        let (guard, _) = shard.cv.wait_timeout(q, TICK_WAIT).unwrap_or_else(|e| e.into_inner());
+        q = guard;
+        if !q.items.is_empty() {
+            shard.clock.tick();
+        }
+    }
+    obs::record_hist(obs::HistMetric::ServeQueueDepth, q.items.len() as f64);
+    let n = q.items.len().min(config.max_batch);
+    Some(q.items.drain(..n).collect())
+}
+
+/// Per-request plan produced by the scheduling pass.
+enum Plan {
+    /// Parsing failed at admission; resolve with the structured error.
+    Malformed { position: usize, message: String },
+    /// Cache-on: replay a counted lookup; `prefetch` indexes the batched
+    /// forward when this request is the first occurrence of its template.
+    Lookup { template: String, query: Query, prefetch: Option<usize> },
+    /// Cache-off: take the batched forward's output directly.
+    Direct { idx: usize },
+}
+
+/// Schedules, prefetches, and replays one micro-batch on one shard.
+///
+/// The replay pass executes the exact lookup → encode → insert sequence
+/// a batch-of-one service would, in this shard's FIFO order; the batched
+/// forward in the middle is only a prefetch of the misses the scheduler
+/// predicted. When a prediction goes stale (a tiny cache slice can evict
+/// a predicted hit mid-replay), the replay falls back to a solo forward —
+/// behavior and counters stay identical to unbatched serving. Because
+/// routing is by template, a template's entire counted-operation sequence
+/// lives on one shard, in that shard's submission order.
+fn process_batch(
+    model: &SqlBert,
+    cache: &mut LruCache<Matrix>,
+    batch: Vec<Pending>,
+    shard_idx: usize,
+    config: &ServeConfig,
+    stats: &mut ShardStats,
+) {
+    let cache_on = config.shard_cache_capacity() > 0;
+    // Pass 1: schedule. Uncounted peeks only — the cache is not touched.
+    let mut scheduled: HashMap<String, usize> = HashMap::new();
+    let mut to_encode: Vec<Query> = Vec::new();
+    let pairs: Vec<(Arc<TicketState>, Plan)> = batch
+        .into_iter()
+        .map(|p| {
+            let plan = match p.payload {
+                Payload::Malformed { position, message } => Plan::Malformed { position, message },
+                Payload::Query { query, template } => {
+                    if !cache_on {
+                        to_encode.push(query);
+                        Plan::Direct { idx: to_encode.len() - 1 }
+                    } else {
+                        let prefetch = if cache.peek(&template) || scheduled.contains_key(&template)
+                        {
+                            None
+                        } else {
+                            to_encode.push(query.clone());
+                            scheduled.insert(template.clone(), to_encode.len() - 1);
+                            Some(to_encode.len() - 1)
+                        };
+                        Plan::Lookup { template, query, prefetch }
+                    }
+                }
+            };
+            (p.ticket, plan)
+        })
+        .collect();
+
+    // Pass 2: one batched, tape-free forward over the predicted misses.
+    let mut encoded: Vec<Option<Matrix>> = {
+        let _t = obs::timer(obs::HistMetric::ServeEncodeUs);
+        model.encode_batch(&to_encode).into_iter().map(Some).collect()
+    };
+    stats.encoded += encoded.len() as u64;
+    obs::counter_add(obs::Metric::ServeEncoded, encoded.len() as u64);
+
+    // Pass 3: FIFO replay — the sequence of cache operations (and hence
+    // hit/miss/eviction counters and recency order) matches unbatched
+    // serving exactly.
+    for (ticket, plan) in pairs {
+        let mut span = obs::span("serve.request");
+        span.add_field("shard", shard_idx as u64);
+        stats.processed += 1;
+        match plan {
+            Plan::Malformed { position, message } => {
+                span.add_field("outcome", "parse_error");
+                stats.parse_errors += 1;
+                obs::counter_add(obs::Metric::ServeParseErrors, 1);
+                resolve(&ticket, Err(ServeError::Malformed { position, message }));
+            }
+            Plan::Direct { idx } => {
+                span.add_field("outcome", "ok");
+                span.add_field("cached", 0u64);
+                let matrix = encoded[idx].take().expect("direct prefetch consumed once");
+                resolve(&ticket, Ok(Embedding { matrix, cache_hit: false }));
+            }
+            Plan::Lookup { template, query, prefetch } => {
+                span.add_field("outcome", "ok");
+                if let Some(hit) = cache.get(&template) {
+                    span.add_field("cached", 1u64);
+                    obs::counter_add(obs::Metric::ServeCacheHits, 1);
+                    let matrix = hit.clone();
+                    resolve(&ticket, Ok(Embedding { matrix, cache_hit: true }));
+                } else {
+                    span.add_field("cached", 0u64);
+                    obs::counter_add(obs::Metric::ServeCacheMisses, 1);
+                    let matrix = match prefetch.and_then(|i| encoded[i].take()) {
+                        Some(m) => m,
+                        None => {
+                            // Stale prediction: a mid-replay eviction (or a
+                            // template shared with an earlier request in this
+                            // batch that has since been evicted) — run the
+                            // forward this request would have run unbatched.
+                            let _t = obs::timer(obs::HistMetric::ServeEncodeUs);
+                            stats.encoded += 1;
+                            obs::counter_add(obs::Metric::ServeEncoded, 1);
+                            model
+                                .encode_batch(std::slice::from_ref(&query))
+                                .pop()
+                                .expect("batch of one yields one")
+                        }
+                    };
+                    if cache.insert(template, matrix.clone()).is_some() {
+                        obs::counter_add(obs::Metric::ServeCacheEvictions, 1);
+                    }
+                    resolve(&ticket, Ok(Embedding { matrix, cache_hit: false }));
+                }
+            }
+        }
+        span.end();
+    }
+}

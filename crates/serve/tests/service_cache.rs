@@ -55,7 +55,7 @@ fn test_model() -> SqlBert {
 }
 
 fn spawn(config: ServeConfig) -> Service {
-    Service::spawn(config, test_model)
+    Service::spawn(config, |_| test_model())
 }
 
 fn bits(m: &preqr_nn::Matrix) -> Vec<u32> {
@@ -91,6 +91,38 @@ fn normalization_equivalent_queries_share_one_cache_entry() {
     assert_eq!(stats.cache_misses, 1);
     assert_eq!(stats.cache_hits, variants.len() as u64);
     assert_eq!(stats.encoded, 1, "one forward pass serves the whole template class");
+}
+
+#[test]
+fn unicode_literals_share_one_cache_entry_end_to_end() {
+    // Multi-byte literals exercise the full lex → template → cache-key
+    // path: 'café' (2-byte char), '北京市' (3-byte chars), and an escaped
+    // quote next to an emoji must all collapse into one `<STR>` template
+    // and therefore one cache entry. A lexer that decoded literals
+    // byte-at-a-time would corrupt the key (or split the class).
+    let base = "SELECT COUNT(*) FROM title t WHERE t.note = 'café'";
+    let variants = [
+        "SELECT COUNT(*) FROM title t WHERE t.note = '北京市'",
+        "SELECT COUNT(*) FROM title t WHERE t.note = 'plain ascii'",
+        "SELECT COUNT(*) FROM title t WHERE t.note = 'O''Brien ☕'",
+    ];
+    for v in variants {
+        assert_eq!(
+            template_text(&parse(base).unwrap()),
+            template_text(&parse(v).unwrap()),
+            "precondition: {v:?} must share the base template"
+        );
+    }
+    let svc = spawn(ServeConfig::default());
+    let first = svc.encode_blocking(base).unwrap();
+    assert!(!first.cache_hit, "first occurrence must be a miss");
+    for v in variants {
+        let e = svc.encode_blocking(v).unwrap();
+        assert!(e.cache_hit, "unicode-literal variant must hit: {v:?}");
+        assert_eq!(bits(&e.matrix), bits(&first.matrix), "cached entry must be shared");
+    }
+    let stats = svc.shutdown();
+    assert_eq!((stats.cache_misses, stats.cache_hits, stats.encoded), (1, 3, 1));
 }
 
 #[test]

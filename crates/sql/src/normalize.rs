@@ -415,6 +415,21 @@ mod tests {
     }
 
     #[test]
+    fn multibyte_string_literals_share_a_template() {
+        // Queries differing only in (multi-byte) string literals must
+        // normalize to one `<STR>` template — this is the serving-cache
+        // key, so a lexer that mangled UTF-8 would split or corrupt it.
+        let a = parse("SELECT * FROM t WHERE city = 'café'").unwrap();
+        let b = parse("SELECT * FROM t WHERE city = '北京市'").unwrap();
+        let c = parse("SELECT * FROM t WHERE city = 'plain'").unwrap();
+        let ta = template_text(&a);
+        assert_eq!(ta, template_text(&b));
+        assert_eq!(ta, template_text(&c));
+        assert!(ta.contains("<STR>"));
+        assert!(!ta.contains("café"), "literal text must not leak into the template: {ta}");
+    }
+
+    #[test]
     fn between_produces_two_value_tokens_with_context() {
         let q = parse("SELECT * FROM t WHERE y BETWEEN 1 AND 9").unwrap();
         let lits: Vec<LinToken> = linearize(&q).into_iter().filter(|t| t.value.is_some()).collect();

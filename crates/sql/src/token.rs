@@ -272,9 +272,14 @@ pub fn lex(sql: &str) -> Result<Vec<Token>, LexError> {
                                 break;
                             }
                         }
-                        Some(&c) => {
-                            s.push(c as char);
-                            i += 1;
+                        Some(_) => {
+                            // Decode a full UTF-8 scalar, never a lone byte:
+                            // `i` is always a char boundary here (every other
+                            // advance in this loop is over ASCII), so slicing
+                            // is safe and the literal round-trips exactly.
+                            let c = sql[i..].chars().next().expect("byte present at char boundary");
+                            s.push(c);
+                            i += c.len_utf8();
                         }
                         None => {
                             return Err(LexError {
@@ -363,11 +368,14 @@ pub fn lex(sql: &str) -> Result<Vec<Token>, LexError> {
                     None => tokens.push(Token::Ident(word.to_string())),
                 }
             }
-            other => {
+            _ => {
+                // Report the whole scalar value, not its leading byte —
+                // `i` sits on a char boundary (see the string-literal arm).
+                let c = sql[i..].chars().next().expect("byte present at char boundary");
                 return Err(LexError {
                     position: i,
-                    message: format!("unrecognized character `{}`", other as char),
-                })
+                    message: format!("unrecognized character `{c}`"),
+                });
             }
         }
     }
@@ -446,6 +454,42 @@ mod tests {
                 Token::Symbol("."),
                 Token::Ident("production_year".into()),
             ]
+        );
+    }
+
+    #[test]
+    fn multibyte_string_literals_round_trip_exactly() {
+        // 'é' is 2 bytes, each CJK char 3, '☕' 3: byte-at-a-time
+        // decoding would mangle every one of them.
+        let toks = lex("name = 'café'").unwrap();
+        assert_eq!(toks[2], Token::Str("café".into()));
+        let toks = lex("city = '北京市'").unwrap();
+        assert_eq!(toks[2], Token::Str("北京市".into()));
+        let toks = lex("bio = 'O''Brien — café ☕'").unwrap();
+        assert_eq!(toks[2], Token::Str("O'Brien — café ☕".into()));
+    }
+
+    #[test]
+    fn unterminated_multibyte_literal_reports_the_opening_quote() {
+        let sql = "x = 'café";
+        let err = lex(sql).unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        // `position` is a byte offset and must sit on a char boundary of
+        // the input (the opening quote, here after "x = ").
+        assert_eq!(err.position, 4);
+        assert!(sql.is_char_boundary(err.position));
+    }
+
+    #[test]
+    fn non_ascii_outside_literals_errors_on_the_full_character() {
+        let sql = "x = ☃";
+        let err = lex(sql).unwrap_err();
+        assert_eq!(err.position, 4);
+        assert!(sql.is_char_boundary(err.position));
+        assert!(
+            err.message.contains('☃'),
+            "diagnostic must show the whole scalar, not a stray byte: {}",
+            err.message
         );
     }
 

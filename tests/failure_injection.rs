@@ -152,12 +152,14 @@ fn failing_trace_sink_degrades_to_noop_without_changing_training() {
 
 mod serve_failures {
     //! Serving-layer failure injection: malformed input, overload, drain,
-    //! and a dying worker. The service must resolve every accepted ticket
-    //! — with a value or a structured error — and never hang a client.
+    //! rejection precedence under a shutdown race, a dying worker, and
+    //! shard isolation. The service must resolve every accepted ticket —
+    //! with a value or a structured error — and never hang a client.
 
     use super::*;
-    use preqr_serve::{RejectReason, ServeConfig, ServeError, Service};
-    use std::sync::mpsc;
+    use preqr_serve::{route, RejectReason, ServeConfig, ServeError, Service};
+    use preqr_sql::normalize::template_text;
+    use std::sync::{Arc, Condvar, Mutex};
 
     fn serve_model() -> SqlBert {
         let mut s = Schema::new();
@@ -173,20 +175,48 @@ mod serve_failures {
         SqlBert::new(&corpus, &s, ValueBuckets::new(4), PreqrConfig::test())
     }
 
-    /// Spawns a service whose worker stays parked until `release` fires —
-    /// the queue fills deterministically with no drain racing the test.
-    fn gated_service(config: ServeConfig) -> (Service, mpsc::Sender<()>) {
-        let (release, gate) = mpsc::channel::<()>();
-        let svc = Service::spawn(config, move || {
-            gate.recv().expect("test releases the worker");
+    /// A start gate the test opens to release parked shard workers. A
+    /// `Mutex`+`Condvar` pair rather than an mpsc channel: the factory is
+    /// shared across shard threads (`Fn + Sync`), and `mpsc::Receiver`
+    /// is `!Sync`.
+    struct Gate {
+        open: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl Gate {
+        fn new() -> Gate {
+            Gate { open: Mutex::new(false), cv: Condvar::new() }
+        }
+
+        fn release(&self) {
+            *self.open.lock().unwrap() = true;
+            self.cv.notify_all();
+        }
+
+        fn wait(&self) {
+            let mut open = self.open.lock().unwrap();
+            while !*open {
+                open = self.cv.wait(open).unwrap();
+            }
+        }
+    }
+
+    /// Spawns a service whose workers stay parked until the gate opens —
+    /// queues fill deterministically with no drain racing the test.
+    fn gated_service(config: ServeConfig) -> (Service, Arc<Gate>) {
+        let gate = Arc::new(Gate::new());
+        let g = Arc::clone(&gate);
+        let svc = Service::spawn(config, move |_| {
+            g.wait();
             serve_model()
         });
-        (svc, release)
+        (svc, gate)
     }
 
     #[test]
     fn malformed_sql_yields_structured_error_and_worker_keeps_serving() {
-        let svc = Service::spawn(ServeConfig::default(), serve_model);
+        let svc = Service::spawn(ServeConfig::default(), |_| serve_model());
         match svc.encode_blocking("SELECT FROM WHERE") {
             Err(ServeError::Malformed { message, .. }) => {
                 assert!(!message.is_empty(), "diagnostic must carry the parser message");
@@ -205,7 +235,7 @@ mod serve_failures {
     #[test]
     fn overload_is_rejected_with_queue_full_backpressure() {
         let config = ServeConfig { queue_capacity: 2, ..ServeConfig::default() };
-        let (svc, release) = gated_service(config);
+        let (svc, gate) = gated_service(config);
         let t1 = svc.submit("SELECT COUNT(*) FROM title t WHERE t.year > 1960").unwrap();
         let t2 = svc.submit("SELECT COUNT(*) FROM title t WHERE t.year > 1961").unwrap();
         // Queue at capacity: admission control pushes back instead of queueing.
@@ -213,23 +243,88 @@ mod serve_failures {
             Err(ServeError::Rejected(RejectReason::QueueFull)) => {}
             other => panic!("expected QueueFull rejection, got {other:?}"),
         }
-        release.send(()).unwrap();
+        gate.release();
         let stats = svc.shutdown();
         assert!(t1.wait().is_ok() && t2.wait().is_ok(), "accepted work must still be served");
         assert_eq!((stats.accepted, stats.rejected, stats.processed), (2, 1, 2));
     }
 
     #[test]
+    fn shutdown_racing_a_full_queue_always_wins_over_queue_full() {
+        // The precedence contract: once any caller has observed
+        // `ShuttingDown`, no caller may observe `QueueFull` — even while
+        // the drain flag flips concurrently with a full queue and a
+        // worker actively draining it. Hammer submissions from a second
+        // thread across that exact window and check every interleaving
+        // the scheduler produces.
+        for _ in 0..3 {
+            let config = ServeConfig { queue_capacity: 2, ..ServeConfig::default() };
+            let (svc, gate) = gated_service(config);
+            let sql =
+                |i: usize| format!("SELECT COUNT(*) FROM title t WHERE t.year > {}", 1960 + i);
+            let t1 = svc.submit(&sql(0)).unwrap();
+            let t2 = svc.submit(&sql(1)).unwrap();
+            assert!(
+                matches!(svc.submit(&sql(2)), Err(ServeError::Rejected(RejectReason::QueueFull))),
+                "queue must start full"
+            );
+            std::thread::scope(|scope| {
+                let svc = &svc;
+                let hammer = scope.spawn(move || {
+                    let mut outcomes = Vec::new();
+                    let mut tickets = Vec::new();
+                    let mut probes_after_down = 0;
+                    while probes_after_down < 50 {
+                        if matches!(outcomes.last(), Some(&"down")) {
+                            probes_after_down += 1;
+                        }
+                        match svc.submit(&sql(3)) {
+                            Ok(t) => {
+                                outcomes.push("accepted");
+                                tickets.push(t);
+                            }
+                            Err(ServeError::Rejected(RejectReason::QueueFull)) => {
+                                outcomes.push("full")
+                            }
+                            Err(ServeError::ShuttingDown) => outcomes.push("down"),
+                            Err(e) => panic!("unexpected submit error: {e:?}"),
+                        }
+                    }
+                    (outcomes, tickets)
+                });
+                // Release the parked worker and stop admission while the
+                // hammer runs: the drain flag races the full-queue check.
+                gate.release();
+                svc.begin_drain();
+                let (outcomes, tickets) = hammer.join().unwrap();
+                let first_down =
+                    outcomes.iter().position(|o| *o == "down").expect("drain must be observed");
+                assert!(
+                    outcomes[first_down..].iter().all(|o| *o == "down"),
+                    "QueueFull (or acceptance) observed after ShuttingDown: {outcomes:?}"
+                );
+                for (i, t) in tickets.into_iter().enumerate() {
+                    assert!(t.wait().is_ok(), "accepted ticket {i} must resolve during drain");
+                }
+            });
+            let stats = svc.shutdown();
+            assert!(t1.wait().is_ok() && t2.wait().is_ok());
+            assert_eq!(stats.accepted, stats.processed, "every accepted ticket must be processed");
+            assert!(!stats.worker_panicked);
+        }
+    }
+
+    #[test]
     fn shutdown_under_load_drains_every_accepted_ticket() {
         let config = ServeConfig { queue_capacity: 32, max_batch: 4, ..ServeConfig::default() };
-        let (svc, release) = gated_service(config);
+        let (svc, gate) = gated_service(config);
         let tickets: Vec<_> = (0..10)
             .map(|i| {
                 svc.submit(&format!("SELECT COUNT(*) FROM title t WHERE t.year > {}", 1950 + i))
                     .unwrap()
             })
             .collect();
-        release.send(()).unwrap();
+        gate.release();
         let stats = svc.shutdown();
         for (i, t) in tickets.into_iter().enumerate() {
             assert!(t.wait().is_ok(), "ticket {i} dropped during drain");
@@ -241,14 +336,15 @@ mod serve_failures {
 
     #[test]
     fn dying_worker_fails_tickets_instead_of_hanging_clients() {
-        let (release, gate) = mpsc::channel::<()>();
-        let svc = Service::spawn(ServeConfig::default(), move || {
-            gate.recv().expect("test releases the worker");
+        let gate = Arc::new(Gate::new());
+        let g = Arc::clone(&gate);
+        let svc = Service::spawn(ServeConfig::default(), move |_| {
+            g.wait();
             panic!("model factory blew up");
         });
         let t1 = svc.submit("SELECT COUNT(*) FROM title t WHERE t.year > 1960").unwrap();
         let t2 = svc.submit("SELECT COUNT(*) FROM title t WHERE t.year > 1961").unwrap();
-        release.send(()).unwrap();
+        gate.release();
         // Queued tickets resolve with WorkerFailed — they never hang.
         assert_eq!(t1.wait(), Err(ServeError::WorkerFailed));
         assert_eq!(t2.wait(), Err(ServeError::WorkerFailed));
@@ -259,7 +355,57 @@ mod serve_failures {
         }
         let stats = svc.shutdown();
         assert!(stats.worker_panicked);
+        assert_eq!(stats.failed_shards, 1);
         assert_eq!(stats.processed, 0);
+    }
+
+    #[test]
+    fn dying_shard_fails_its_tickets_and_leaves_siblings_serving() {
+        let shards = 4;
+        // Distinct IN-list arities give distinct templates; find two that
+        // route to different shards so the failure boundary is visible.
+        let sql = |arity: usize| {
+            let vals: Vec<String> = (1961..1961 + arity as i64).map(|v| v.to_string()).collect();
+            format!("SELECT COUNT(*) FROM title t WHERE t.year IN ({})", vals.join(", "))
+        };
+        let shard_of = |q: &str| route(&template_text(&parse(q).unwrap()), shards);
+        let dead_sql = sql(1);
+        let dead = shard_of(&dead_sql);
+        let live_sql =
+            (2..32).map(sql).find(|q| shard_of(q) != dead).expect("some arity routes elsewhere");
+        let live = shard_of(&live_sql);
+
+        let gate = Arc::new(Gate::new());
+        let g = Arc::clone(&gate);
+        let config = ServeConfig { shards, ..ServeConfig::default() };
+        let svc = Service::spawn(config, move |i| {
+            g.wait();
+            if i == dead {
+                panic!("shard {i} blew up");
+            }
+            serve_model()
+        });
+        let t_dead = svc.submit(&dead_sql).unwrap();
+        let t_live = svc.submit(&live_sql).unwrap();
+        gate.release();
+        assert_eq!(t_dead.wait(), Err(ServeError::WorkerFailed));
+        assert!(t_live.wait().is_ok(), "sibling shard must keep serving");
+        // Poison is per-shard: the dead shard refuses, siblings accept.
+        match svc.submit(&dead_sql) {
+            Err(ServeError::WorkerFailed) => {}
+            other => panic!("dead shard must refuse work, got {other:?}"),
+        }
+        assert!(svc.encode_blocking(&live_sql).is_ok());
+        let (stats, per_shard) = svc.shutdown_detailed();
+        assert!(stats.worker_panicked);
+        assert_eq!(stats.failed_shards, 1);
+        assert_eq!(per_shard.len(), shards);
+        assert!(
+            per_shard.iter().enumerate().all(|(i, s)| s.panicked == (i == dead)),
+            "exactly the killed shard must report a panic: {per_shard:?}"
+        );
+        assert_eq!(per_shard[live].processed, 2);
+        assert_eq!(stats.processed, 2, "only the live shard's work is counted");
     }
 }
 

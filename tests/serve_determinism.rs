@@ -83,7 +83,7 @@ fn replay(threads: usize, max_batch: usize) -> Replay {
         cache_capacity: 4,
         ..ServeConfig::default()
     };
-    let svc = Service::spawn(config, serve_model);
+    let svc = Service::spawn(config, |_| serve_model());
     let tickets: Vec<_> = SCRIPT.iter().map(|sql| svc.submit(sql).unwrap()).collect();
     let stats = svc.shutdown();
     assert_eq!(stats.processed, SCRIPT.len() as u64);
